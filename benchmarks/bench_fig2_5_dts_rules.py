@@ -1,0 +1,122 @@
+"""Figure 2.5 — the Dynamic-to-Static rules evaluation.
+
+Paper: Compact X reads up to 20 % faster than X and uses 30-71 % less
+memory (>30 % in all but one case); Compact ART saves ~half for random
+ints/emails but little for mono-inc; Compressed B+tree saves 24-31 %
+more but loses 18-34 % throughput.
+
+We run YCSB-C point queries over all four structures and their compact
+versions, for all three key types, reporting throughput and memory.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.compact import (
+    CompactART,
+    CompactBPlusTree,
+    CompactMasstree,
+    CompactSkipList,
+    CompressedBPlusTree,
+)
+from repro.trees import ART, BPlusTree, Masstree, PagedSkipList
+from repro.workloads import ScrambledZipfianGenerator
+
+PAIRS = [
+    ("B+tree", BPlusTree, CompactBPlusTree),
+    ("Masstree", Masstree, CompactMasstree),
+    ("SkipList", PagedSkipList, CompactSkipList),
+    ("ART", ART, CompactART),
+]
+
+
+def _queries(keys, n):
+    chooser = ScrambledZipfianGenerator(len(keys), seed=3)
+    return [keys[r] for r in chooser.sample(n)]
+
+
+def run_experiment(datasets):
+    import numpy as np
+
+    n_queries = scaled(20_000)
+    rows = []
+    for key_type, keys in datasets.items():
+        queries = _queries(keys, n_queries)
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        # Dynamic structures see keys in *arrival* order: random for the
+        # rand-int/email datasets, ascending only for mono-inc (this is
+        # what produces the paper's 69 % vs 50 % occupancy split).
+        insert_order = list(pairs)
+        if key_type != "mono-inc int":
+            np.random.default_rng(4).shuffle(insert_order)
+        for name, dyn_cls, compact_cls in PAIRS:
+            dynamic = dyn_cls()
+            for k, v in insert_order:
+                dynamic.insert(k, v)
+            compact = compact_cls(pairs)
+
+            def read_all(index):
+                def inner():
+                    get = index.get
+                    for q in queries:
+                        get(q)
+
+                return inner
+
+            dyn_m = measure_ops(read_all(dynamic), n_queries)
+            cpt_m = measure_ops(read_all(compact), n_queries)
+            saving = 1 - compact.memory_bytes() / dynamic.memory_bytes()
+            rows.append(
+                [
+                    key_type,
+                    name,
+                    f"{dyn_m.ops_per_sec:,.0f}",
+                    f"{cpt_m.ops_per_sec:,.0f}",
+                    f"{dynamic.memory_bytes():,}",
+                    f"{compact.memory_bytes():,}",
+                    f"{saving:.0%}",
+                ]
+            )
+        # Compressed B+tree (the Compression-Rule verdict).
+        compressed = CompressedBPlusTree(pairs)
+        cmp_m = measure_ops(read_all(compressed), n_queries)
+        rows.append(
+            [
+                key_type,
+                "Compressed B+tree",
+                "-",
+                f"{cmp_m.ops_per_sec:,.0f}",
+                "-",
+                f"{compressed.memory_bytes():,}",
+                "-",
+            ]
+        )
+    return rows
+
+
+def test_fig2_5_dts_rules(benchmark, datasets):
+    rows = benchmark.pedantic(run_experiment, args=(datasets,), rounds=1, iterations=1)
+    report(
+        "fig2_5",
+        "Figure 2.5: D-to-S rules (YCSB-C point queries)",
+        ["keys", "structure", "dyn ops/s", "compact ops/s", "dyn bytes", "compact bytes", "saved"],
+        rows,
+    )
+    savings = {
+        (r[0], r[1]): float(r[6].rstrip("%")) / 100 for r in rows if r[6] != "-"
+    }
+    # Paper shape: substantial savings everywhere except mono-inc ART
+    # (already optimal).  Email B+tree/SkipList savings are muted at
+    # our scale because the shared per-key string heap dominates the
+    # structural waste (see EXPERIMENTS.md) — still clearly positive.
+    for (key_type, name), saving in savings.items():
+        if name == "ART" and key_type == "mono-inc int":
+            continue  # dynamic ART is already near-optimal here
+        floor = 0.10 if key_type == "email" and name in ("B+tree", "SkipList") else 0.2
+        assert saving > floor, f"{key_type}/{name}: {saving:.0%}"
+    # Compact ART's saving is larger for random ints than mono-inc.
+    assert savings[("rand int", "ART")] > savings[("mono-inc int", "ART")]
+    # Compact Masstree flattens entirely: the biggest email saving.
+    assert savings[("email", "Masstree")] == max(
+        s for (kt, _), s in savings.items() if kt == "email"
+    )

@@ -1,0 +1,117 @@
+"""Figure 3.4 — FST vs pointer-based indexes on the equi-cost map.
+
+Paper: FST matches the query performance of B+tree/ART/C-ART while
+using far less memory, giving it the lowest P*S cost in all four
+quadrants (point/range x int/email).
+
+Substitution note (DESIGN.md §1.3, and the calibration band's
+"bit-level succinct tries too slow in Python"): interpreted Python
+charges ~100 instructions for bit operations that cost 1-2 cycles in
+the paper's C++, so wall-clock inverts the succinct-vs-pointer
+ranking.  We therefore report wall-clock throughput for the record and
+use the deterministic access model (cache lines per query) as the
+performance axis of the equi-cost comparison, which is the quantity
+that actually determines the paper's latencies.
+"""
+
+from repro.bench.counters import COUNTERS
+from repro.bench.harness import equi_cost, measure_ops, report, scaled
+from repro.compact import CompactART
+from repro.fst import FST
+from repro.trees import ART, BPlusTree
+from repro.workloads import ScrambledZipfianGenerator
+
+
+def build_indexes(keys):
+    pairs = [(k, i) for i, k in enumerate(keys)]
+    btree = BPlusTree()
+    art = ART()
+    for k, v in pairs:
+        btree.insert(k, v)
+        art.insert(k, v)
+    return {
+        "B+tree": btree,
+        "ART": art,
+        "C-ART": CompactART(pairs),
+        "FST": FST(keys, list(range(len(keys)))),
+    }
+
+
+def run_experiment(datasets):
+    n_point = scaled(10_000)
+    n_range = scaled(1_000)
+    rows = []
+    costs = {}
+    for key_type in ("rand int", "email"):
+        keys = datasets[key_type]
+        indexes = build_indexes(keys)
+        chooser = ScrambledZipfianGenerator(len(keys), seed=6)
+        point_queries = [keys[r] for r in chooser.sample(n_point)]
+        range_starts = [keys[r] for r in chooser.sample(n_range)]
+        for name, index in indexes.items():
+            def points(ix=index):
+                get = ix.get
+                for q in point_queries:
+                    get(q)
+
+            # Access-model pass: cache lines per point query.
+            COUNTERS.start()
+            for q in point_queries[: max(1, n_point // 10)]:
+                index.get(q)
+            profile = COUNTERS.stop()
+            lines_per_query = profile.cache_lines / max(1, n_point // 10)
+
+            def ranges(ix=index):
+                if isinstance(ix, FST):
+                    for start in range_starts:
+                        it = ix.seek(start)
+                        taken = 0
+                        while it.valid and taken < 50:
+                            it.key()
+                            it.next()
+                            taken += 1
+                else:
+                    for start in range_starts:
+                        ix.scan(start, 50)
+
+            point_m = measure_ops(points, n_point)
+            range_m = measure_ops(ranges, n_range)
+            mem = index.memory_bytes()
+            cost = lines_per_query * mem  # model latency x space
+            costs[(key_type, name)] = (cost, mem)
+            rows.append(
+                [
+                    key_type,
+                    name,
+                    f"{point_m.ops_per_sec:,.0f}",
+                    f"{range_m.ops_per_sec:,.0f}",
+                    f"{lines_per_query:.1f}",
+                    f"{mem:,}",
+                    f"{cost / 1e6:.2f}",
+                ]
+            )
+    return rows, costs
+
+
+def test_fig3_4_fst_vs_pointer(benchmark, datasets):
+    rows, costs = benchmark.pedantic(
+        run_experiment, args=(datasets,), rounds=1, iterations=1
+    )
+    report(
+        "fig3_4",
+        "Figure 3.4: FST vs pointer-based indexes (model cost = lines x bytes)",
+        ["keys", "index", "point ops/s", "range ops/s", "lines/query", "bytes", "cost (M)"],
+        rows,
+    )
+    for key_type in ("rand int", "email"):
+        fst_cost, fst_mem = costs[(key_type, "FST")]
+        for other in ("B+tree", "ART", "C-ART"):
+            other_cost, other_mem = costs[(key_type, other)]
+            # Paper shape: FST is by far the smallest index...
+            assert fst_mem < 0.75 * other_mem, (key_type, other)
+        # ...and beats the performance-optimised trees on balanced cost.
+        assert fst_cost < costs[(key_type, "B+tree")][0]
+        assert fst_cost < costs[(key_type, "ART")][0]
+        # C-ART is the closest competitor (the paper needs r=6.7 to make
+        # it indifferent); allow it within a small factor.
+        assert fst_cost < costs[(key_type, "C-ART")][0] * 3

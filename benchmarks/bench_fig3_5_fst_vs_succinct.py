@@ -1,0 +1,68 @@
+"""Figure 3.5 — FST vs other succinct tries (tx-trie, PDT).
+
+Paper: FST is 6-15x faster than tx-trie, 4-8x faster than PDT, and
+smaller than both (complete keys, no truncation).  The gap narrows on
+the email workload because PDT's path decomposition re-balances deep
+tries.
+
+Our tx-trie stand-in is FST stripped of its optimizations (sparse-only,
+linear label search), so the throughput ratio isolates exactly what the
+optimizations buy; PDT is a centroid path-decomposed trie.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.fst import FST
+from repro.succinct import PathDecomposedTrie, TxTrie
+from repro.workloads import ScrambledZipfianGenerator
+
+
+def run_experiment(datasets):
+    n_queries = scaled(5_000)
+    rows = []
+    stats = {}
+    for key_type in ("rand int", "email"):
+        keys = datasets[key_type]
+        values = list(range(len(keys)))
+        tries = {
+            "tx-trie": TxTrie(keys, values),
+            "PDT": PathDecomposedTrie(keys, values),
+            "FST": FST(keys, values),
+        }
+        chooser = ScrambledZipfianGenerator(len(keys), seed=8)
+        queries = [keys[r] for r in chooser.sample(n_queries)]
+        for name, trie in tries.items():
+            def points(t=trie):
+                get = t.get
+                for q in queries:
+                    get(q)
+
+            m = measure_ops(points, n_queries)
+            mem = trie.memory_bytes()
+            stats[(key_type, name)] = (m.ops_per_sec, mem)
+            rows.append([key_type, name, f"{m.ops_per_sec:,.0f}", f"{mem:,}"])
+    return rows, stats
+
+
+def test_fig3_5_fst_vs_succinct(benchmark, datasets):
+    rows, stats = benchmark.pedantic(
+        run_experiment, args=(datasets,), rounds=1, iterations=1
+    )
+    report(
+        "fig3_5",
+        "Figure 3.5: FST vs other succinct tries (complete keys)",
+        ["keys", "trie", "point ops/s", "bytes"],
+        rows,
+    )
+    for key_type in ("rand int", "email"):
+        fst_tput, fst_mem = stats[(key_type, "FST")]
+        tx_tput, tx_mem = stats[(key_type, "tx-trie")]
+        # FST is faster than the unoptimized LOUDS-Sparse trie and at
+        # most marginally larger (dense levels trade ~0 space).
+        assert fst_tput > tx_tput
+        assert fst_mem <= tx_mem * 1.06
+        # FST is smaller than PDT.  (The paper also finds FST 4-8x
+        # faster than PDT; under an interpreter PDT's plain byte loops
+        # beat FST's bit arithmetic, inverting that axis — recorded in
+        # EXPERIMENTS.md, predicted by the repro calibration band.)
+        _, pdt_mem = stats[(key_type, "PDT")]
+        assert fst_mem < pdt_mem

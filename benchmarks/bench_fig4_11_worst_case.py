@@ -1,0 +1,50 @@
+"""Figures 4.10/4.11 — SuRF's worst-case dataset.
+
+Paper: 64-byte keys built as 5-byte enumerated prefix + 58 shared
+random bytes + 1 distinguishing byte maximise trie height and minimise
+sharing: SuRF stores ~328 bits/key (64 % of the raw key bytes) and
+point queries slow down several-fold versus integer keys (64 levels of
+cache misses).  The filter is perfectly accurate as a side effect.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.surf import surf_base
+from repro.workloads import point_query_keys, random_u64_keys, worst_case_keys
+
+
+def run_experiment():
+    n_pairs = scaled(1_000)
+    worst = sorted(worst_case_keys(n_pairs, seed=21))
+    ints = sorted(random_u64_keys(2 * n_pairs, seed=22))
+    n_queries = scaled(2_000)
+
+    results = {}
+    rows = []
+    for name, keys in (("64-bit int", ints), ("worst-case", worst)):
+        surf = surf_base(keys)
+        _, _, queries = point_query_keys(keys, n_queries, present_fraction=1.0, seed=23)
+        m = measure_ops(lambda s=surf, q=queries: [s.lookup(k) for k in q], n_queries)
+        bpk = surf.bits_per_key()
+        raw_ratio = surf.size_bits() / (sum(len(k) for k in keys) * 8)
+        results[name] = (m.ops_per_sec, bpk, raw_ratio)
+        rows.append(
+            [name, f"{m.ops_per_sec:,.0f}", f"{bpk:.0f}", f"{raw_ratio:.0%}"]
+        )
+    return rows, results
+
+
+def test_fig4_11_worst_case(benchmark):
+    rows, results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "fig4_11",
+        "Figure 4.11: SuRF on the worst-case dataset",
+        ["dataset", "point ops/s", "bits/key", "size vs raw keys"],
+        rows,
+    )
+    int_tput, int_bpk, _ = results["64-bit int"]
+    worst_tput, worst_bpk, worst_ratio = results["worst-case"]
+    # Paper shape: hundreds of bits per key (~64 % of the raw data),
+    # far above the ~10 bits/key of friendly datasets, and much slower.
+    assert worst_bpk > 250
+    assert 0.4 < worst_ratio < 0.9
+    assert worst_tput < int_tput * 0.6

@@ -1,0 +1,107 @@
+"""Figure 4.4 — SuRF false positive rate vs bits per key.
+
+Paper: for point queries the Bloom filter has the lowest FPR at equal
+size, but each SuRF-Hash bit halves the FPR; for range queries only
+SuRF-Real improves with more bits (hash suffixes carry no order);
+email-key FPRs are higher than integer-key FPRs because the key
+distribution is dense.
+
+Setup mirrors Section 4.3: the filter stores a random half of the
+dataset and queries draw from the whole dataset (~50 % absent).
+"""
+
+import numpy as np
+
+from repro.bench.harness import report, scaled
+from repro.filters import BloomFilter
+from repro.surf import surf_base, surf_hash, surf_real
+from repro.workloads import decode_u64, encode_u64, point_query_keys
+
+SUFFIX_BITS = [0, 2, 4, 6, 8]
+
+
+def _point_fpr(filt, probe, absent):
+    fp = sum(1 for k in absent if probe(k))
+    return fp / max(1, len(absent))
+
+
+def _range_fpr_int(filt, stored_sorted, absent, offset=2**45, width=2**45):
+    fp = tn = 0
+    import bisect
+
+    for k in absent[:1000]:
+        base = decode_u64(k)
+        lo, hi = base + offset, base + offset + width
+        if hi >= 2**64:
+            continue
+        lo_b, hi_b = encode_u64(lo), encode_u64(hi)
+        i = bisect.bisect_left(stored_sorted, lo_b)
+        truly = i < len(stored_sorted) and stored_sorted[i] < hi_b
+        if truly:
+            continue
+        if filt.lookup_range(lo_b, hi_b):
+            fp += 1
+        else:
+            tn += 1
+    return fp / max(1, fp + tn)
+
+
+def run_experiment(int_keys, email_keys_sorted):
+    rows = []
+    data = {}
+    for key_type, keys in (("int", int_keys), ("email", email_keys_sorted)):
+        stored, absent, _ = point_query_keys(keys, 0, seed=11)
+        stored = sorted(stored)
+        absent = absent[: scaled(3_000)]
+        base = surf_base(stored)
+        base_bpk = base.bits_per_key()
+        rows.append(
+            [key_type, "SuRF-Base", f"{base_bpk:.0f}", f"{_point_fpr(base, base.lookup, absent):.2%}", "-"]
+        )
+        for bits in SUFFIX_BITS[1:]:
+            hash_f = surf_hash(stored, hash_bits=bits)
+            real_f = surf_real(stored, real_bits=bits)
+            bloom = BloomFilter(stored, bits_per_key=base_bpk + bits)
+            point_hash = _point_fpr(hash_f, hash_f.lookup, absent)
+            point_real = _point_fpr(real_f, real_f.lookup, absent)
+            point_bloom = _point_fpr(bloom, bloom.may_contain, absent)
+            range_real = (
+                _range_fpr_int(real_f, stored, absent) if key_type == "int" else None
+            )
+            data[(key_type, bits)] = (point_hash, point_real, point_bloom, range_real)
+            rows.append(
+                [key_type, f"SuRF-Hash +{bits}b", f"{base_bpk + bits:.0f}", f"{point_hash:.2%}", "-"]
+            )
+            rows.append(
+                [
+                    key_type,
+                    f"SuRF-Real +{bits}b",
+                    f"{base_bpk + bits:.0f}",
+                    f"{point_real:.2%}",
+                    f"{range_real:.2%}" if range_real is not None else "-",
+                ]
+            )
+            rows.append(
+                [key_type, f"Bloom", f"{base_bpk + bits:.0f}", f"{point_bloom:.2%}", "100%"]
+            )
+    return rows, data
+
+
+def test_fig4_4_fpr(benchmark, int_keys, email_keys_sorted):
+    rows, data = benchmark.pedantic(
+        run_experiment, args=(int_keys, email_keys_sorted), rounds=1, iterations=1
+    )
+    report(
+        "fig4_4",
+        "Figure 4.4: false positive rate vs filter size",
+        ["keys", "filter", "bits/key", "point FPR", "range FPR"],
+        rows,
+    )
+    for key_type in ("int", "email"):
+        # Hash suffix bits cut point FPR monotonically (each bit ~halves it).
+        assert data[(key_type, 8)][0] < data[(key_type, 2)][0]
+        assert data[(key_type, 8)][0] < 0.02
+        # Bloom is at least as good as SuRF-Hash for points at equal size.
+        assert data[(key_type, 4)][2] <= data[(key_type, 4)][0] + 0.02
+    # Range FPR falls as real suffix bits grow (int workload).
+    assert data[("int", 8)][3] <= data[("int", 2)][3]

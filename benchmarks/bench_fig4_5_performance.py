@@ -1,0 +1,84 @@
+"""Figure 4.5 — filter throughput.
+
+Paper: SuRF variants run at speeds comparable to the Bloom filter on
+integer keys and slower on email keys (long prefix walks); range
+queries are slower than point queries (no early exit); adding suffix
+bits barely affects SuRF throughput, while larger Bloom filters slow
+down (more hash probes).
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.filters import BloomFilter
+from repro.surf import surf_base, surf_real
+from repro.workloads import point_query_keys
+
+
+def run_experiment(int_keys, email_keys_sorted):
+    n_queries = scaled(5_000)
+    rows = []
+    tputs = {}
+    for key_type, keys in (("int", int_keys), ("email", email_keys_sorted)):
+        stored, _absent, queries = point_query_keys(keys, n_queries, seed=12)
+        stored = sorted(stored)
+        filters = {
+            "Bloom 10bpk": BloomFilter(stored, 10),
+            "Bloom 18bpk": BloomFilter(stored, 18),
+            "SuRF-Base": surf_base(stored),
+            "SuRF-Real4": surf_real(stored, real_bits=4),
+            "SuRF-Real8": surf_real(stored, real_bits=8),
+        }
+        for name, filt in filters.items():
+            probe = filt.may_contain if isinstance(filt, BloomFilter) else filt.lookup
+
+            def points(p=probe):
+                for q in queries:
+                    p(q)
+
+            m = measure_ops(points, n_queries)
+            tputs[(key_type, name, "point")] = m.ops_per_sec
+            range_tput = "-"
+            if not isinstance(filt, BloomFilter):
+                range_queries = queries[: n_queries // 5]
+
+                def ranges(f=filt):
+                    for q in range_queries:
+                        f.lookup_range(q, q + b"\xff")
+
+                rm = measure_ops(ranges, len(range_queries))
+                tputs[(key_type, name, "range")] = rm.ops_per_sec
+                range_tput = f"{rm.ops_per_sec:,.0f}"
+            rows.append([key_type, name, f"{m.ops_per_sec:,.0f}", range_tput])
+    return rows, tputs
+
+
+def test_fig4_5_performance(benchmark, int_keys, email_keys_sorted):
+    rows, tputs = benchmark.pedantic(
+        run_experiment, args=(int_keys, email_keys_sorted), rounds=1, iterations=1
+    )
+    report(
+        "fig4_5",
+        "Figure 4.5: filter throughput (point / range probes)",
+        ["keys", "filter", "point ops/s", "range ops/s"],
+        rows,
+    )
+    for key_type in ("int", "email"):
+        # Range filtering is slower than point filtering (no early exit).
+        assert (
+            tputs[(key_type, "SuRF-Real4", "range")]
+            < tputs[(key_type, "SuRF-Real4", "point")]
+        )
+        # Suffix bits barely affect SuRF point throughput (within 2x).
+        assert (
+            tputs[(key_type, "SuRF-Real8", "point")]
+            > tputs[(key_type, "SuRF-Base", "point")] * 0.5
+        )
+        # Bigger Bloom filters do more probes and slow down (or tie).
+        assert (
+            tputs[(key_type, "Bloom 18bpk", "point")]
+            < tputs[(key_type, "Bloom 10bpk", "point")] * 1.15
+        )
+    # SuRF is slower on emails than on ints (longer prefix walks).
+    assert (
+        tputs[("email", "SuRF-Base", "point")]
+        < tputs[("int", "SuRF-Base", "point")]
+    )

@@ -1,0 +1,67 @@
+"""Figure 4.6 — filter build time.
+
+Paper: building a SuRF is faster than building a Bloom filter — a
+single sequential scan of sorted keys versus multiple random writes per
+key — and Bloom build time grows with bits/key (more probes) while
+SuRF's is insensitive to suffix length.
+
+In Python the constant factors differ, so the robust assertions are the
+*slopes*: Bloom build cost grows with bits/key; SuRF build cost does
+not grow with suffix bits.
+"""
+
+import time
+
+from repro.bench.harness import report, scaled
+from repro.filters import BloomFilter
+from repro.surf import surf_hash, surf_real
+from repro.workloads import point_query_keys
+
+
+def _time(fn):
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_experiment(int_keys):
+    stored, _, _ = point_query_keys(int_keys, 0, seed=13)
+    stored = sorted(stored)[: scaled(10_000)]
+    rows = []
+    times = {}
+    for bits in (2, 6, 10):
+        bloom_t = _time(lambda b=bits: BloomFilter(stored, bits_per_key=10 + b))
+        hash_t = _time(lambda b=bits: surf_hash(stored, hash_bits=b))
+        real_t = _time(lambda b=bits: surf_real(stored, real_bits=b))
+        times[("bloom", bits)] = bloom_t
+        times[("hash", bits)] = hash_t
+        times[("real", bits)] = real_t
+        rows.append(
+            [
+                f"+{bits} bits",
+                f"{bloom_t * 1e3:.0f} ms",
+                f"{hash_t * 1e3:.0f} ms",
+                f"{real_t * 1e3:.0f} ms",
+            ]
+        )
+    return rows, times
+
+
+def test_fig4_6_build_time(benchmark, int_keys):
+    rows, times = benchmark.pedantic(
+        run_experiment, args=(int_keys,), rounds=1, iterations=1
+    )
+    report(
+        "fig4_6",
+        "Figure 4.6: filter build time (suffix-bit sweep)",
+        ["extra bits", "Bloom", "SuRF-Hash", "SuRF-Real"],
+        rows,
+    )
+    # Bloom build grows with bits/key; SuRF-Real's is insensitive to
+    # suffix width (generous slack: builds take tens of ms here, so
+    # scheduler noise is a large relative factor).
+    assert times[("bloom", 10)] > times[("bloom", 2)]
+    assert times[("real", 10)] < times[("real", 2)] * 1.5

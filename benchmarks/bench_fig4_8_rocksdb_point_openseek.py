@@ -1,0 +1,87 @@
+"""Figure 4.8 — RocksDB point and Open-Seek queries under four filter
+configurations (none / Bloom / SuRF-Hash / SuRF-Real).
+
+Paper (100 GB time-series dataset): performance is inversely
+proportional to I/O count.  For point queries every filter slashes
+I/O (Bloom lowest FPR at equal size -> slightly fewer I/Os than SuRF);
+for Open-Seek queries SuRF-Real reduces I/O to ~1.02 per op (one block
+read is unavoidable) for a ~1.5x speedup, while Bloom cannot help.
+"""
+
+import numpy as np
+
+from repro.bench.harness import report, scaled
+from repro.filters import BloomFilter
+from repro.lsm import LSMTree
+from repro.surf import surf_hash, surf_real
+from repro.workloads.sensors import generate_sensor_events, make_key
+
+CONFIGS = {
+    "no filter": None,
+    "Bloom": lambda keys: BloomFilter(keys, bits_per_key=14),
+    "SuRF-Hash": lambda keys: surf_hash(sorted(keys), hash_bits=4),
+    "SuRF-Real": lambda keys: surf_real(sorted(keys), real_bits=4),
+}
+
+
+def build_store(filter_factory, dataset):
+    # A small block cache relative to the dataset, as in the paper's
+    # setup where only the upper levels stay cached.
+    store = LSMTree(
+        memtable_entries=256,
+        sstable_entries=512,
+        level0_limit=1,
+        level_fanout=2,  # scaled-down fanout: several populated levels
+        block_cache_blocks=4,
+        filter_factory=filter_factory,
+    )
+    for key in dataset.keys:
+        store.put(key, b"v")
+    store.flush_memtable()
+    return store
+
+
+def run_experiment():
+    dataset = generate_sensor_events(
+        n_sensors=32, events_per_sensor=scaled(100), seed=17
+    )
+    rng = np.random.default_rng(18)
+    n_queries = scaled(400)
+    rows = []
+    ios = {}
+    for name, factory in CONFIGS.items():
+        store = build_store(factory, dataset)
+        # The paper counts block fetches per operation (its caches sit
+        # at a different layer): accesses = cache misses + hits.
+        store.io.reset()
+        for _ in range(n_queries):
+            ts = int(rng.integers(0, dataset.duration_ns))
+            store.get(make_key(ts, 10**6))
+        point_io = (store.io.block_reads + store.io.cache_hits) / n_queries
+        # Open-Seek: smallest event after a random timestamp.
+        store.io.reset()
+        for _ in range(n_queries):
+            ts = int(rng.integers(0, dataset.duration_ns))
+            store.seek(make_key(ts, 0))
+        seek_io = (store.io.block_reads + store.io.cache_hits) / n_queries
+        ios[name] = (point_io, seek_io)
+        rows.append([name, f"{point_io:.3f}", f"{seek_io:.3f}"])
+    return rows, ios
+
+
+def test_fig4_8_point_openseek(benchmark):
+    rows, ios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "fig4_8",
+        "Figure 4.8: LSM point & Open-Seek I/O per operation",
+        ["filter", "point I/O/op", "open-seek I/O/op"],
+        rows,
+    )
+    # Point: every filter cuts I/O hard vs no filter.
+    for name in ("Bloom", "SuRF-Hash", "SuRF-Real"):
+        assert ios[name][0] < ios["no filter"][0] * 0.5, name
+    # Open-Seek: only SuRF helps; at least one block read remains
+    # (the paper measures 1.023 block reads/op with SuRF-Real).
+    assert ios["SuRF-Real"][1] < ios["no filter"][1] * 0.8
+    assert ios["Bloom"][1] > ios["no filter"][1] * 0.8
+    assert 0.9 <= ios["SuRF-Real"][1] < 1.5  # ~one winner-block read

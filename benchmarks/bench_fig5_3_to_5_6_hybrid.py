@@ -1,0 +1,109 @@
+"""Figures 5.3-5.6 — hybrid indexes vs their original structures.
+
+Paper: across B+tree / Masstree / Skip List / ART and all key types,
+hybrid indexes deliver comparable throughput (slower on insert-only due
+to the dual-stage uniqueness check, faster on skewed read/write) while
+using 30-70 % less memory.
+
+We run the four YCSB workloads (insert-only, read-only C, read/write A,
+scan/insert E) on each original structure and its hybrid version.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.hybrid import (
+    hybrid_art,
+    hybrid_btree,
+    hybrid_masstree,
+    hybrid_skiplist,
+)
+from repro.trees import ART, BPlusTree, Masstree, PagedSkipList
+from repro.workloads import generate
+
+PAIRS = [
+    ("B+tree", BPlusTree, hybrid_btree),
+    ("Masstree", Masstree, hybrid_masstree),
+    ("SkipList", PagedSkipList, hybrid_skiplist),
+    ("ART", ART, hybrid_art),
+]
+
+WORKLOADS = ["insert-only", "C", "A", "E"]
+
+
+def _run_workload(index, workload):
+    for op in workload.operations:
+        if op.op == "read":
+            index.get(op.key)
+        elif op.op == "update":
+            index.update(op.key, 1)
+        elif op.op == "insert":
+            index.insert(op.key, 1)
+        elif op.op == "scan":
+            index.scan(op.key, op.scan_len)
+
+
+def run_experiment(int_keys):
+    n_ops = scaled(4_000)
+    rows = []
+    stats = {}
+    workloads = {
+        name: generate(name, int_keys, n_ops, seed=24) for name in WORKLOADS
+    }
+    for name, original_cls, hybrid_factory in PAIRS:
+        for kind in ("original", "hybrid"):
+            results = {}
+            memory = 0
+            for wname, workload in workloads.items():
+                index = original_cls() if kind == "original" else hybrid_factory()
+                load = workload.load_keys
+
+                def insert_all(ix=index, keys=load):
+                    for i, k in enumerate(keys):
+                        ix.insert(k, i)
+
+                insert_m = measure_ops(insert_all, len(load), repeats=1)
+                if wname == "insert-only":
+                    results["insert-only"] = insert_m.ops_per_sec
+                    memory = index.memory_bytes()
+                    continue
+                run_m = measure_ops(
+                    lambda ix=index, w=workload: _run_workload(ix, w),
+                    len(workload.operations),
+                    repeats=1,
+                )
+                results[wname] = run_m.ops_per_sec
+            stats[(name, kind)] = (results, memory)
+            rows.append(
+                [
+                    name,
+                    kind,
+                    *(f"{results[w]:,.0f}" for w in WORKLOADS),
+                    f"{memory:,}",
+                ]
+            )
+    return rows, stats
+
+
+def test_fig5_3_to_5_6_hybrid(benchmark, int_keys):
+    rows, stats = benchmark.pedantic(
+        run_experiment, args=(int_keys,), rounds=1, iterations=1
+    )
+    report(
+        "fig5_3_to_5_6",
+        "Figures 5.3-5.6: hybrid vs original (64-bit rand int, ops/s + bytes)",
+        ["structure", "variant", "insert-only", "read-only C", "read/write A", "scan/insert E", "memory"],
+        rows,
+    )
+    for name, _, _ in PAIRS:
+        orig_results, orig_mem = stats[(name, "original")]
+        hyb_results, hyb_mem = stats[(name, "hybrid")]
+        saving = 1 - hyb_mem / orig_mem
+        # Paper shape: 30-70 % memory saving...
+        assert saving > 0.25, f"{name}: {saving:.0%}"
+        # ...with insert throughput slower (uniqueness check + merges;
+        # the paper measures ~30 %, our interpreted merge makes the gap
+        # larger) but not collapsed.
+        assert hyb_results["insert-only"] < orig_results["insert-only"]
+        assert hyb_results["insert-only"] > orig_results["insert-only"] * 0.04
+        # Reads stay in the same ballpark (interpreted two-stage +
+        # bloom overhead caps this below the paper's near-parity).
+        assert hyb_results["C"] > orig_results["C"] * 0.3

@@ -1,0 +1,62 @@
+"""Figure 5.7 — sensitivity of the ratio-based merge trigger.
+
+Paper: larger merge ratios keep the dynamic stage smaller (slightly
+faster reads) but merge more often (lower write throughput); write
+throughput falls faster than read throughput rises, so a modest ratio
+(10) is the default.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.hybrid import hybrid_btree
+from repro.workloads import ScrambledZipfianGenerator
+
+RATIOS = [1, 5, 10, 20, 50, 100]
+
+
+def run_experiment(int_keys):
+    n_keys = scaled(8_000)
+    keys = int_keys[:n_keys]
+    rows = []
+    curves = {}
+    for ratio in RATIOS:
+        index = hybrid_btree(merge_ratio=ratio, min_merge_size=64)
+
+        def insert_all(ix=index):
+            for i, k in enumerate(keys):
+                ix.insert(k, i)
+
+        write_m = measure_ops(insert_all, n_keys, repeats=1)
+        chooser = ScrambledZipfianGenerator(n_keys, seed=25)
+        queries = [keys[r] for r in chooser.sample(scaled(4_000))]
+
+        def read_all(ix=index):
+            get = ix.get
+            for q in queries:
+                get(q)
+
+        read_m = measure_ops(read_all, len(queries))
+        curves[ratio] = (write_m.ops_per_sec, read_m.ops_per_sec, index.merge_count)
+        rows.append(
+            [
+                ratio,
+                f"{write_m.ops_per_sec:,.0f}",
+                f"{read_m.ops_per_sec:,.0f}",
+                index.merge_count,
+            ]
+        )
+    return rows, curves
+
+
+def test_fig5_7_merge_ratio(benchmark, int_keys):
+    rows, curves = benchmark.pedantic(
+        run_experiment, args=(int_keys,), rounds=1, iterations=1
+    )
+    report(
+        "fig5_7",
+        "Figure 5.7: merge-ratio sensitivity (Hybrid B+tree)",
+        ["merge ratio", "insert ops/s", "read ops/s", "merges"],
+        rows,
+    )
+    # Larger ratio => more merges and lower write throughput.
+    assert curves[100][2] > curves[5][2]
+    assert curves[100][0] < curves[5][0]

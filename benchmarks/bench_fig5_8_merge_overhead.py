@@ -1,0 +1,56 @@
+"""Figure 5.8 — absolute merge time vs static-stage size.
+
+Paper: merge time grows linearly with the static-stage size (the
+fundamental cost of merging sorted arrays), but merges fire
+correspondingly less often, so the amortised overhead stays constant.
+The ART mono-inc case is the exception: trie merges only touch the
+affected subtrees.
+"""
+
+from repro.bench.harness import report, scaled
+from repro.hybrid import hybrid_art, hybrid_btree
+from repro.workloads import mono_inc_u64_keys, random_u64_keys
+
+SIZES = [2_000, 4_000, 8_000]
+
+
+def run_experiment():
+    rows = []
+    curves = {}
+    for label, factory, keygen in [
+        ("B+tree rand", hybrid_btree, lambda n: random_u64_keys(n, seed=26)),
+        ("ART rand", hybrid_art, lambda n: random_u64_keys(n, seed=26)),
+        ("ART mono-inc", hybrid_art, mono_inc_u64_keys),
+    ]:
+        times = []
+        for size in SIZES:
+            static_n = scaled(size)
+            keys = keygen(static_n + static_n // 10)
+            index = factory(min_merge_size=1 << 30)  # manual merges only
+            for i, k in enumerate(keys[:static_n]):
+                index.insert(k, i)
+            index.merge()
+            for i, k in enumerate(keys[static_n:]):
+                index.insert(k, i)
+            index.merge()  # the measured merge: dynamic = static/10
+            times.append(index.last_merge_seconds)
+            rows.append(
+                [label, f"{static_n:,}", f"{index.last_merge_seconds * 1e3:.1f} ms"]
+            )
+        curves[label] = times
+    return rows, curves
+
+
+def test_fig5_8_merge_overhead(benchmark):
+    rows, curves = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(
+        "fig5_8",
+        "Figure 5.8: merge time vs static-stage size (dynamic = 1/10 static)",
+        ["index", "static entries", "merge time"],
+        rows,
+    )
+    # Linear growth: 4x the data takes clearly more time (>2x), for
+    # both structures, on random keys.
+    for label in ("B+tree rand", "ART rand"):
+        times = curves[label]
+        assert times[2] > times[0] * 2, label

@@ -1,0 +1,59 @@
+"""Figure 6.14 — compression under key-distribution changes.
+
+Paper: when the key pattern suddenly changes (e.g. the workload shifts
+from emails to URLs), a dictionary trained on the old distribution
+keeps *working* (completeness guarantees any key encodes) but its
+compression rate degrades; the gram schemes degrade gracefully while
+staying above 1x.
+"""
+
+from repro.bench.harness import report, scaled
+from repro.hope import HopeEncoder
+from repro.workloads import url_keys, wiki_keys
+
+
+def run_experiment(email_keys_sorted):
+    import numpy as np
+
+    rng = np.random.default_rng(36)
+    emails = list(email_keys_sorted)
+    rng.shuffle(emails)
+    urls = url_keys(scaled(3_000), seed=37)
+    wikis = wiki_keys(scaled(3_000), seed=38)
+    rows = []
+    grid = {}
+    for scheme in ("single", "3grams", "alm"):
+        enc = HopeEncoder.from_sample(scheme, emails[:800], dict_limit=1024)
+        for target_name, target in (
+            ("email (stable)", emails[800:3000]),
+            ("url (shifted)", urls),
+            ("wiki (shifted)", wikis),
+        ):
+            cpr = enc.compression_rate(target)
+            grid[(scheme, target_name)] = cpr
+            rows.append([scheme, target_name, f"{cpr:.2f}"])
+    return rows, grid
+
+
+def test_fig6_14_distribution_change(benchmark, email_keys_sorted):
+    rows, grid = benchmark.pedantic(
+        run_experiment, args=(email_keys_sorted,), rounds=1, iterations=1
+    )
+    report(
+        "fig6_14",
+        "Figure 6.14: email-trained dictionaries on shifted workloads (CPR)",
+        ["scheme", "target keys", "CPR"],
+        rows,
+    )
+    for scheme in ("single", "3grams", "alm"):
+        stable = grid[(scheme, "email (stable)")]
+        shifted = grid[(scheme, "url (shifted)")]
+        # Every scheme degrades under the shift yet keeps encoding with
+        # bounded expansion (completeness guarantee).
+        assert shifted < stable
+        assert shifted > 0.7
+    # The paper's key observation: context-rich schemes win big on the
+    # stable distribution but are *fragile* to pattern changes, while
+    # Single-Char degrades gracefully (it only models byte frequencies).
+    assert grid[("single", "url (shifted)")] > grid[("3grams", "url (shifted)")]
+    assert grid[("3grams", "email (stable)")] > grid[("single", "email (stable)")]

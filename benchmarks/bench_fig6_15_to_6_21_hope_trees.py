@@ -1,0 +1,125 @@
+"""Figures 6.7 and 6.15-6.21 — HOPE integrated with five search trees.
+
+Paper: HOPE-encoded keys make SuRF / ART / HOT / B+tree / Prefix B+tree
+simultaneously faster (shorter keys to compare and walk) and smaller
+(up to 30 % less memory, 40 % lower latency).  The *memory* benefit is
+ordered by key-storage completeness (Figure 6.7): B+tree (full keys)
+gains most, Prefix B+tree less, SuRF less, HOT (discriminative bits
+only) nearly nothing.
+
+Includes Figures 6.16/6.17: HOPE shortens the SuRF trie and lowers its
+FPR at equal suffix-bit budgets.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.hope import HopeEncoder, HopeIndex, HopeSuRF
+from repro.surf import surf_base, surf_real
+from repro.trees import BPlusTree, HOTrie, PrefixBPlusTree, TTree
+from repro.workloads import ScrambledZipfianGenerator, point_query_keys
+
+
+def trie_height(surf):
+    fst = surf.fst
+    total = count = 0
+    it = fst.iter_all()
+    while it.valid:
+        total += len(it.frames)
+        count += 1
+        it.next()
+    return total / count if count else 0.0
+
+
+def run_experiment(email_keys_sorted):
+    import numpy as np
+
+    keys = list(email_keys_sorted)
+    np.random.default_rng(39).shuffle(keys)
+    keys = keys[: scaled(6_000)]
+    encoder = HopeEncoder.from_sample("3grams", keys[:800], dict_limit=1024)
+    chooser = ScrambledZipfianGenerator(len(keys), seed=40)
+    queries = [keys[r] for r in chooser.sample(scaled(4_000))]
+
+    rows = []
+    savings = {}
+    tput_ratio = {}
+    for name, factory in [
+        ("B+tree", BPlusTree),
+        ("Prefix B+tree", PrefixBPlusTree),
+        ("T-Tree", TTree),
+        ("HOT", HOTrie),
+    ]:
+        plain = factory()
+        hoped = HopeIndex(factory, encoder)
+        for i, k in enumerate(keys):
+            plain.insert(k, i)
+            hoped.insert(k, i)
+        plain_m = measure_ops(lambda t=plain: [t.get(q) for q in queries], len(queries))
+        hoped_m = measure_ops(lambda t=hoped: [t.get(q) for q in queries], len(queries))
+        saving = 1 - hoped.index.memory_bytes() / plain.memory_bytes()
+        savings[name] = saving
+        tput_ratio[name] = hoped_m.ops_per_sec / plain_m.ops_per_sec
+        rows.append(
+            [
+                name,
+                f"{plain_m.ops_per_sec:,.0f}",
+                f"{hoped_m.ops_per_sec:,.0f}",
+                f"{plain.memory_bytes():,}",
+                f"{hoped.index.memory_bytes():,}",
+                f"{saving:.0%}",
+            ]
+        )
+
+    # SuRF (Figures 6.15-6.17).
+    sorted_keys = sorted(keys)
+    plain_surf = surf_base(sorted_keys)
+    hoped_surf = HopeSuRF(sorted_keys, encoder)
+    surf_saving = 1 - hoped_surf.surf.bits_per_key() / plain_surf.bits_per_key()
+    savings["SuRF"] = surf_saving
+    rows.append(
+        [
+            "SuRF (bits/key)",
+            f"{plain_surf.bits_per_key():.1f}",
+            f"{hoped_surf.surf.bits_per_key():.1f}",
+            "-",
+            "-",
+            f"{surf_saving:.0%}",
+        ]
+    )
+    heights = (trie_height(plain_surf), hoped_surf.trie_height())
+
+    # Figure 6.17: FPR at equal suffix bits.
+    stored, absent, _ = point_query_keys(sorted_keys, 0, seed=41)
+    stored = sorted(stored)
+    plain_real = surf_real(stored, real_bits=8)
+    hoped_real = HopeSuRF(stored, encoder, suffix_type="real", real_bits=8)
+    def fpr(lookup):
+        fp = sum(lookup(k) for k in absent)
+        return fp / max(1, len(absent))
+    fprs = (fpr(plain_real.lookup), fpr(hoped_real.lookup))
+    return rows, savings, tput_ratio, heights, fprs
+
+
+def test_fig6_15_to_6_21_hope_trees(benchmark, email_keys_sorted):
+    rows, savings, tput_ratio, heights, fprs = benchmark.pedantic(
+        run_experiment, args=(email_keys_sorted,), rounds=1, iterations=1
+    )
+    rows.append(["SuRF trie height", f"{heights[0]:.1f}", f"{heights[1]:.1f}", "-", "-", "-"])
+    rows.append(["SuRF-Real8 FPR", f"{fprs[0]:.2%}", f"{fprs[1]:.2%}", "-", "-", "-"])
+    report(
+        "fig6_15_to_6_21",
+        "Figures 6.7/6.15-6.21: HOPE on five trees (plain vs HOPE)",
+        ["structure", "plain ops/s|bpk", "HOPE ops/s|bpk", "plain bytes", "HOPE bytes", "saved"],
+        rows,
+    )
+    # Figure 6.7's completeness ordering of memory benefit.
+    assert savings["B+tree"] > savings["Prefix B+tree"] > savings["HOT"] - 0.01
+    assert savings["T-Tree"] > 0.2
+    assert savings["SuRF"] > 0.1
+    assert savings["HOT"] < 0.05  # discriminative bits only
+    # Paper: HOPE makes queries up to 40 % *faster* (a ~100 ns C++
+    # encode is cheaper than the comparisons it saves).  Interpreted
+    # encoding costs microseconds, so the latency win cannot reproduce
+    # here (EXPERIMENTS.md); assert the encode overhead stays bounded.
+    assert tput_ratio["B+tree"] > 0.15
+    # Figure 6.16: the trie gets shorter.
+    assert heights[1] < heights[0]

@@ -1,0 +1,72 @@
+"""Figures 6.9-6.11 — HOPE scheme microbenchmarks: CPR, encode latency,
+dictionary memory, on the three string datasets.
+
+Paper: CPR rises with context (Single-Char < Double-Char < 3-Grams <
+4-Grams <= ALM variants); latency rises the same way (bigger
+dictionaries, longer lookups); Single-Char's dictionary is trivially
+small while Double-Char's 64K-entry array dominates Figure 6.11.
+"""
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.hope import SCHEMES, HopeEncoder
+from repro.workloads import url_keys, wiki_keys
+
+
+def run_experiment(email_keys_sorted):
+    datasets = {
+        "email": list(email_keys_sorted),
+        "wiki": wiki_keys(scaled(5_000), seed=30),
+        "url": url_keys(scaled(5_000), seed=31),
+    }
+    import numpy as np
+
+    rows = []
+    stats = {}
+    rng = np.random.default_rng(33)
+    for ds_name, keys in datasets.items():
+        keys = list(keys)
+        rng.shuffle(keys)  # unbiased sample and test split
+        sample = keys[: max(200, len(keys) // 20)]
+        test = keys[len(keys) // 2 :][: scaled(1_500)]
+        for scheme in SCHEMES:
+            enc = HopeEncoder.from_sample(scheme, sample, dict_limit=1024)
+            cpr = enc.compression_rate(test)
+            m = measure_ops(lambda e=enc: [e.encode(k) for k in test], len(test))
+            mem = enc.memory_bytes()
+            stats[(ds_name, scheme)] = (cpr, m.ops_per_sec, mem)
+            rows.append(
+                [
+                    ds_name,
+                    scheme,
+                    f"{cpr:.2f}",
+                    f"{m.ops_per_sec:,.0f}",
+                    f"{mem:,}",
+                ]
+            )
+    return rows, stats
+
+
+def test_fig6_9_to_6_11_hope_micro(benchmark, email_keys_sorted):
+    rows, stats = benchmark.pedantic(
+        run_experiment, args=(email_keys_sorted,), rounds=1, iterations=1
+    )
+    report(
+        "fig6_9_to_6_11",
+        "Figures 6.9-6.11: HOPE schemes (CPR / encode ops/s / dict bytes)",
+        ["dataset", "scheme", "CPR", "encode ops/s", "dict bytes"],
+        rows,
+    )
+    for ds_name in ("email", "wiki", "url"):
+        # CPR ordering: everything compresses; context helps.
+        for scheme in SCHEMES:
+            assert stats[(ds_name, scheme)][0] > 1.0, (ds_name, scheme)
+        assert (
+            stats[(ds_name, "3grams")][0] > stats[(ds_name, "single")][0]
+        ), ds_name
+        # Single-Char's dictionary is far smaller than Double-Char's.
+        assert stats[(ds_name, "single")][2] * 20 < stats[(ds_name, "double")][2]
+        # Single-Char encodes fastest (O(1) array lookups).
+        single_tput = stats[(ds_name, "single")][1]
+        assert single_tput >= max(
+            stats[(ds_name, s)][1] for s in ("3grams", "4grams", "alm")
+        ) * 0.8, ds_name

@@ -1,0 +1,39 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Every dataset fixture is session-scoped: one build feeds every
+benchmark that consumes it.  Sizes honour ``REPRO_SCALE`` (see
+``repro.bench.harness``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import scaled
+from repro.workloads import email_keys, mono_inc_u64_keys, random_u64_keys
+
+
+@pytest.fixture(scope="session")
+def int_keys():
+    """Sorted 64-bit random integer keys (the paper's default dataset)."""
+    return sorted(random_u64_keys(scaled(20_000), seed=1))
+
+
+@pytest.fixture(scope="session")
+def mono_keys():
+    return mono_inc_u64_keys(scaled(20_000))
+
+
+@pytest.fixture(scope="session")
+def email_keys_sorted():
+    return sorted(email_keys(scaled(10_000), seed=2))
+
+
+@pytest.fixture(scope="session")
+def datasets(int_keys, mono_keys, email_keys_sorted):
+    """The three key types of the Chapter 2/5 microbenchmarks."""
+    return {
+        "rand int": int_keys,
+        "mono-inc int": mono_keys,
+        "email": email_keys_sorted,
+    }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""OLTP under a memory budget: hybrid indexes in a mini H-Store (Ch. 5).
+
+Runs the TPC-C mix on the partitioned engine three times — default
+B+tree indexes, Hybrid B+tree, Hybrid-Compressed B+tree — and reports
+throughput, index memory, and transaction latency percentiles
+(Figures 5.11 and Table 5.1).  Then it reruns with anti-caching under a
+tuple-memory budget to show hybrid indexes keeping more of the working
+set resident (Figures 5.14-5.16).
+
+    python examples/oltp_memory_budget.py
+"""
+
+import functools
+import time
+
+from repro.dbms import HStore, TpccDriver
+from repro.hybrid import hybrid_btree, hybrid_compressed_btree
+
+# DBMS tables are much smaller than the microbenchmark key sets, so the
+# compressed stage runs with a small decompressed-node cache.
+_compressed = functools.partial(hybrid_compressed_btree, cache_nodes=4)
+
+CONFIGS = {
+    "B+tree": (None, None),
+    "Hybrid": (hybrid_btree, hybrid_btree),
+    "Hybrid-Compressed": (_compressed, hybrid_btree),
+}
+
+N_TXNS = 1500
+
+
+def run(primary, secondary, anticache=None):
+    store = HStore(
+        n_partitions=2,
+        primary_factory=primary,
+        secondary_factory=secondary,
+        anticache_threshold_bytes=anticache,
+    )
+    driver = TpccDriver(store, seed=42)
+    driver.load()
+    start = time.perf_counter()
+    for _ in range(N_TXNS):
+        driver.run_one()
+    elapsed = time.perf_counter() - start
+    return store, N_TXNS / elapsed
+
+
+def main() -> None:
+    print("== In-memory TPC-C (Figure 5.11 / Table 5.1) ==")
+    print(f"{'index':<20}{'txn/s':>10}{'index KB':>10}{'p50 ms':>9}"
+          f"{'p99 ms':>9}{'max ms':>9}")
+    for name, (primary, secondary) in CONFIGS.items():
+        store, tput = run(primary, secondary)
+        mem = store.memory_report()
+        lat = store.latency_percentiles()
+        index_kb = (mem["primary"] + mem["secondary"]) / 1024
+        print(f"{name:<20}{tput:>10.0f}{index_kb:>10.1f}"
+              f"{lat['p50'] * 1e3:>9.2f}{lat['p99'] * 1e3:>9.2f}"
+              f"{lat['max'] * 1e3:>9.2f}")
+
+    print("\n== Larger-than-memory TPC-C (anti-caching, Figure 5.14) ==")
+    print("(eviction threshold applies to tuples + indexes: smaller")
+    print(" indexes keep more hot tuples resident)")
+    print(f"{'index':<20}{'txn/s':>10}{'evictions':>10}{'disk fetches':>13}")
+    for name, (primary, secondary) in CONFIGS.items():
+        store, tput = run(primary, secondary, anticache=220_000)
+        evictions = sum(p.anticache.evictions for p in store.partitions)
+        fetches = sum(p.anticache.fetches for p in store.partitions)
+        print(f"{name:<20}{tput:>10.0f}{evictions:>10}{fetches:>13}")
+    print("\nShape check: hybrid indexes trade a little throughput (and MAX"
+          "\nlatency, from blocking merges) for a much smaller index footprint.")
+
+
+if __name__ == "__main__":
+    main()

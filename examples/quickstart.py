@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: a tour of the library's five building blocks.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro.compact import CompactBPlusTree
+from repro.core import FST, HopeEncoder, hybrid_btree, surf_real
+from repro.trees import BPlusTree
+from repro.workloads import email_keys
+
+
+def main() -> None:
+    keys = sorted(email_keys(5000, seed=1))
+    pairs = [(k, i) for i, k in enumerate(keys)]
+
+    # 1. Dynamic-to-Static rules (Chapter 2): same data, less memory.
+    dynamic = BPlusTree()
+    for k, v in pairs:
+        dynamic.insert(k, v)
+    compact = CompactBPlusTree(pairs)
+    saving = 1 - compact.memory_bytes() / dynamic.memory_bytes()
+    print(f"[D-to-S]  B+tree {dynamic.memory_bytes():,} B -> "
+          f"Compact {compact.memory_bytes():,} B  ({saving:.0%} saved)")
+
+    # 2. Fast Succinct Trie (Chapter 3): near the information-theoretic
+    #    lower bound, still a full point/range index.
+    fst = FST(keys, list(range(len(keys))))
+    print(f"[FST]     {fst.bits_per_node():.1f} bits/node, "
+          f"{fst.memory_bytes():,} B total; "
+          f"get({keys[42]!r}) = {fst.get(keys[42])}")
+    first_scan = list(fst.lower_bound(b"com.gmail@"))[:3]
+    print(f"[FST]     first 3 keys >= com.gmail@: {[k for k, _ in first_scan]}")
+
+    # 3. SuRF (Chapter 4): approximate point AND range membership.
+    surf = surf_real(keys, real_bits=8)
+    print(f"[SuRF]    {surf.bits_per_key():.1f} bits/key; "
+          f"lookup(stored) = {surf.lookup(keys[0])}, "
+          f"lookup(absent) = {surf.lookup(b'zz.nope@nobody')}")
+    print(f"[SuRF]    range [org., org.z) may contain keys: "
+          f"{surf.lookup_range(b'org.', b'org.z')}")
+
+    # 4. Hybrid Index (Chapter 5): dynamic operations over compact bulk.
+    hybrid = hybrid_btree()
+    for k, v in pairs:
+        hybrid.insert(k, v)
+    print(f"[Hybrid]  {len(hybrid):,} keys, {hybrid.merge_count} merges, "
+          f"dynamic stage holds {len(hybrid.dynamic)} entries, "
+          f"{hybrid.memory_bytes():,} B "
+          f"(vs {dynamic.memory_bytes():,} B dynamic B+tree)")
+
+    # 5. HOPE (Chapter 6): order-preserving key compression.
+    encoder = HopeEncoder.from_sample("3grams", keys[:500], dict_limit=1024)
+    cpr = encoder.compression_rate(keys)
+    a, b = encoder.encode(keys[10]), encoder.encode(keys[11])
+    print(f"[HOPE]    3-Grams CPR = {cpr:.2f}x; order preserved: "
+          f"encode(k10) < encode(k11) = {a < b}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Time-series range filtering: the RocksDB scenario (Section 4.4).
+
+Simulated sensors write Poisson event streams into an LSM-tree store.
+Closed-Seek queries ("did anything happen between t1 and t2?") must
+normally fetch a block from every level; per-SSTable SuRF filters
+answer most empty ranges from memory.  The script compares I/O per
+query for no filter vs Bloom vs SuRF-Real, the paper's headline
+RocksDB result.
+
+    python examples/time_series_range_filtering.py
+"""
+
+from repro.filters import BloomFilter
+from repro.lsm import LSMTree
+from repro.surf import surf_real
+from repro.workloads.sensors import (
+    closed_seek_range_ns,
+    generate_sensor_events,
+    make_key,
+)
+
+import numpy as np
+
+FILTERS = {
+    "no filter": None,
+    "Bloom (14 bpk)": lambda keys: BloomFilter(keys, bits_per_key=14),
+    "SuRF-Real (4-bit)": lambda keys: surf_real(sorted(keys), real_bits=4),
+}
+
+
+def build_store(filter_factory):
+    store = LSMTree(
+        memtable_entries=256,
+        sstable_entries=1024,
+        level0_limit=2,
+        block_cache_blocks=16,
+        filter_factory=filter_factory,
+    )
+    dataset = generate_sensor_events(n_sensors=32, events_per_sensor=100)
+    for key in dataset.keys:
+        store.put(key, b"reading")
+    store.flush_memtable()
+    return store, dataset
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    print(f"{'filter':<20}{'point I/O/op':>14}{'seek I/O/op':>14}{'filter mem':>12}")
+    for name, factory in FILTERS.items():
+        store, dataset = build_store(factory)
+        range_ns = closed_seek_range_ns(dataset, empty_fraction=0.9)
+
+        # Point queries for absent keys (worst case for point filters).
+        store.io.reset()
+        n = 300
+        for _ in range(n):
+            ts = int(rng.integers(0, dataset.duration_ns))
+            store.get(make_key(ts, 9999))
+        point_io = store.io.block_reads / n
+
+        # Closed-Seek queries, ~90 % of which are empty.
+        store.io.reset()
+        for _ in range(n):
+            ts = int(rng.integers(0, dataset.duration_ns))
+            store.seek(make_key(ts, 0), make_key(ts + range_ns, 0))
+        seek_io = store.io.block_reads / n
+
+        print(f"{name:<20}{point_io:>14.3f}{seek_io:>14.3f}"
+              f"{store.filter_memory_bytes():>11,}B")
+    print("\nShape check (paper Figs 4.8/4.9): filters kill point-query I/O;"
+          "\nonly SuRF also kills empty-range I/O — Bloom cannot help Seeks.")
+
+
+if __name__ == "__main__":
+    main()

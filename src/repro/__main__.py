@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``demo``         — a 10-second tour of the five building blocks;
+* ``experiments``  — list every paper table/figure and its bench target;
+* ``bench <id>``   — run one reproduction bench (wraps pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+EXPERIMENTS = {
+    "table1_1": "bench_table1_1_index_overhead.py",
+    "fig2_5": "bench_fig2_5_dts_rules.py",
+    "table2_2": "bench_table2_2_profiling.py",
+    "fig3_4": "bench_fig3_4_fst_vs_pointer.py",
+    "fig3_5": "bench_fig3_5_fst_vs_succinct.py",
+    "fig3_6": "bench_fig3_6_breakdown.py",
+    "fig3_7": "bench_fig3_7_dense_sparse_tradeoff.py",
+    "fig4_4": "bench_fig4_4_fpr.py",
+    "fig4_5": "bench_fig4_5_performance.py",
+    "fig4_6": "bench_fig4_6_build_time.py",
+    "fig4_7": "bench_fig4_7_scalability.py",
+    "table4_1": "bench_table4_1_arf_vs_surf.py",
+    "fig4_8": "bench_fig4_8_rocksdb_point_openseek.py",
+    "fig4_9": "bench_fig4_9_rocksdb_closedseek.py",
+    "fig4_11": "bench_fig4_11_worst_case.py",
+    "fig5_3": "bench_fig5_3_to_5_6_hybrid.py",
+    "fig5_7": "bench_fig5_7_merge_ratio.py",
+    "fig5_8": "bench_fig5_8_merge_overhead.py",
+    "fig5_9": "bench_fig5_9_auxiliary.py",
+    "fig5_10": "bench_fig5_10_secondary.py",
+    "fig5_11": "bench_fig5_11_to_5_13_hstore.py",
+    "fig5_14": "bench_fig5_14_to_5_16_anticache.py",
+    "fig6_8": "bench_fig6_8_sample_size.py",
+    "fig6_9": "bench_fig6_9_to_6_11_hope_micro.py",
+    "fig6_12": "bench_fig6_12_build_time.py",
+    "fig6_13": "bench_fig6_13_batch.py",
+    "fig6_14": "bench_fig6_14_distribution_change.py",
+    "fig6_15": "bench_fig6_15_to_6_21_hope_trees.py",
+    "ablation": "bench_ablation_merge_strategy.py",
+}
+
+
+def _demo() -> int:
+    from repro.core import FST, HopeEncoder, hybrid_btree, surf_real
+    from repro.workloads import email_keys
+
+    keys = sorted(email_keys(2000, seed=1))
+    fst = FST(keys, list(range(len(keys))))
+    print(f"FST       : {len(keys):,} keys at {fst.bits_per_node():.1f} bits/node "
+          f"({fst.memory_bytes():,} B)")
+    surf = surf_real(keys, real_bits=8)
+    print(f"SuRF      : {surf.bits_per_key():.1f} bits/key; "
+          f"range [zz, {{) may contain keys: {surf.lookup_range(b'zz', b'{{')}")
+    index = hybrid_btree()
+    for i, k in enumerate(keys):
+        index.insert(k, i)
+    print(f"Hybrid    : {len(index):,} keys, {index.merge_count} merges, "
+          f"{index.memory_bytes():,} B")
+    enc = HopeEncoder.from_sample("3grams", keys[:400], dict_limit=1024)
+    print(f"HOPE      : 3-Grams CPR {enc.compression_rate(keys):.2f}x, "
+          f"dict {enc.dict_size():,} entries")
+    print("\nRun `python -m repro experiments` for the full reproduction index.")
+    return 0
+
+
+def _experiments() -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for exp_id, filename in EXPERIMENTS.items():
+        print(f"{exp_id.ljust(width)}  benchmarks/{filename}")
+    return 0
+
+
+def _bench(exp_id: str) -> int:
+    if exp_id not in EXPERIMENTS:
+        print(f"unknown experiment {exp_id!r}; run `python -m repro experiments`",
+              file=sys.stderr)
+        return 2
+    root = Path(__file__).resolve().parents[2]
+    target = root / "benchmarks" / EXPERIMENTS[exp_id]
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", str(target), "--benchmark-only", "-q", "-s"]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Memory-efficient search trees: paper reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="10-second tour of the building blocks")
+    sub.add_parser("experiments", help="list paper experiments and bench targets")
+    bench = sub.add_parser("bench", help="run one reproduction bench")
+    bench.add_argument("experiment", help="experiment id, e.g. fig4_9")
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _demo()
+        if args.command == "experiments":
+            return _experiments()
+        if args.command == "bench":
+            return _bench(args.experiment)
+    except BrokenPipeError:  # e.g. `python -m repro experiments | head`
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

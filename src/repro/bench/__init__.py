@@ -1,0 +1,5 @@
+"""Measurement utilities: access-model profiling, memory accounting, harness."""
+
+from .counters import COUNTERS, AccessProfile, CACHE_LINE_BYTES
+
+__all__ = ["COUNTERS", "AccessProfile", "CACHE_LINE_BYTES"]

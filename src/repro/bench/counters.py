@@ -1,0 +1,88 @@
+"""Deterministic access-model profiling (substitute for PAPI, Table 2.2).
+
+The thesis uses hardware counters (instructions, IPC, L1/L2 misses) to
+show that tries touch far fewer cache lines per point query than
+comparison-based trees.  Hardware counters are meaningless under an
+interpreter, so the index implementations instead report their memory
+access behaviour to this module:
+
+* ``node_visit``  — one node dereference; contributes pointer chases and
+  ``ceil(node_bytes_touched / 64)`` cache-line touches;
+* ``key_compares``— number of key comparisons performed at the node.
+
+The resulting counts measure exactly the structural property Table 2.2
+demonstrates (B+tree/Masstree/Skip List chase long pointer paths and
+touch many lines; ART touches few), independent of wall-clock noise.
+
+Profiling is off by default and costs one attribute check per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CACHE_LINE_BYTES = 64
+
+
+@dataclass
+class AccessProfile:
+    """Aggregated access-model counters for a measured region."""
+
+    node_visits: int = 0
+    pointer_derefs: int = 0
+    cache_lines: int = 0
+    compares: int = 0
+
+    def merged(self, other: "AccessProfile") -> "AccessProfile":
+        return AccessProfile(
+            self.node_visits + other.node_visits,
+            self.pointer_derefs + other.pointer_derefs,
+            self.cache_lines + other.cache_lines,
+            self.compares + other.compares,
+        )
+
+
+class _Counters:
+    """Process-global profiler; use via the COUNTERS singleton."""
+
+    __slots__ = ("enabled", "profile")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.profile = AccessProfile()
+
+    def reset(self) -> None:
+        self.profile = AccessProfile()
+
+    def start(self) -> None:
+        self.reset()
+        self.enabled = True
+
+    def stop(self) -> AccessProfile:
+        self.enabled = False
+        return self.profile
+
+    def node_visit(self, node_bytes: int, lines_touched: int | None = None) -> None:
+        """Record dereferencing one node of ``node_bytes`` bytes.
+
+        ``lines_touched`` overrides the pessimistic whole-node estimate
+        for structures that only touch part of a node (e.g. ART Node256
+        reads one slot; binary search in a B+tree node touches
+        ~log2(slots) lines).
+        """
+        if not self.enabled:
+            return
+        p = self.profile
+        p.node_visits += 1
+        p.pointer_derefs += 1
+        if lines_touched is None:
+            lines_touched = (node_bytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES
+        p.cache_lines += lines_touched
+
+    def key_compares(self, count: int) -> None:
+        if not self.enabled:
+            return
+        self.profile.compares += count
+
+
+COUNTERS = _Counters()

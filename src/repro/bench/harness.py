@@ -1,0 +1,103 @@
+"""Shared benchmark harness: scaling, timing, and table output.
+
+Every benchmark reads ``REPRO_SCALE`` (``small`` by default, ``medium``
+for 10x) so the whole suite stays CI-friendly while remaining
+proportional to the paper's workloads.  Results are printed as aligned
+tables mirroring the paper's figures and also appended to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+#: Scale factors relative to the `small` baseline.
+SCALES = {"small": 1, "medium": 10}
+
+
+def scale_factor() -> int:
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise KeyError(f"REPRO_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def scaled(n: int) -> int:
+    """Scale a `small` workload size by the configured factor."""
+    return n * scale_factor()
+
+
+@dataclass
+class Measurement:
+    """One measured cell: operations per second plus metadata."""
+
+    ops_per_sec: float
+    seconds: float
+    n_ops: int
+
+
+def measure_ops(fn: Callable[[], Any], n_ops: int, repeats: int = 3) -> Measurement:
+    """Time ``fn``, attributing ``n_ops`` operations to the best of
+    ``repeats`` runs (best-of-N suppresses scheduler noise, which
+    matters for the shape assertions on small scaled workloads)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return Measurement(n_ops / best if best > 0 else float("inf"), best, n_ops)
+
+
+def equi_cost(ops_per_sec: float, memory_bytes: int) -> float:
+    """The paper's balanced cost function C = P * S (Section 3.7.1),
+    with P as latency (1/throughput): lower is better."""
+    latency = 1.0 / ops_per_sec if ops_per_sec else float("inf")
+    return latency * memory_bytes
+
+
+# -- output ------------------------------------------------------------------
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int) and abs(cell) >= 10000:
+        return f"{cell:,}"
+    return str(cell)
+
+
+def report(name: str, title: str, headers: Sequence[str], rows) -> str:
+    """Print a paper-shaped table and persist it under benchmarks/results."""
+    text = format_table(title, headers, rows)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

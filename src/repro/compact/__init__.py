@@ -1,0 +1,22 @@
+"""Dynamic-to-Static compact structures (Chapter 2).
+
+The result of applying the Compaction + Structural Reduction rules to
+the four dynamic trees, plus the (optional) Compression rule applied to
+the B+tree, and the CLOCK node cache both of those share.
+"""
+
+from .compact_btree import CompactBPlusTree
+from .compact_skiplist import CompactSkipList
+from .compact_art import CompactART
+from .compact_masstree import CompactMasstree
+from .compressed_btree import CompressedBPlusTree
+from .node_cache import ClockNodeCache
+
+__all__ = [
+    "CompactBPlusTree",
+    "CompactSkipList",
+    "CompactART",
+    "CompactMasstree",
+    "CompressedBPlusTree",
+    "ClockNodeCache",
+]

@@ -1,0 +1,21 @@
+"""Compact Skip List: the D-to-S Rules applied to the paged skip list.
+
+After Compaction (pages 100 % full) and Structural Reduction (lateral
+and down pointers removed, pages stored contiguously per level), the
+paged-deterministic skip list converges to the same shape as the
+Compact B+tree — a packed data array plus calculated express-lane
+levels (Figure 2.3 draws exactly this convergence).  We therefore share
+the implementation and keep the distinct type for reporting.
+"""
+
+from __future__ import annotations
+
+from .compact_btree import CompactBPlusTree
+from ..trees.skiplist import DEFAULT_PAGE_SLOTS
+
+
+class CompactSkipList(CompactBPlusTree):
+    """Static, fully-packed skip list with calculated lane positions."""
+
+    def __init__(self, pairs, page_slots: int = DEFAULT_PAGE_SLOTS) -> None:
+        super().__init__(pairs, node_slots=page_slots)

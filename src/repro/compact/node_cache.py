@@ -1,0 +1,69 @@
+"""A CLOCK-replacement node cache (Section 2.4).
+
+Compressed structures keep a small cache of recently decompressed
+nodes; the thesis approximates LRU with the CLOCK algorithm.  The same
+cache fronts the static stage of a hybrid index (Figure 5.9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+
+class ClockNodeCache:
+    """Fixed-capacity cache with second-chance (CLOCK) eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._slots: list[Hashable | None] = [None] * capacity
+        self._ref: list[bool] = [False] * capacity
+        self._values: dict[Hashable, tuple[int, Any]] = {}  # key -> (slot, value)
+        self._hand = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
+        """Return the cached value, invoking ``loader`` on a miss."""
+        hit = self._values.get(key)
+        if hit is not None:
+            slot, value = hit
+            self._ref[slot] = True
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = loader()
+        self._install(key, value)
+        return value
+
+    def _install(self, key: Hashable, value: Any) -> None:
+        # Advance the clock hand until a slot with a clear ref bit.
+        while True:
+            if self._slots[self._hand] is None:
+                break
+            if not self._ref[self._hand]:
+                break
+            self._ref[self._hand] = False
+            self._hand = (self._hand + 1) % self.capacity
+        victim = self._slots[self._hand]
+        if victim is not None:
+            del self._values[victim]
+        self._slots[self._hand] = key
+        # Install cold (ref bit clear): an entry earns its second chance
+        # on its first cache hit, so one-shot nodes evict first.
+        self._ref[self._hand] = False
+        self._values[key] = (self._hand, value)
+        self._hand = (self._hand + 1) % self.capacity
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._slots = [None] * self.capacity
+        self._ref = [False] * self.capacity
+        self._values.clear()
+        self._hand = 0

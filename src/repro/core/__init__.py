@@ -1,0 +1,52 @@
+"""The paper's primary contributions, re-exported as one namespace.
+
+* :class:`~repro.fst.FST` — the Fast Succinct Trie (Chapter 3)
+* :class:`~repro.surf.SuRF` — the Succinct Range Filter (Chapter 4)
+* :class:`~repro.hybrid.HybridIndex` — the dual-stage index (Chapter 5)
+* :class:`~repro.hope.HopeEncoder` — order-preserving key compression
+  (Chapter 6)
+* The Dynamic-to-Static compact structures (Chapter 2) live in
+  :mod:`repro.compact`.
+"""
+
+from ..compact import (
+    CompactART,
+    CompactBPlusTree,
+    CompactMasstree,
+    CompactSkipList,
+    CompressedBPlusTree,
+)
+from ..fst import FST
+from ..hope import HopeEncoder, HopeIndex, HopeSuRF
+from ..hybrid import (
+    HybridIndex,
+    hybrid_art,
+    hybrid_btree,
+    hybrid_compressed_btree,
+    hybrid_masstree,
+    hybrid_skiplist,
+)
+from ..surf import SuRF, surf_base, surf_hash, surf_mixed, surf_real
+
+__all__ = [
+    "FST",
+    "SuRF",
+    "surf_base",
+    "surf_hash",
+    "surf_real",
+    "surf_mixed",
+    "HybridIndex",
+    "hybrid_btree",
+    "hybrid_skiplist",
+    "hybrid_art",
+    "hybrid_masstree",
+    "hybrid_compressed_btree",
+    "HopeEncoder",
+    "HopeIndex",
+    "HopeSuRF",
+    "CompactBPlusTree",
+    "CompactSkipList",
+    "CompactART",
+    "CompactMasstree",
+    "CompressedBPlusTree",
+]

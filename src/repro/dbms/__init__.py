@@ -1,0 +1,20 @@
+"""Miniature H-Store OLTP engine with anti-caching (Chapter 5 substrate)."""
+
+from .anticache import AntiCacheManager, EvictedTupleAccess
+from .engine import HStore, Partition
+from .procedures import ArticlesDriver, DRIVERS, TpccDriver, VoterDriver
+from .storage import Table, encode_key, tuple_bytes
+
+__all__ = [
+    "HStore",
+    "Partition",
+    "Table",
+    "encode_key",
+    "tuple_bytes",
+    "AntiCacheManager",
+    "EvictedTupleAccess",
+    "TpccDriver",
+    "VoterDriver",
+    "ArticlesDriver",
+    "DRIVERS",
+]

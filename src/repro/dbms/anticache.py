@@ -1,0 +1,96 @@
+"""Anti-caching: larger-than-memory execution (Section 5.4.1).
+
+When a partition's tuple memory exceeds the eviction threshold, the
+anti-cache manager constructs blocks of the coldest tuples and writes
+them out to disk, leaving in-memory tombstones.  A transaction touching
+an evicted tuple aborts, the tuple is fetched asynchronously, and the
+transaction restarts (we charge the abort + fetch, then retry
+synchronously).  Indexes always stay in memory — which is exactly why
+hybrid indexes extend how long the DBMS sustains throughput
+(Figures 5.14-5.16).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+
+class EvictedTupleAccess(Exception):
+    """Raised when a transaction touches an evicted tuple."""
+
+    def __init__(self, table: str, rowid: int) -> None:
+        super().__init__(f"evicted tuple {table}:{rowid}")
+        self.table = table
+        self.rowid = rowid
+
+
+class AntiCacheManager:
+    """Tracks tuple heat, evicts cold blocks, services un-evictions."""
+
+    def __init__(self, eviction_block_bytes: int = 1 << 16) -> None:
+        self.eviction_block_bytes = eviction_block_bytes
+        #: LRU order of (table, rowid); most recently used at the end.
+        self._heat: OrderedDict[tuple[str, int], int] = OrderedDict()
+        #: Evicted tuples on "disk": (table, rowid) -> (row, size).
+        self._disk: dict[tuple[str, int], tuple[Any, int]] = {}
+        self.evicted_bytes = 0
+        self.evictions = 0
+        self.fetches = 0
+        self.aborts = 0
+
+    def touch(self, table: str, rowid: int, size: int) -> None:
+        key = (table, rowid)
+        self._heat[key] = size
+        self._heat.move_to_end(key)
+
+    def forget(self, table: str, rowid: int) -> None:
+        self._heat.pop((table, rowid), None)
+
+    def is_evicted(self, table: str, rowid: int) -> bool:
+        return (table, rowid) in self._disk
+
+    def evict_block(self, victims_source, fallback=None) -> int:
+        """Evict the coldest tuples totalling one block.
+
+        ``victims_source(table, rowid)`` returns and removes the live
+        row (or None if it vanished).  ``fallback`` optionally yields
+        ``(table, rowid, size)`` for never-accessed rows once the heat
+        LRU is drained (fresh inserts are eviction candidates too).
+        Returns bytes evicted.
+        """
+        evicted = 0
+        while evicted < self.eviction_block_bytes and self._heat:
+            (table, rowid), size = next(iter(self._heat.items()))
+            del self._heat[(table, rowid)]
+            row = victims_source(table, rowid)
+            if row is None:
+                continue
+            self._disk[(table, rowid)] = (row, size)
+            self.evicted_bytes += size
+            evicted += size
+        if fallback is not None:
+            for table, rowid, size in fallback:
+                if evicted >= self.eviction_block_bytes:
+                    break
+                if (table, rowid) in self._disk:
+                    continue
+                row = victims_source(table, rowid)
+                if row is None:
+                    continue
+                self._disk[(table, rowid)] = (row, size)
+                self.evicted_bytes += size
+                evicted += size
+        self.evictions += 1
+        return evicted
+
+    def fetch(self, table: str, rowid: int) -> Any:
+        """Un-evict a tuple (counts the disk fetch)."""
+        row, size = self._disk.pop((table, rowid))
+        self.evicted_bytes -= size
+        self.fetches += 1
+        self.touch(table, rowid, size)
+        return row
+
+    def record_abort(self) -> None:
+        self.aborts += 1

@@ -1,0 +1,197 @@
+"""A miniature H-Store: partitioned serial execution engine (Section 5.4).
+
+H-Store executes pre-defined stored procedures serially per partition —
+no locking, no buffer pool.  This engine reproduces the properties the
+thesis measures: per-transaction latency (so hybrid-index merge pauses
+show up in MAX latency, Table 5.1), tuple-vs-index memory breakdowns
+(Table 1.1), and anti-caching behaviour when the database outgrows
+memory (Figures 5.14-5.16).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+from .anticache import AntiCacheManager, EvictedTupleAccess
+from .storage import IndexFactory, Table
+
+
+class Partition:
+    """One single-threaded execution site with its table shards."""
+
+    def __init__(
+        self,
+        primary_factory: IndexFactory,
+        secondary_factory: IndexFactory | None,
+    ) -> None:
+        self.tables: dict[str, Table] = {}
+        self._primary_factory = primary_factory
+        self._secondary_factory = secondary_factory
+        self.anticache: AntiCacheManager | None = None
+
+    def create_table(self, name: str, key_widths=None) -> Table:
+        table = Table(
+            name, self._primary_factory, self._secondary_factory, key_widths=key_widths
+        )
+        self.tables[name] = table
+        return table
+
+    # -- tuple access with anti-caching hooks -------------------------------------
+
+    def get_row(self, table_name: str, key) -> tuple | None:
+        table = self.tables[table_name]
+        rowid = table.primary.get(table._pk(key))
+        if rowid is None:
+            return None
+        return self._load(table, rowid)
+
+    def _load(self, table: Table, rowid: int) -> tuple | None:
+        ac = self.anticache
+        if ac is not None and ac.is_evicted(table.name, rowid):
+            raise EvictedTupleAccess(table.name, rowid)
+        row = table.rows.get(rowid)
+        if row is not None and ac is not None:
+            from .storage import tuple_bytes
+
+            ac.touch(table.name, rowid, tuple_bytes(row))
+        return row
+
+    def memory_report(self) -> dict[str, int]:
+        report = {"tuples": 0, "primary": 0, "secondary": 0}
+        for table in self.tables.values():
+            sub = table.memory_report()
+            for k in report:
+                report[k] += sub[k]
+        if self.anticache is not None:
+            report["tuples"] -= self.anticache.evicted_bytes
+        return report
+
+
+class HStore:
+    """Partitioned in-memory OLTP engine running stored procedures."""
+
+    def __init__(
+        self,
+        n_partitions: int = 4,
+        primary_factory: IndexFactory = None,
+        secondary_factory: IndexFactory | None = None,
+        anticache_threshold_bytes: int | None = None,
+        anticache_block_bytes: int = 1 << 14,
+    ) -> None:
+        from ..trees import BPlusTree
+
+        primary_factory = primary_factory or BPlusTree
+        self.partitions = [
+            Partition(primary_factory, secondary_factory)
+            for _ in range(n_partitions)
+        ]
+        self.anticache_threshold = anticache_threshold_bytes
+        if anticache_threshold_bytes is not None:
+            for part in self.partitions:
+                part.anticache = AntiCacheManager(anticache_block_bytes)
+        self.procedures: dict[str, Callable] = {}
+        self.txn_count = 0
+        self.restart_count = 0
+        self.latencies: list[float] = []
+        # Index memory is recomputed every few transactions (walking
+        # every index per txn would dominate the runtime).
+        self._index_mem_cache: dict[int, int] = {}
+        self._memcheck_interval = 32
+
+    # -- schema -------------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        secondary_indexes: dict[str, tuple[int, ...]] | None = None,
+        key_widths=None,
+    ) -> None:
+        for part in self.partitions:
+            table = part.create_table(name, key_widths=key_widths)
+            for index_name, columns in (secondary_indexes or {}).items():
+                table.add_secondary_index(index_name, columns)
+
+    def register_procedure(self, name: str, fn: Callable) -> None:
+        """``fn(partition, *args)`` runs serially on one partition."""
+        self.procedures[name] = fn
+
+    def partition_for(self, routing_key: int) -> Partition:
+        return self.partitions[routing_key % len(self.partitions)]
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(self, proc_name: str, routing_key: int, *args) -> Any:
+        """Run one transaction; restarts on evicted-tuple aborts."""
+        part = self.partition_for(routing_key)
+        fn = self.procedures[proc_name]
+        started = time.perf_counter()
+        while True:
+            try:
+                result = fn(part, *args)
+                break
+            except EvictedTupleAccess as exc:
+                part.anticache.record_abort()
+                self.restart_count += 1
+                # Fetch the tuple back into memory, then restart.
+                table = part.tables[exc.table]
+                row = part.anticache.fetch(exc.table, exc.rowid)
+                table.rows[exc.rowid] = row
+        self.latencies.append(time.perf_counter() - started)
+        self.txn_count += 1
+        self._maybe_evict(part)
+        return result
+
+    def _maybe_evict(self, part: Partition) -> None:
+        if part.anticache is None:
+            return
+
+        def victim_source(table_name: str, rowid: int):
+            table = part.tables[table_name]
+            row = table.rows.get(rowid)
+            if row is not None:
+                # The row stays indexed; its payload moves to disk.
+                del table.rows[rowid]
+            return row
+
+        def cold_rows():
+            from .storage import tuple_bytes
+
+            for table in part.tables.values():
+                for rowid, row in list(table.rows.items()):
+                    yield table.name, rowid, tuple_bytes(row)
+
+        # H-Store's eviction manager triggers on the *total* memory the
+        # DBMS uses — indexes included.  Only tuples can be evicted, so
+        # smaller indexes leave more room for hot tuples (the
+        # Figure 5.14-5.16 effect).
+        part_id = id(part)
+        if self.txn_count % self._memcheck_interval == 0 or part_id not in self._index_mem_cache:
+            report = part.memory_report()
+            self._index_mem_cache[part_id] = report["primary"] + report["secondary"]
+        index_mem = self._index_mem_cache[part_id]
+        while part.memory_report()["tuples"] + index_mem > self.anticache_threshold:
+            if part.anticache.evict_block(victim_source, fallback=cold_rows()) == 0:
+                break
+
+    # -- statistics -----------------------------------------------------------------------
+
+    def memory_report(self) -> dict[str, int]:
+        report = {"tuples": 0, "primary": 0, "secondary": 0}
+        for part in self.partitions:
+            sub = part.memory_report()
+            for k in report:
+                report[k] += sub[k]
+        report["total"] = sum(report.values())
+        return report
+
+    def latency_percentiles(self) -> dict[str, float]:
+        if not self.latencies:
+            return {"p50": 0.0, "p99": 0.0, "max": 0.0}
+        ordered = sorted(self.latencies)
+        n = len(ordered)
+        return {
+            "p50": ordered[n // 2],
+            "p99": ordered[min(n - 1, int(n * 0.99))],
+            "max": ordered[-1],
+        }

@@ -1,0 +1,240 @@
+"""The three OLTP benchmarks of the H-Store evaluation (Section 5.4.2).
+
+* **TPC-C** — warehouse-centric order processing; ~88 % of transactions
+  modify the database.  We implement the NewOrder / Payment /
+  OrderStatus mix with the standard schema and index set.
+* **Voter** — short phone-vote transactions updating a small number of
+  records, stressing insert throughput.
+* **Articles** — a news site (articles, comments, users) with reads via
+  both primary and secondary indexes.
+
+Each benchmark returns a driver that loads the scaled-down database and
+generates transactions deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .engine import HStore
+
+
+# ---------------------------------------------------------------- TPC-C --
+
+
+def _new_order(part, w_id, d_id, c_id, item_ids, order_id):
+    district = part.get_row("DISTRICT", (w_id, d_id))
+    part.tables["DISTRICT"].update((w_id, d_id), district[:2] + (district[2] + 1,))
+    part.tables["ORDERS"].insert((w_id, d_id, order_id), (w_id, d_id, order_id, c_id, len(item_ids)))
+    part.tables["NEW_ORDER"].insert((w_id, d_id, order_id), (w_id, d_id, order_id))
+    total = 0.0
+    for line, item_id in enumerate(item_ids):
+        item = part.get_row("ITEM", item_id)
+        stock = part.get_row("STOCK", (w_id, item_id))
+        qty = stock[2] - 1 if stock[2] > 10 else stock[2] + 91
+        part.tables["STOCK"].update((w_id, item_id), (w_id, item_id, qty))
+        total += item[2]
+        part.tables["ORDER_LINE"].insert(
+            (w_id, d_id, order_id, line), (w_id, d_id, order_id, line, item_id, 1, item[2])
+        )
+    return total
+
+
+def _payment(part, w_id, d_id, c_id, amount, history_id):
+    warehouse = part.get_row("WAREHOUSE", w_id)
+    part.tables["WAREHOUSE"].update(w_id, (w_id, warehouse[1] + amount))
+    customer = part.get_row("CUSTOMER", (w_id, d_id, c_id))
+    part.tables["CUSTOMER"].update(
+        (w_id, d_id, c_id), customer[:3] + (customer[3] + amount,) + customer[4:]
+    )
+    part.tables["HISTORY"].insert(history_id, (history_id, w_id, d_id, c_id, amount))
+
+
+def _order_status(part, w_id, d_id, c_id):
+    customer = part.get_row("CUSTOMER", (w_id, d_id, c_id))
+    orders = part.tables["ORDERS"].lookup_secondary("by_customer", (w_id, d_id, c_id))
+    return customer, len(orders)
+
+
+class TpccDriver:
+    """Scaled-down TPC-C generator (Section 5.4.2)."""
+
+    def __init__(
+        self,
+        store: HStore,
+        n_warehouses: int = 2,
+        n_items: int = 200,
+        customers_per_district: int = 30,
+        districts: int = 4,
+        seed: int = 7,
+    ) -> None:
+        self.store = store
+        self.n_warehouses = n_warehouses
+        self.n_items = n_items
+        self.districts = districts
+        self.customers = customers_per_district
+        self.rng = np.random.default_rng(seed)
+        self._order_seq = 1000
+        self._history_seq = 0
+
+    def load(self) -> None:
+        s = self.store
+        # Composite integer keys pack into 8 bytes (H-Store style).
+        s.create_table("WAREHOUSE", key_widths=(8,))
+        s.create_table("DISTRICT", key_widths=(4, 4))
+        s.create_table("CUSTOMER", secondary_indexes={"by_name": (4,)}, key_widths=(3, 2, 3))
+        s.create_table("ITEM", key_widths=(8,))
+        s.create_table("STOCK", key_widths=(4, 4))
+        s.create_table("ORDERS", secondary_indexes={"by_customer": (0, 1, 3)}, key_widths=(2, 2, 4))
+        s.create_table("NEW_ORDER", key_widths=(2, 2, 4))
+        s.create_table("ORDER_LINE", key_widths=(2, 1, 4, 1))
+        s.create_table("HISTORY", key_widths=(8,))
+        s.register_procedure("new_order", _new_order)
+        s.register_procedure("payment", _payment)
+        s.register_procedure("order_status", _order_status)
+        names = ["BARBARBAR", "OUGHTPRES", "ABLEABLE", "PRIPRICAL", "ESEESEESE"]
+        for w in range(self.n_warehouses):
+            part = self.store.partition_for(w)
+            part.tables["WAREHOUSE"].insert(w, (w, 0.0))
+            for d in range(self.districts):
+                part.tables["DISTRICT"].insert((w, d), (w, d, self._order_seq))
+                for c in range(self.customers):
+                    part.tables["CUSTOMER"].insert(
+                        (w, d, c),
+                        (w, d, c, 0.0, names[c % len(names)], f"data-{w}-{d}-{c}" * 3),
+                    )
+            for i in range(self.n_items):
+                part.tables["ITEM"].insert(i, (i, f"item-{i}", float(i % 100) + 1.0))
+                part.tables["STOCK"].insert((w, i), (w, i, 100))
+
+    def run_one(self) -> None:
+        rng = self.rng
+        w = int(rng.integers(self.n_warehouses))
+        d = int(rng.integers(self.districts))
+        c = int(rng.integers(self.customers))
+        dice = rng.random()
+        if dice < 0.45:
+            items = list(rng.integers(0, self.n_items, size=int(rng.integers(5, 11))))
+            self._order_seq += 1
+            self.store.execute("new_order", w, w, d, c, [int(i) for i in items], self._order_seq)
+        elif dice < 0.88:
+            self._history_seq += 1
+            amount = float(rng.integers(1, 5000)) / 100.0
+            self.store.execute("payment", w, w, d, c, amount, self._history_seq)
+        else:
+            self.store.execute("order_status", w, w, d, c)
+
+
+# ---------------------------------------------------------------- Voter --
+
+
+def _vote(part, vote_id, phone, contestant, max_votes):
+    votes_by_phone = part.tables["VOTES"].lookup_secondary("by_phone", phone)
+    if len(votes_by_phone) >= max_votes:
+        return False
+    if part.get_row("CONTESTANTS", contestant) is None:
+        return False
+    part.tables["VOTES"].insert(vote_id, (vote_id, phone, contestant))
+    row = part.get_row("CONTESTANTS", contestant)
+    part.tables["CONTESTANTS"].update(contestant, (row[0], row[1], row[2] + 1))
+    return True
+
+
+class VoterDriver:
+    """Phone-vote benchmark: tiny, insert-heavy transactions."""
+
+    def __init__(self, store: HStore, n_contestants: int = 6, max_votes: int = 10, seed: int = 8):
+        self.store = store
+        self.n_contestants = n_contestants
+        self.max_votes = max_votes
+        self.rng = np.random.default_rng(seed)
+        self._vote_seq = 0
+
+    def load(self) -> None:
+        self.store.create_table("CONTESTANTS")
+        self.store.create_table("VOTES", secondary_indexes={"by_phone": (1,)})
+        self.store.register_procedure("vote", _vote)
+        for c in range(self.n_contestants):
+            part = self.store.partition_for(c)
+            part.tables["CONTESTANTS"].insert(c, (c, f"contestant-{c}", 0))
+        # Contestants must exist on every partition (replicated table).
+        for part in self.store.partitions:
+            for c in range(self.n_contestants):
+                part.tables["CONTESTANTS"].insert(c, (c, f"contestant-{c}", 0))
+
+    def run_one(self) -> None:
+        rng = self.rng
+        phone = int(rng.integers(10**9, 10**10))
+        contestant = int(rng.integers(self.n_contestants))
+        self._vote_seq += 1
+        self.store.execute("vote", phone, self._vote_seq, phone, contestant, self.max_votes)
+
+
+# -------------------------------------------------------------- Articles --
+
+
+def _add_comment(part, comment_id, article_id, user_id, text):
+    if part.get_row("ARTICLES", article_id) is None:
+        return False
+    part.tables["COMMENTS"].insert(comment_id, (comment_id, article_id, user_id, text))
+    return True
+
+
+def _get_article(part, article_id):
+    article = part.get_row("ARTICLES", article_id)
+    comments = part.tables["COMMENTS"].lookup_secondary("by_article", article_id)
+    return article, len(comments)
+
+
+def _add_article(part, article_id, user_id, title, link):
+    part.tables["ARTICLES"].insert(article_id, (article_id, user_id, title, link))
+    return True
+
+
+class ArticlesDriver:
+    """Reddit-like workload: read-mostly with secondary-index reads."""
+
+    def __init__(self, store: HStore, n_users: int = 200, n_seed_articles: int = 100, seed: int = 9):
+        self.store = store
+        self.n_users = n_users
+        self.rng = np.random.default_rng(seed)
+        self._article_seq = n_seed_articles
+        self._comment_seq = 0
+
+    def load(self) -> None:
+        self.store.create_table("USERS")
+        self.store.create_table("ARTICLES")
+        self.store.create_table("COMMENTS", secondary_indexes={"by_article": (1,)})
+        self.store.register_procedure("add_comment", _add_comment)
+        self.store.register_procedure("get_article", _get_article)
+        self.store.register_procedure("add_article", _add_article)
+        for u in range(self.n_users):
+            part = self.store.partition_for(u)
+            part.tables["USERS"].insert(u, (u, f"user-{u}"))
+        for a in range(self._article_seq):
+            part = self.store.partition_for(a)
+            part.tables["ARTICLES"].insert(a, (a, a % self.n_users, f"title {a}", f"http://x/{a}"))
+
+    def run_one(self) -> None:
+        rng = self.rng
+        dice = rng.random()
+        if dice < 0.7:
+            article = int(rng.integers(self._article_seq))
+            self.store.execute("get_article", article, article)
+        elif dice < 0.95:
+            self._comment_seq += 1
+            article = int(rng.integers(self._article_seq))
+            user = int(rng.integers(self.n_users))
+            self.store.execute(
+                "add_comment", article, self._comment_seq, article, user, "lorem ipsum " * 4
+            )
+        else:
+            article_id = self._article_seq
+            self._article_seq += 1
+            user = int(rng.integers(self.n_users))
+            self.store.execute(
+                "add_article", article_id, article_id, user, f"title {article_id}", "http://y"
+            )
+
+
+DRIVERS = {"tpcc": TpccDriver, "voter": VoterDriver, "articles": ArticlesDriver}

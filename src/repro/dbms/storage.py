@@ -1,0 +1,201 @@
+"""In-memory row storage with pluggable index structures (Ch. 5 substrate).
+
+A :class:`Table` stores tuples in row slots and maintains one primary
+index plus any number of secondary indexes, each built by a pluggable
+factory — this is the knob the H-Store evaluation turns (default
+B+tree vs Hybrid vs Hybrid-Compressed B+tree, Figures 5.11-5.16).
+
+Index keys are order-preserving byte encodings of column values
+(:func:`encode_key`), so every index structure in the library can serve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..trees import BPlusTree, OrderedIndex
+from ..workloads.keys import encode_u64
+
+
+def encode_value(value: Any) -> bytes:
+    """Order-preserving byte encoding of one column value."""
+    if isinstance(value, bool):
+        return b"\x01" if value else b"\x00"
+    if isinstance(value, int):
+        return encode_u64(value)
+    if isinstance(value, str):
+        return value.encode("utf-8") + b"\x00"
+    if isinstance(value, bytes):
+        return value + b"\x00"
+    raise TypeError(f"unsupported key column type {type(value).__name__}")
+
+
+def encode_key(values: Sequence[Any] | Any) -> bytes:
+    """Composite index key from one value or a tuple of values."""
+    if isinstance(values, (tuple, list)):
+        return b"".join(encode_value(v) for v in values)
+    return encode_value(values)
+
+
+def encode_packed(values: Sequence[int], widths: Sequence[int]) -> bytes:
+    """Pack small composite integer keys into fixed byte widths.
+
+    H-Store packs composite integer keys (e.g. TPC-C's warehouse /
+    district / order ids) into a single 64-bit value; this is the
+    order-preserving equivalent for arbitrary widths.
+    """
+    if len(values) != len(widths):
+        raise ValueError("values and widths must have equal length")
+    return b"".join(int(v).to_bytes(w, "big") for v, w in zip(values, widths))
+
+
+def tuple_bytes(row: Sequence[Any]) -> int:
+    """Modeled storage size of a tuple (8 B per numeric, len+1 per str)."""
+    total = 8  # row header
+    for v in row:
+        if isinstance(v, (int, float, bool)):
+            total += 8
+        elif isinstance(v, str):
+            total += len(v) + 1
+        elif isinstance(v, bytes):
+            total += len(v) + 1
+        elif v is None:
+            total += 1
+        else:
+            raise TypeError(f"unsupported column type {type(v).__name__}")
+    return total
+
+
+IndexFactory = Callable[[], OrderedIndex]
+
+
+class Table:
+    """One partitioned table: row slots + primary + secondary indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        primary_factory: IndexFactory = BPlusTree,
+        secondary_factory: IndexFactory | None = None,
+        key_widths: Sequence[int] | None = None,
+    ) -> None:
+        self.name = name
+        self.key_widths = tuple(key_widths) if key_widths else None
+        self.rows: dict[int, tuple] = {}
+        self._next_rowid = 0
+        self.primary: OrderedIndex = primary_factory()
+        self._secondary_factory = secondary_factory or primary_factory
+        self.secondaries: dict[str, tuple[OrderedIndex, tuple[int, ...]]] = {}
+        self.tuple_memory = 0
+
+    def add_secondary_index(self, index_name: str, columns: tuple[int, ...]) -> None:
+        """Secondary index over the given column positions."""
+        index = self._make_secondary()
+        for rowid, row in self.rows.items():
+            self._secondary_insert(index, self._secondary_key(row, columns), rowid)
+        self.secondaries[index_name] = (index, columns)
+
+    def _make_secondary(self) -> OrderedIndex:
+        factory = self._secondary_factory
+        try:
+            return factory(secondary=True)  # hybrid indexes take the flag
+        except TypeError:
+            return factory()
+
+    @staticmethod
+    def _secondary_key(row: tuple, columns: tuple[int, ...]) -> bytes:
+        return encode_key([row[c] for c in columns])
+
+    @staticmethod
+    def _secondary_insert(index: OrderedIndex, key: bytes, rowid: int) -> None:
+        if getattr(index, "secondary", False):
+            index.insert(key, rowid)  # hybrid secondary appends itself
+            return
+        existing = index.get(key)
+        if existing is None:
+            index.insert(key, [rowid])
+        else:
+            existing.append(rowid)
+
+    # -- row operations ------------------------------------------------------------
+
+    def _pk(self, key: Sequence[Any] | Any) -> bytes:
+        if self.key_widths is not None:
+            if not isinstance(key, (tuple, list)):
+                key = (key,)
+            return encode_packed(key, self.key_widths)
+        return encode_key(key)
+
+    def insert(self, key: Sequence[Any] | Any, row: Iterable[Any]) -> bool:
+        row = tuple(row)
+        pk = self._pk(key)
+        rowid = self._next_rowid
+        if not self.primary.insert(pk, rowid):
+            return False
+        self._next_rowid += 1
+        self.rows[rowid] = row
+        self.tuple_memory += tuple_bytes(row)
+        for index, columns in self.secondaries.values():
+            self._secondary_insert(index, self._secondary_key(row, columns), rowid)
+        return True
+
+    def get(self, key: Sequence[Any] | Any) -> tuple | None:
+        rowid = self.primary.get(self._pk(key))
+        return self.rows.get(rowid) if rowid is not None else None
+
+    def update(self, key: Sequence[Any] | Any, row: Iterable[Any]) -> bool:
+        """Replace the row (secondary keys are assumed unchanged —
+        benchmark updates only touch non-indexed columns, as in TPC-C)."""
+        pk = self._pk(key)
+        rowid = self.primary.get(pk)
+        if rowid is None:
+            return False
+        old = self.rows[rowid]
+        new = tuple(row)
+        self.tuple_memory += tuple_bytes(new) - tuple_bytes(old)
+        self.rows[rowid] = new
+        return True
+
+    def delete(self, key: Sequence[Any] | Any) -> bool:
+        pk = self._pk(key)
+        rowid = self.primary.get(pk)
+        if rowid is None:
+            return False
+        self.primary.delete(pk)
+        row = self.rows.pop(rowid)
+        self.tuple_memory -= tuple_bytes(row)
+        # Secondary entries are cleaned lazily on lookup.
+        return True
+
+    def scan_primary(self, low_key: Sequence[Any] | Any, count: int) -> list[tuple]:
+        out = []
+        for _, rowid in self.primary.scan(self._pk(low_key), count):
+            row = self.rows.get(rowid)
+            if row is not None:
+                out.append(row)
+        return out
+
+    def lookup_secondary(self, index_name: str, key: Sequence[Any] | Any) -> list[tuple]:
+        index, _ = self.secondaries[index_name]
+        rowids = index.get(encode_key(key))
+        if rowids is None:
+            return []
+        return [self.rows[r] for r in rowids if r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- memory accounting -------------------------------------------------------------
+
+    def primary_index_bytes(self) -> int:
+        return self.primary.memory_bytes()
+
+    def secondary_index_bytes(self) -> int:
+        return sum(ix.memory_bytes() for ix, _ in self.secondaries.values())
+
+    def memory_report(self) -> dict[str, int]:
+        return {
+            "tuples": self.tuple_memory,
+            "primary": self.primary_index_bytes(),
+            "secondary": self.secondary_index_bytes(),
+        }

@@ -1,0 +1,7 @@
+"""Approximate membership filters (Chapter 4 substrate and baselines)."""
+
+from .bloom import BloomFilter, hash64
+from .prefix_bloom import PrefixBloomFilter
+from .arf import AdaptiveRangeFilter
+
+__all__ = ["BloomFilter", "PrefixBloomFilter", "AdaptiveRangeFilter", "hash64"]

@@ -1,0 +1,130 @@
+"""The Adaptive Range Filter (ARF) baseline of Table 4.1.
+
+ARF (Alexiou, Kossmann, Larson — Project Siberia) is a binary tree over
+the 64-bit integer key space: each leaf covers a dyadic interval and
+stores one bit, "may contain keys" or "definitely empty".  Using it has
+three phases (Section 4.3.5): build a tree shaped by the stored keys,
+*train* it with sample queries (splitting nodes so that frequently
+queried empty regions get their own leaves), then freeze it under a
+space budget.
+
+Our implementation follows that recipe: training splits occupied
+leaves along query boundaries until either the query range is exactly
+covered by empty leaves or the node budget is exhausted.  One-sided
+error holds by construction — a leaf is marked empty only if no stored
+key falls inside it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+KEY_SPACE_BITS = 64
+_MAX = 1 << KEY_SPACE_BITS
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "left", "right", "occupied")
+
+    def __init__(self, lo: int, hi: int, occupied: bool) -> None:
+        self.lo = lo
+        self.hi = hi  # exclusive
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.occupied = occupied
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class AdaptiveRangeFilter:
+    """ARF over 64-bit integer keys with a node budget."""
+
+    def __init__(self, keys: Sequence[int], max_nodes: int = 1 << 16) -> None:
+        self._keys = sorted(keys)
+        self.max_nodes = max_nodes
+        self.n_nodes = 1
+        self._root = _Node(0, _MAX, occupied=bool(self._keys))
+        #: Peak build/train memory model: the trainer materialises the
+        #: sorted key list plus a dense per-query workspace (this is why
+        #: the paper measures 26 GB peak for a 7 MB filter).
+        self.train_queries = 0
+
+    # -- internals --------------------------------------------------------------
+
+    def _has_key_in(self, lo: int, hi: int) -> bool:
+        idx = bisect.bisect_left(self._keys, lo)
+        return idx < len(self._keys) and self._keys[idx] < hi
+
+    def _split(self, node: _Node) -> bool:
+        if self.n_nodes + 2 > self.max_nodes:
+            return False
+        mid = (node.lo + node.hi) // 2
+        if mid == node.lo:
+            return False
+        node.left = _Node(node.lo, mid, self._has_key_in(node.lo, mid))
+        node.right = _Node(mid, node.hi, self._has_key_in(mid, node.hi))
+        self.n_nodes += 2
+        return True
+
+    def train(self, query_ranges: Sequence[tuple[int, int]]) -> None:
+        """Refine the tree using sample queries (ranges are [lo, hi))."""
+        for lo, hi in query_ranges:
+            self.train_queries += 1
+            if self._has_key_in(lo, hi):
+                continue  # true positive region: nothing to learn
+            self._carve(self._root, lo, hi)
+
+    def _carve(self, node: _Node, lo: int, hi: int) -> None:
+        """Split occupied leaves so [lo, hi) is covered by empty leaves."""
+        if node.hi <= lo or node.lo >= hi:
+            return
+        if node.is_leaf:
+            if not node.occupied:
+                return
+            if lo <= node.lo and node.hi <= hi:
+                # Entirely inside the empty query range, yet marked
+                # occupied: keys elsewhere forced this. Since the range
+                # is truly empty, flip is safe only if no key inside.
+                if not self._has_key_in(node.lo, node.hi):
+                    node.occupied = False
+                return
+            if not self._split(node):
+                return
+        self._carve(node.left, lo, hi)
+        self._carve(node.right, lo, hi)
+
+    # -- queries -----------------------------------------------------------------
+
+    def may_contain_range(self, lo: int, hi: int) -> bool:
+        """Approximate emptiness probe for [lo, hi)."""
+        return self._probe(self._root, lo, hi)
+
+    def _probe(self, node: _Node, lo: int, hi: int) -> bool:
+        if node.hi <= lo or node.lo >= hi:
+            return False
+        if node.is_leaf:
+            return node.occupied
+        return self._probe(node.left, lo, hi) or self._probe(node.right, lo, hi)
+
+    def may_contain(self, key: int) -> bool:
+        return self.may_contain_range(key, key + 1)
+
+    # -- memory ----------------------------------------------------------------------
+
+    def size_bits(self) -> int:
+        """Encoded size: the trained tree serialises breadth-first at
+        ~2 bits per node (shape bit + leaf occupancy bit)."""
+        return 2 * self.n_nodes
+
+    def memory_bytes(self) -> int:
+        return (self.size_bits() + 7) // 8
+
+    def build_memory_bytes(self) -> int:
+        """Peak memory during build+train: pointer-based tree nodes
+        (2 child pointers + 2 u64 bounds + flag ~= 40 B) plus the key
+        list — orders of magnitude above the encoded size, matching the
+        Table 4.1 contrast."""
+        return self.n_nodes * 40 + len(self._keys) * 8

@@ -1,0 +1,20 @@
+"""Fast Succinct Trie (Chapter 3): LOUDS-DS encoding and operations."""
+
+from .builder import PREFIX_LABEL, BuiltTrie, LevelData, build_trie
+from .fst import DEFAULT_SIZE_RATIO, FANOUT, FST, FstIterator
+from .serialize import fst_from_bytes, fst_to_bytes, surf_from_bytes, surf_to_bytes
+
+__all__ = [
+    "FST",
+    "FstIterator",
+    "build_trie",
+    "BuiltTrie",
+    "LevelData",
+    "PREFIX_LABEL",
+    "FANOUT",
+    "DEFAULT_SIZE_RATIO",
+    "fst_to_bytes",
+    "fst_from_bytes",
+    "surf_to_bytes",
+    "surf_from_bytes",
+]

@@ -1,0 +1,136 @@
+"""Level-wise trie construction for FST and SuRF (Chapters 3-4).
+
+The builder turns a sorted key list into per-level label / has-child /
+louds sequences in a single scan, independent of the final encoding
+(LOUDS-Dense or LOUDS-Sparse).  Two modes:
+
+* ``truncate=False`` — the FST mode: keys are stored completely, so a
+  branch terminates exactly where its key ends.
+* ``truncate=True``  — the SuRF mode: a subtree holding a single key is
+  truncated to its first distinguishing byte (SuRF-Base stores "the
+  shared prefix and one more byte for each key", Section 4.1.1); the
+  remaining suffix is reported to the caller for optional suffix bits.
+
+A key that is a proper prefix of other keys is represented by the
+*prefix-key* pseudo-label :data:`PREFIX_LABEL` placed first in its node
+(encoded later as D-IsPrefixKey in dense levels and as the positional
+0xFF label in sparse levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+#: Pseudo-label marking "the path to this node is itself a key".
+#: Sorts before every real label (0..255).
+PREFIX_LABEL = -1
+
+
+@dataclass
+class LevelData:
+    """The label sequence of one trie level, in level order."""
+
+    labels: list[int] = field(default_factory=list)
+    has_child: list[bool] = field(default_factory=list)
+    louds: list[bool] = field(default_factory=list)  # True = first label in node
+    values: list[Any] = field(default_factory=list)  # one per terminating label
+    n_nodes: int = 0
+
+
+@dataclass
+class BuiltTrie:
+    """Builder output: per-level sequences plus key statistics."""
+
+    levels: list[LevelData]
+    n_keys: int
+    #: ``suffixes[i]`` is the byte suffix of ``keys[i]`` cut off by
+    #: truncation (empty when the full key is stored).
+    suffixes: list[bytes]
+
+    @property
+    def height(self) -> int:
+        return len(self.levels)
+
+    def total_nodes(self) -> int:
+        return sum(level.n_nodes for level in self.levels)
+
+    def total_labels(self) -> int:
+        return sum(len(level.labels) for level in self.levels)
+
+
+def build_trie(
+    keys: Sequence[bytes],
+    values: Sequence[Any] | None = None,
+    truncate: bool = False,
+) -> BuiltTrie:
+    """Build level data from sorted, distinct keys.
+
+    ``values[i]`` is attached to ``keys[i]``; defaults to the key index.
+    """
+    for i in range(len(keys) - 1):
+        if keys[i] >= keys[i + 1]:
+            raise ValueError("keys must be sorted and distinct")
+    if values is None:
+        values = list(range(len(keys)))
+    if len(values) != len(keys):
+        raise ValueError("values must parallel keys")
+
+    levels: list[LevelData] = []
+    suffixes: list[bytes] = [b""] * len(keys)
+
+    def level_at(depth: int) -> LevelData:
+        while len(levels) <= depth:
+            levels.append(LevelData())
+        return levels[depth]
+
+    def emit(
+        depth: int, label: int, has_child: bool, first: bool, value: Any = None
+    ) -> None:
+        level = level_at(depth)
+        level.labels.append(label)
+        level.has_child.append(has_child)
+        level.louds.append(first)
+        if first:
+            level.n_nodes += 1
+        if not has_child:
+            level.values.append(value)
+
+    def build_node(lo: int, hi: int, depth: int) -> None:
+        """Emit the node for keys[lo:hi], all sharing a depth-byte prefix."""
+        first = True
+        if len(keys[lo]) == depth:
+            # The shared prefix itself is a stored key.
+            emit(depth, PREFIX_LABEL, False, first, values[lo])
+            lo += 1
+            first = False
+        i = lo
+        while i < hi:
+            byte = keys[i][depth]
+            j = i
+            while j < hi and keys[j][depth] == byte:
+                j += 1
+            single = j - i == 1
+            if single and (truncate or len(keys[i]) == depth + 1):
+                emit(depth, byte, False, first, values[i])
+                suffixes[i] = keys[i][depth + 1 :]
+            elif single:
+                # Full-key mode, single-key subtree: a chain of
+                # one-child nodes.  Emit it iteratively — recursing a
+                # frame per byte would overflow on long keys.
+                key = keys[i]
+                emit(depth, byte, True, first)
+                d = depth + 1
+                while d < len(key) - 1:
+                    emit(d, key[d], True, True)
+                    d += 1
+                emit(d, key[d], False, True, values[i])
+            else:
+                emit(depth, byte, True, first)
+                build_node(i, j, depth + 1)
+            first = False
+            i = j
+
+    if keys:
+        build_node(0, len(keys), 0)
+    return BuiltTrie(levels=levels, n_keys=len(keys), suffixes=suffixes)

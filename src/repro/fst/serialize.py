@@ -1,0 +1,198 @@
+"""FST and SuRF serialization.
+
+The paper's flagship deployment persists one SuRF per SSTable next to
+the table file (Section 4.2), so filters must round-trip through bytes.
+The format is a little-endian header + the raw succinct arrays; rank
+and select supports are derived structures and are rebuilt on load.
+
+Values must be non-negative 64-bit integers (key indexes / record
+pointers), which is what both SuRF and the paper's index workloads
+store.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..succinct.bitvector import BitVector
+from ..succinct.rank import RankSupport
+from ..succinct.select import SelectSupport
+from .fst import FST, _DENSE_RANK_BLOCK
+
+MAGIC = b"FST1"
+SURF_MAGIC = b"SRF1"
+
+
+def _pack_bitvector(bv: BitVector) -> bytes:
+    words = bv.words.tobytes()
+    return struct.pack("<QQ", len(bv), len(words)) + words
+
+
+def _unpack_bitvector(buf: memoryview, offset: int) -> tuple[BitVector, int]:
+    n_bits, n_bytes = struct.unpack_from("<QQ", buf, offset)
+    offset += 16
+    words = np.frombuffer(buf[offset : offset + n_bytes], dtype=np.uint64).copy()
+    return BitVector(words, n_bits), offset + n_bytes
+
+
+def _pack_u64_list(values) -> bytes:
+    arr = np.asarray(list(values), dtype=np.uint64)
+    raw = arr.tobytes()
+    return struct.pack("<Q", len(arr)) + raw
+
+
+def _unpack_u64_list(buf: memoryview, offset: int) -> tuple[list[int], int]:
+    (n,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    arr = np.frombuffer(buf[offset : offset + 8 * n], dtype=np.uint64)
+    return [int(v) for v in arr], offset + 8 * n
+
+
+def fst_to_bytes(fst: FST) -> bytes:
+    """Serialize an FST whose values are non-negative integers."""
+    parts = [
+        MAGIC,
+        struct.pack(
+            "<QQQQQQB",
+            fst.n_keys,
+            fst.height,
+            fst.dense_height,
+            fst.dense_node_count,
+            fst.dense_child_count,
+            fst.sparse_node_count,
+            1 if fst.truncated else 0,
+        ),
+        _pack_bitvector(fst.d_labels),
+        _pack_bitvector(fst.d_haschild),
+        _pack_bitvector(fst.d_isprefix),
+        _pack_u64_list(fst.d_values),
+        struct.pack("<Q", len(fst.s_labels)),
+        fst.s_labels.astype(np.int16).tobytes(),
+        _pack_bitvector(fst.s_haschild),
+        _pack_bitvector(fst.s_louds),
+        _pack_u64_list(fst.s_values),
+        _pack_u64_list(fst._dense_level_node_start),
+        _pack_u64_list(fst._sparse_level_start),
+    ]
+    return b"".join(parts)
+
+
+def fst_from_bytes(data: bytes) -> FST:
+    """Reconstruct an FST; rank/select supports are rebuilt."""
+    if data[:4] != MAGIC:
+        raise ValueError("not an FST blob (bad magic)")
+    buf = memoryview(data)
+    offset = 4
+    (
+        n_keys,
+        height,
+        dense_height,
+        dense_node_count,
+        dense_child_count,
+        sparse_node_count,
+        truncated,
+    ) = struct.unpack_from("<QQQQQQB", buf, offset)
+    offset += struct.calcsize("<QQQQQQB")
+
+    fst = FST.__new__(FST)
+    fst.n_keys = n_keys
+    fst.height = height
+    fst.dense_height = dense_height
+    fst.dense_node_count = dense_node_count
+    fst.dense_child_count = dense_child_count
+    fst.sparse_node_count = sparse_node_count
+    fst.truncated = bool(truncated)
+    fst.suffixes = []  # reconstructible only from the key corpus
+    fst._label_search = "binary"
+    fst._sparse_rank_block_override = 512
+    fst._select_sample_override = 64
+
+    fst.d_labels, offset = _unpack_bitvector(buf, offset)
+    fst.d_haschild, offset = _unpack_bitvector(buf, offset)
+    fst.d_isprefix, offset = _unpack_bitvector(buf, offset)
+    fst.d_values, offset = _unpack_u64_list(buf, offset)
+    (n_labels,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    fst.s_labels = np.frombuffer(
+        buf[offset : offset + 2 * n_labels], dtype=np.int16
+    ).copy()
+    offset += 2 * n_labels
+    fst.s_haschild, offset = _unpack_bitvector(buf, offset)
+    fst.s_louds, offset = _unpack_bitvector(buf, offset)
+    fst.s_values, offset = _unpack_u64_list(buf, offset)
+    fst._dense_level_node_start, offset = _unpack_u64_list(buf, offset)
+    fst._sparse_level_start, offset = _unpack_u64_list(buf, offset)
+
+    fst._d_labels_rank = RankSupport(fst.d_labels, _DENSE_RANK_BLOCK)
+    fst._d_haschild_rank = RankSupport(fst.d_haschild, _DENSE_RANK_BLOCK)
+    fst._d_isprefix_rank = RankSupport(fst.d_isprefix, _DENSE_RANK_BLOCK)
+    fst._s_haschild_rank = RankSupport(fst.s_haschild, 512)
+    fst._s_louds_rank = RankSupport(fst.s_louds, 512)
+    fst._s_louds_select = (
+        SelectSupport(fst.s_louds, bit=1, sample_rate=64)
+        if len(fst.s_louds)
+        else None
+    )
+    return fst
+
+
+def surf_to_bytes(surf) -> bytes:
+    """Serialize a SuRF (any suffix variant; tombstones included)."""
+    from ..surf.surf import SuRF
+
+    if not isinstance(surf, SuRF):
+        raise TypeError("expected a SuRF")
+    fst_blob = fst_to_bytes(surf.fst)
+    tombstones = bytes(surf._tombstones) if surf._tombstones is not None else b""
+    header = struct.pack(
+        "<BBQQ",
+        surf.hash_bits,
+        surf.real_bits,
+        len(fst_blob),
+        len(tombstones),
+    )
+    return (
+        SURF_MAGIC
+        + header
+        + fst_blob
+        + tombstones
+        + _pack_u64_list(surf._hash_suffixes)
+        + _pack_u64_list(surf._real_suffixes)
+    )
+
+
+def surf_from_bytes(data: bytes):
+    """Reconstruct a SuRF from :func:`surf_to_bytes` output."""
+    from ..surf.surf import SuRF
+
+    if data[:4] != SURF_MAGIC:
+        raise ValueError("not a SuRF blob (bad magic)")
+    buf = memoryview(data)
+    offset = 4
+    hash_bits, real_bits, fst_len, tomb_len = struct.unpack_from("<BBQQ", buf, offset)
+    offset += struct.calcsize("<BBQQ")
+    fst = fst_from_bytes(bytes(buf[offset : offset + fst_len]))
+    offset += fst_len
+    tombstones = bytearray(buf[offset : offset + tomb_len]) if tomb_len else None
+    offset += tomb_len
+    hash_suffixes, offset = _unpack_u64_list(buf, offset)
+    real_suffixes, offset = _unpack_u64_list(buf, offset)
+
+    surf = SuRF.__new__(SuRF)
+    if hash_bits and real_bits:
+        surf.suffix_type = "mixed"
+    elif hash_bits:
+        surf.suffix_type = "hash"
+    elif real_bits:
+        surf.suffix_type = "real"
+    else:
+        surf.suffix_type = "none"
+    surf.hash_bits = hash_bits
+    surf.real_bits = real_bits
+    surf.fst = fst
+    surf._tombstones = tombstones
+    surf._hash_suffixes = hash_suffixes
+    surf._real_suffixes = real_suffixes
+    return surf

@@ -1,0 +1,232 @@
+"""The HOPE encoder facade (Section 6.2).
+
+Two-phase operation, matching Figure 6.5:
+
+1. **Build** — sample the keys, select symbols (Symbol Selector), count
+   interval hit frequencies by parsing the sample (the "exploiting
+   entropy" step), assign order-preserving codes (Code Generator), and
+   materialise the dictionary.
+2. **Encode** — repeatedly look up the longest applicable interval and
+   emit its code.  ``encode_batch`` exploits sorted input by reusing
+   the parse of the previous key's shared prefix.
+
+Encoded keys are bit strings; ``encode`` returns them zero-padded to
+whole bytes (callers that must distinguish pad-colliding keys can use
+``encode_bits`` which also returns the exact bit length).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Sequence
+
+from .hu_tucker import DEFAULT_EXACT_LIMIT, assign_alphabetic_codes
+from .intervals import (
+    Interval,
+    build_intervals,
+    find_interval,
+    validate_intervals,
+    validate_order_preserving,
+)
+from .schemes import SCHEMES, scheme_code_kind, scheme_symbols
+
+
+class HopeEncoder:
+    """A complete, order-preserving dictionary key compressor."""
+
+    def __init__(self, intervals: list[Interval], scheme: str) -> None:
+        validate_intervals(intervals)
+        self.intervals = intervals
+        self.scheme = scheme
+        self._los = [iv.lo for iv in intervals]
+        # Single-Char's dictionary is a flat 256-entry array: byte ->
+        # (code, len) in O(1), no interval search (Figure 6.10's lowest
+        # latency).  Populated after code assignment.
+        self._single_codes: list[tuple[int, int]] | None = None
+        # Build-phase timings, populated by from_sample (Figure 6.12).
+        self.symbol_select_seconds = 0.0
+        self.code_assign_seconds = 0.0
+        self.dict_build_seconds = 0.0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_sample(
+        cls,
+        scheme: str,
+        sample: Sequence[bytes],
+        dict_limit: int = 1024,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+    ) -> "HopeEncoder":
+        """Build a dictionary for ``scheme`` from sampled keys."""
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        t0 = time.perf_counter()
+        symbols = scheme_symbols(scheme, sample, dict_limit)
+        t1 = time.perf_counter()
+        intervals = build_intervals(symbols)
+        encoder = cls(intervals, scheme)
+        weights = encoder._count_weights(sample)
+        t2 = time.perf_counter()
+        encoder._assign_codes(weights, exact_limit)
+        t3 = time.perf_counter()
+        encoder.symbol_select_seconds = t1 - t0
+        encoder.dict_build_seconds = t2 - t1
+        encoder.code_assign_seconds = t3 - t2
+        return encoder
+
+    def _count_weights(self, sample: Sequence[bytes]) -> list[float]:
+        """Interval hit frequencies from parsing the sample (add-one
+        smoothed so unseen intervals still get finite codes)."""
+        weights = [1.0] * len(self.intervals)
+        for key in sample:
+            pos = 0
+            while pos < len(key):
+                idx = bisect_right(self._los, key[pos:]) - 1
+                weights[idx] += 1.0
+                pos += len(self.intervals[idx].symbol)
+        return weights
+
+    def _assign_codes(self, weights: list[float], exact_limit: int) -> None:
+        if scheme_code_kind(self.scheme) == "fixed":
+            # VIFC: fixed-length codes in interval order (ALM).
+            width = max(1, (len(self.intervals) - 1).bit_length())
+            for i, iv in enumerate(self.intervals):
+                iv.code, iv.code_len = i, width
+        else:
+            codes, lengths = assign_alphabetic_codes(weights, exact_limit)
+            for iv, code, length in zip(self.intervals, codes, lengths):
+                iv.code, iv.code_len = code, length
+        validate_order_preserving(self.intervals)
+        if self.scheme == "single" and len(self.intervals) == 256:
+            self._single_codes = [
+                (iv.code, iv.code_len) for iv in self.intervals
+            ]
+
+    # -- encoding ------------------------------------------------------------------
+
+    def encode_bits(self, key: bytes) -> tuple[int, int]:
+        """(bits value, bit count) of the exact encoded bit string."""
+        if self._single_codes is not None:
+            bits = 0
+            n_bits = 0
+            table = self._single_codes
+            for byte in key:
+                code, length = table[byte]
+                bits = (bits << length) | code
+                n_bits += length
+            return bits, n_bits
+        bits = 0
+        n_bits = 0
+        pos = 0
+        los = self._los
+        intervals = self.intervals
+        while pos < len(key):
+            idx = bisect_right(los, key[pos:]) - 1
+            iv = intervals[idx]
+            bits = (bits << iv.code_len) | iv.code
+            n_bits += iv.code_len
+            pos += len(iv.symbol)
+        return bits, n_bits
+
+    def encode(self, key: bytes) -> bytes:
+        """Encoded key, zero-padded to whole bytes (order-preserving)."""
+        bits, n_bits = self.encode_bits(key)
+        n_bytes = (n_bits + 7) // 8
+        return (bits << (n_bytes * 8 - n_bits)).to_bytes(n_bytes, "big")
+
+    def encode_batch(self, keys: Sequence[bytes]) -> list[bytes]:
+        """Encode keys, reusing shared-prefix parses when sorted.
+
+        A cached parse step is reused only if the new key's remaining
+        suffix still falls inside the step's interval, which keeps the
+        optimization exact (adjacent intervals can share a symbol).
+        """
+        out: list[bytes] = []
+        prev_key = b""
+        # Parse steps: (pos_before, interval_idx, bits_after, nbits_after)
+        prev_steps: list[tuple[int, int, int, int]] = []
+        for key in keys:
+            lcp = 0
+            limit = min(len(prev_key), len(key))
+            while lcp < limit and prev_key[lcp] == key[lcp]:
+                lcp += 1
+            bits = n_bits = pos = 0
+            steps: list[tuple[int, int, int, int]] = []
+            for step_pos, idx, step_bits, step_nbits in prev_steps:
+                iv = self.intervals[idx]
+                if step_pos + len(iv.symbol) > lcp:
+                    break
+                rem = key[step_pos:]
+                if iv.lo <= rem and (iv.hi is None or rem < iv.hi):
+                    steps.append((step_pos, idx, step_bits, step_nbits))
+                    bits, n_bits = step_bits, step_nbits
+                    pos = step_pos + len(iv.symbol)
+                else:
+                    break
+            while pos < len(key):
+                idx = bisect_right(self._los, key[pos:]) - 1
+                iv = self.intervals[idx]
+                bits = (bits << iv.code_len) | iv.code
+                n_bits += iv.code_len
+                steps.append((pos, idx, bits, n_bits))
+                pos += len(iv.symbol)
+            n_bytes = (n_bits + 7) // 8
+            out.append((bits << (n_bytes * 8 - n_bits)).to_bytes(n_bytes, "big"))
+            prev_key, prev_steps = key, steps
+        return out
+
+    def decode(self, bits: int, n_bits: int) -> bytes:
+        """Inverse of encode_bits (prefix codes are uniquely decodable).
+
+        Decoding is only needed by tests and debugging — search-tree
+        queries never reconstruct keys (Section 6.2)."""
+        by_code = {
+            (iv.code, iv.code_len): iv.symbol for iv in self.intervals
+        }
+        out = bytearray()
+        cur = 0
+        cur_len = 0
+        for i in range(n_bits - 1, -1, -1):
+            cur = (cur << 1) | ((bits >> i) & 1)
+            cur_len += 1
+            symbol = by_code.get((cur, cur_len))
+            if symbol is not None:
+                out.extend(symbol)
+                cur = cur_len = 0
+        if cur_len:
+            raise ValueError("dangling bits: not a valid encoding")
+        return bytes(out)
+
+    # -- metrics -------------------------------------------------------------------------
+
+    def compression_rate(self, keys: Sequence[bytes]) -> float:
+        """CPR: total input bits / total encoded bits (higher = better)."""
+        in_bits = sum(len(k) for k in keys) * 8
+        out_bits = sum(self.encode_bits(k)[1] for k in keys)
+        return in_bits / out_bits if out_bits else 1.0
+
+    def dict_size(self) -> int:
+        return len(self.intervals)
+
+    def memory_bytes(self) -> int:
+        """Modeled dictionary memory, per structure (Figure 6.11).
+
+        Single/Double-Char use flat code arrays; the gram schemes use
+        the bitmap-trie of Figure 6.6 (a 256-bit bitmap + 4-byte counter
+        per node); ALM uses the boundary array searched by bisection.
+        """
+        n = len(self.intervals)
+        code_bytes = n * 5  # 4-byte code + 1-byte length
+        if self.scheme == "single":
+            return 256 * 5
+        if self.scheme == "double":
+            return 65536 * 5 + 256 * 5
+        if self.scheme in ("3grams", "4grams"):
+            prefixes = {iv.symbol[:k] for iv in self.intervals for k in range(1, len(iv.symbol))}
+            n_trie_nodes = len(prefixes) + 1
+            return n_trie_nodes * (32 + 4) + code_bytes
+        # ALM variants: boundary strings + offset array + codes.
+        boundary_bytes = sum(len(iv.lo) for iv in self.intervals)
+        return boundary_bytes + n * 4 + code_bytes

@@ -1,0 +1,126 @@
+"""The string axis model (Section 6.1.1).
+
+A dictionary encoding scheme is a partition of the string axis into
+connected intervals; each interval ``[b_i, b_{i+1})`` carries a symbol
+``s_i`` (the longest common prefix of every string in the interval) and
+a code ``c_i``.  Completeness = the intervals cover the axis; unique
+decodability = they are disjoint with prefix codes; order-preserving =
+codes increase monotonically (Theorems of Section 6.1.1).
+
+This module builds the interval partition for any symbol set: given
+the selected symbols (grams, ALM substrings, or single/double chars),
+interval boundaries are the symbols themselves, their upper bounds, and
+all 256 single bytes — the latter guarantee every interval has a
+non-empty common prefix, which is what makes the dictionary complete
+(every lookup consumes at least one byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Sentinel exclusive upper bound of the string axis.
+AXIS_END = b"\xff" * 64 + b"\xff"
+
+
+def increment(prefix: bytes) -> bytes | None:
+    """Smallest string greater than every string starting with
+    ``prefix`` (None when the prefix is all 0xFF = end of axis)."""
+    out = bytearray(prefix)
+    while out and out[-1] == 0xFF:
+        out.pop()
+    if not out:
+        return None
+    out[-1] += 1
+    return bytes(out)
+
+
+def interval_symbol(lo: bytes, hi: bytes | None) -> bytes:
+    """Longest prefix of ``lo`` shared by every string in [lo, hi).
+
+    ``hi=None`` means the interval extends to the end of the axis.
+    """
+    if not lo:
+        raise ValueError("interval low bound must be non-empty")
+    for k in range(len(lo), 0, -1):
+        upper = increment(lo[:k])
+        if upper is None or (hi is not None and hi <= upper):
+            return lo[:k]
+    raise ValueError(f"no common prefix for interval [{lo!r}, {hi!r})")
+
+
+@dataclass
+class Interval:
+    """One dictionary entry of the string axis model."""
+
+    lo: bytes
+    hi: bytes | None  # None = end of axis
+    symbol: bytes
+    code: int = 0
+    code_len: int = 0
+
+
+def build_intervals(symbols: Iterable[bytes]) -> list[Interval]:
+    """Partition the axis using ``symbols`` plus single-byte fallbacks.
+
+    Each symbol s gets its own interval [s, increment(s)); gaps between
+    them become intervals whose symbol is the gap's common prefix.  The
+    256 single-byte boundaries are always included, so the result is a
+    complete dictionary able to encode arbitrary byte strings.
+    """
+    boundaries: set[bytes] = {bytes([b]) for b in range(256)}
+    for sym in symbols:
+        if not sym:
+            raise ValueError("symbols must be non-empty")
+        boundaries.add(sym)
+        upper = increment(sym)
+        if upper is not None:
+            boundaries.add(upper)
+    ordered = sorted(boundaries)
+    intervals: list[Interval] = []
+    for i, lo in enumerate(ordered):
+        hi = ordered[i + 1] if i + 1 < len(ordered) else None
+        intervals.append(Interval(lo=lo, hi=hi, symbol=interval_symbol(lo, hi)))
+    return intervals
+
+
+def validate_intervals(intervals: Sequence[Interval]) -> None:
+    """Assert completeness, disjointness, and symbol validity."""
+    if not intervals:
+        raise ValueError("empty dictionary")
+    if intervals[0].lo != b"\x00":
+        raise ValueError("axis not covered from the start")
+    for i, iv in enumerate(intervals):
+        if not iv.symbol or not iv.lo.startswith(iv.symbol):
+            raise ValueError(f"interval {i} has invalid symbol")
+        if i + 1 < len(intervals):
+            nxt = intervals[i + 1]
+            if iv.hi != nxt.lo:
+                raise ValueError(f"gap or overlap between intervals {i}, {i+1}")
+    if intervals[-1].hi is not None:
+        raise ValueError("axis not covered to the end")
+
+
+def validate_order_preserving(intervals: Sequence[Interval]) -> None:
+    """Assert codes are monotonically increasing as bit strings."""
+    for i in range(len(intervals) - 1):
+        a, b = intervals[i], intervals[i + 1]
+        # Compare as left-aligned bit strings.
+        width = max(a.code_len, b.code_len)
+        av = a.code << (width - a.code_len)
+        bv = b.code << (width - b.code_len)
+        if av >= bv:
+            raise ValueError(f"codes not strictly increasing at interval {i}")
+
+
+def find_interval(intervals: Sequence[Interval], s: bytes) -> int:
+    """Index of the interval containing string ``s`` (binary search)."""
+    lo, hi = 0, len(intervals) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if intervals[mid].lo <= s:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

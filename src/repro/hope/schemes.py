@@ -1,0 +1,97 @@
+"""Symbol selection for HOPE's six compression schemes (Section 6.1.3).
+
+Each scheme decides which byte patterns become dictionary symbols:
+
+* **Single-Char** (FIVC)    — the 256 single bytes;
+* **Double-Char** (FIVC)    — all byte pairs (plus the single-byte
+  terminator intervals completeness requires);
+* **3-Grams / 4-Grams** (VIVC) — the most frequent 3-/4-byte substrings
+  of the sample, up to the dictionary size limit;
+* **ALM** (VIFC)            — variable-length substrings chosen to
+  "equalize" len(s) * freq(s), with fixed-length codes;
+* **ALM-Improved** (VIVC)   — ALM symbols with optimal variable codes
+  (and frequency counting restricted to prefix-aligned windows).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+SCHEMES = ("single", "double", "3grams", "4grams", "alm", "alm-improved")
+
+#: Maximum ALM symbol length (HOPE caps pattern length similarly).
+ALM_MAX_SYMBOL_LEN = 16
+
+
+def count_grams(sample: Sequence[bytes], length: int) -> Counter:
+    """Sliding-window substring counts of a fixed length."""
+    counts: Counter = Counter()
+    for key in sample:
+        for i in range(len(key) - length + 1):
+            counts[key[i : i + length]] += 1
+    return counts
+
+
+def select_gram_symbols(
+    sample: Sequence[bytes], length: int, limit: int
+) -> list[bytes]:
+    """The ``limit`` most frequent ``length``-grams in the sample."""
+    counts = count_grams(sample, length)
+    # Deterministic tie-break: frequency desc, then lexicographic.
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [gram for gram, _ in ranked[:limit]]
+
+
+def select_alm_symbols(
+    sample: Sequence[bytes],
+    limit: int,
+    max_len: int = ALM_MAX_SYMBOL_LEN,
+    prefix_aligned: bool = False,
+) -> list[bytes]:
+    """Variable-length substrings maximizing ``len(s) * freq(s)``.
+
+    ``prefix_aligned=True`` is the ALM-Improved refinement: count only
+    windows starting at key prefixes (cheaper and better matched to how
+    encoding actually consumes keys).
+    """
+    counts: Counter = Counter()
+    for key in sample:
+        starts = [0] if prefix_aligned else range(len(key))
+        for start in starts:
+            for ln in range(2, min(max_len, len(key) - start) + 1):
+                counts[key[start : start + ln]] += 1
+    scored = sorted(
+        counts.items(), key=lambda kv: (-len(kv[0]) * kv[1], kv[0])
+    )
+    picked: list[bytes] = []
+    for sym, _ in scored:
+        if len(picked) >= limit:
+            break
+        picked.append(sym)
+    return picked
+
+
+def scheme_symbols(
+    scheme: str, sample: Sequence[bytes], dict_limit: int
+) -> list[bytes]:
+    """Dictionary symbols for ``scheme`` drawn from ``sample``."""
+    if scheme == "single":
+        return [bytes([b]) for b in range(256)]
+    if scheme == "double":
+        # All observed byte pairs (the axis fallbacks cover the rest).
+        return sorted(count_grams(sample, 2))
+    if scheme == "3grams":
+        return select_gram_symbols(sample, 3, dict_limit)
+    if scheme == "4grams":
+        return select_gram_symbols(sample, 4, dict_limit)
+    if scheme == "alm":
+        return select_alm_symbols(sample, dict_limit)
+    if scheme == "alm-improved":
+        return select_alm_symbols(sample, dict_limit, prefix_aligned=True)
+    raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+
+
+def scheme_code_kind(scheme: str) -> str:
+    """'fixed' (VIFC) or 'variable' (FIVC/VIVC) code assignment."""
+    return "fixed" if scheme == "alm" else "variable"

@@ -1,0 +1,21 @@
+"""The dual-stage Hybrid Index (Chapter 5)."""
+
+from .hybrid import (
+    DEFAULT_MERGE_RATIO,
+    HybridIndex,
+    hybrid_art,
+    hybrid_btree,
+    hybrid_compressed_btree,
+    hybrid_masstree,
+    hybrid_skiplist,
+)
+
+__all__ = [
+    "HybridIndex",
+    "hybrid_btree",
+    "hybrid_skiplist",
+    "hybrid_art",
+    "hybrid_masstree",
+    "hybrid_compressed_btree",
+    "DEFAULT_MERGE_RATIO",
+]

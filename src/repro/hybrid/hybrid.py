@@ -1,0 +1,317 @@
+"""The dual-stage Hybrid Index (Chapter 5).
+
+A hybrid index is one logical index made of two physical trees
+(Figure 5.1): a small *dynamic stage* that absorbs all writes, and a
+compact read-only *static stage* holding the bulk of the entries.  A
+Bloom filter over the dynamic stage lets most point reads skip straight
+to the static stage.  Periodic merges migrate everything from the
+dynamic to the static stage (the merge-all strategy, Section 5.2.2),
+triggered when the stage size ratio crosses a threshold (ratio-based
+trigger, default 10) or at a fixed dynamic-stage size (constant
+trigger).
+
+Primary-index semantics: inserts check key uniqueness across both
+stages (the ~30 % insert-throughput cost of Figures 5.3-5.6); updates
+of static-stage keys insert a shadowing entry into the dynamic stage.
+Secondary-index semantics (``secondary=True``): values are lists, and
+updates append in place even in the static stage, so a key never lives
+in both stages.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator, Sequence
+
+from ..compact import (
+    CompactART,
+    CompactBPlusTree,
+    CompactMasstree,
+    CompactSkipList,
+    CompressedBPlusTree,
+)
+from ..filters.bloom import BloomFilter
+from ..trees import ART, BPlusTree, Masstree, OrderedIndex, PagedSkipList
+
+_TOMBSTONE = object()
+
+#: Default ratio-based merge trigger (Section 5.3.3 picks 10).
+DEFAULT_MERGE_RATIO = 10
+#: Dynamic-stage size that forces the first merge when the static
+#: stage is still empty.
+MIN_MERGE_SIZE = 256
+#: Bits per key for the dynamic-stage Bloom filter.
+BLOOM_BITS_PER_KEY = 10
+
+
+class HybridIndex(OrderedIndex):
+    """Dual-stage index: dynamic writes, compact static bulk."""
+
+    def __init__(
+        self,
+        dynamic_factory: Callable[[], OrderedIndex],
+        static_factory: Callable[[Sequence[tuple[bytes, Any]]], Any],
+        merge_ratio: float = DEFAULT_MERGE_RATIO,
+        merge_trigger: str = "ratio",
+        merge_strategy: str = "all",
+        constant_threshold: int = 4096,
+        use_bloom: bool = True,
+        secondary: bool = False,
+        min_merge_size: int = MIN_MERGE_SIZE,
+    ) -> None:
+        if merge_trigger not in ("ratio", "constant"):
+            raise ValueError("merge_trigger must be 'ratio' or 'constant'")
+        if merge_strategy not in ("all", "cold"):
+            raise ValueError("merge_strategy must be 'all' or 'cold'")
+        self._dynamic_factory = dynamic_factory
+        self._static_factory = static_factory
+        self.dynamic: OrderedIndex = dynamic_factory()
+        self.static = static_factory([])
+        self.merge_ratio = merge_ratio
+        self.merge_trigger = merge_trigger
+        self.merge_strategy = merge_strategy
+        self.constant_threshold = constant_threshold
+        #: Access counts for merge-cold (Section 5.2.2): tracked only
+        #: when the strategy needs them (tracking is itself a cost the
+        #: paper charges against merge-cold).
+        self._access: dict[bytes, int] = {}
+        #: Entries retained by the last merge-cold pass; excluded from
+        #: the merge trigger so retention cannot re-trigger it.
+        self._retained_hot = 0
+        self.use_bloom = use_bloom
+        self.secondary = secondary
+        self.min_merge_size = min_merge_size
+        self._bloom: BloomFilter | None = (
+            BloomFilter([], expected_keys=min_merge_size) if use_bloom else None
+        )
+        self._deleted: set[bytes] = set()
+        self._len = 0
+        # merge statistics (Figures 5.7/5.8)
+        self.merge_count = 0
+        self.total_merge_seconds = 0.0
+        self.last_merge_seconds = 0.0
+
+    # -- stage plumbing -----------------------------------------------------------
+
+    def _bloom_positive(self, key: bytes) -> bool:
+        return self._bloom is None or self._bloom.may_contain(key)
+
+    def _rebuild_bloom(self) -> None:
+        if self.use_bloom:
+            keys = [k for k, _ in self.dynamic.items()]
+            # Size for the dynamic stage's expected capacity before the
+            # next merge fires (static/ratio entries).
+            expected = max(
+                self.min_merge_size, int(len(self.static) / self.merge_ratio) + 1
+            )
+            self._bloom = BloomFilter(keys, BLOOM_BITS_PER_KEY, expected_keys=expected)
+
+    def _dynamic_changed(self, new_key: bytes | None = None) -> None:
+        # Bloom filters cannot delete; adding is enough for correctness
+        # (false positives only cost an extra dynamic-stage probe).
+        if self.use_bloom and new_key is not None:
+            self._bloom._set(new_key)
+
+    # -- merge --------------------------------------------------------------------------
+
+    def should_merge(self) -> bool:
+        dyn = len(self.dynamic) - self._retained_hot
+        if dyn <= 0:
+            return False
+        if self.merge_trigger == "constant":
+            return dyn >= self.constant_threshold
+        static_len = len(self.static)
+        if static_len == 0:
+            return dyn >= self.min_merge_size
+        return dyn * self.merge_ratio >= static_len
+
+    def merge(self) -> None:
+        """Migrate dynamic-stage entries to the static stage
+        (Section 5.2).  Blocking, as in the thesis.
+
+        merge-all moves everything; merge-cold retains entries read at
+        least twice since the last merge (they are likely to be read
+        again), trading merge frequency for hot-read locality.
+        """
+        started = time.perf_counter()
+        keep_hot: list[tuple[bytes, Any]] = []
+        if self.merge_strategy == "cold" and not self.secondary:
+            keep_hot = [
+                (k, v)
+                for k, v in self.dynamic.items()
+                if self._access.get(k, 0) >= 2
+            ]
+        hot_keys = {k for k, _ in keep_hot}
+        merged: list[tuple[bytes, Any]] = []
+        dyn_iter = iter(self.dynamic.items())
+        stat_iter = iter(self.static.items())
+        dyn = next(dyn_iter, None)
+        stat = next(stat_iter, None)
+        deleted = self._deleted
+        while dyn is not None or stat is not None:
+            if stat is None or (dyn is not None and dyn[0] <= stat[0]):
+                if dyn is not None and stat is not None and dyn[0] == stat[0]:
+                    stat = next(stat_iter, None)  # dynamic shadows static
+                if dyn[0] not in deleted:
+                    merged.append(dyn)
+                dyn = next(dyn_iter, None)
+            else:
+                if stat[0] not in deleted:
+                    merged.append(stat)
+                stat = next(stat_iter, None)
+        if hot_keys:
+            merged = [(k, v) for k, v in merged if k not in hot_keys]
+        self.static = self._static_factory(merged)
+        self.dynamic = self._dynamic_factory()
+        for k, v in keep_hot:
+            self.dynamic.insert(k, v)
+        self._deleted = set()
+        self._access = {}
+        self._retained_hot = len(keep_hot)
+        self._rebuild_bloom()
+        self.last_merge_seconds = time.perf_counter() - started
+        self.total_merge_seconds += self.last_merge_seconds
+        self.merge_count += 1
+
+    def _maybe_merge(self) -> None:
+        if self.should_merge():
+            self.merge()
+
+    # -- point operations ----------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        if self.secondary:
+            return self._insert_secondary(key, value)
+        # Primary: uniqueness check spans both stages.
+        if self._bloom_positive(key) and self.dynamic.get(key) is not None:
+            return False
+        in_static = self.static.get(key) is not None and key not in self._deleted
+        if in_static:
+            return False
+        self._deleted.discard(key)
+        self.dynamic.insert(key, value)
+        self._len += 1
+        self._dynamic_changed(key)
+        self._maybe_merge()
+        return True
+
+    def _insert_secondary(self, key: bytes, value: Any) -> bool:
+        """Secondary index: append to the key's value list, in place
+        even when the key lives in the static stage."""
+        if self._bloom_positive(key):
+            existing = self.dynamic.get(key)
+            if existing is not None:
+                existing.append(value)
+                return True
+        static_list = self.static.get(key)
+        if static_list is not None and key not in self._deleted:
+            static_list.append(value)
+            return True
+        self._deleted.discard(key)
+        self.dynamic.insert(key, [value])
+        self._len += 1
+        self._dynamic_changed(key)
+        self._maybe_merge()
+        return True
+
+    def get(self, key: bytes) -> Any | None:
+        if self._bloom_positive(key):
+            value = self.dynamic.get(key)
+            if value is not None:
+                if self.merge_strategy == "cold":
+                    self._access[key] = self._access.get(key, 0) + 1
+                return value
+        if key in self._deleted:
+            return None
+        return self.static.get(key)
+
+    def update(self, key: bytes, value: Any) -> bool:
+        if self._bloom_positive(key) and self.dynamic.update(key, value):
+            return True
+        if key in self._deleted or self.static.get(key) is None:
+            return False
+        if self.secondary:
+            # In-place value update avoids duplicating the key.
+            self.static.get(key)[:] = value
+            return True
+        # Primary: shadow the static entry with a dynamic insert.
+        self.dynamic.insert(key, value)
+        self._dynamic_changed(key)
+        self._maybe_merge()
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        if self._bloom_positive(key) and self.dynamic.delete(key):
+            self._len -= 1
+            return True
+        if key in self._deleted or self.static.get(key) is None:
+            return False
+        self._deleted.add(key)  # tombstone until the next merge
+        self._len -= 1
+        return True
+
+    # -- range operations ------------------------------------------------------------------
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        """Merged iteration over both stages (dynamic shadows static)."""
+        dyn_iter = self.dynamic.lower_bound(key)
+        stat_iter = self.static.lower_bound(key)
+        dyn = next(dyn_iter, None)
+        stat = next(stat_iter, None)
+        while dyn is not None or stat is not None:
+            if stat is None or (dyn is not None and dyn[0] <= stat[0]):
+                if dyn is not None and stat is not None and dyn[0] == stat[0]:
+                    stat = next(stat_iter, None)
+                if dyn[0] not in self._deleted:
+                    yield dyn
+                dyn = next(dyn_iter, None)
+            else:
+                if stat[0] not in self._deleted:
+                    yield stat
+                stat = next(stat_iter, None)
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        yield from self.lower_bound(b"")
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- memory -------------------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        total = self.dynamic.memory_bytes() + self.static.memory_bytes()
+        if self._bloom is not None:
+            total += self._bloom.memory_bytes()
+        return total
+
+
+# -- ready-made hybrid indexes (the four structures of Figures 5.3-5.6) ----
+
+
+def hybrid_btree(**kwargs) -> HybridIndex:
+    """Hybrid B+tree: B+tree front, Compact B+tree bulk."""
+    return HybridIndex(BPlusTree, CompactBPlusTree, **kwargs)
+
+
+def hybrid_skiplist(**kwargs) -> HybridIndex:
+    """Hybrid Skip List."""
+    return HybridIndex(PagedSkipList, CompactSkipList, **kwargs)
+
+
+def hybrid_art(**kwargs) -> HybridIndex:
+    """Hybrid ART."""
+    return HybridIndex(ART, CompactART, **kwargs)
+
+
+def hybrid_masstree(**kwargs) -> HybridIndex:
+    """Hybrid Masstree."""
+    return HybridIndex(Masstree, CompactMasstree, **kwargs)
+
+
+def hybrid_compressed_btree(cache_nodes: int = 32, **kwargs) -> HybridIndex:
+    """Hybrid-Compressed B+tree: static stage also block-compressed."""
+    return HybridIndex(
+        BPlusTree,
+        lambda pairs: CompressedBPlusTree(pairs, cache_nodes=cache_nodes),
+        **kwargs,
+    )

@@ -1,0 +1,6 @@
+"""LSM-tree storage engine with simulated I/O (Chapter 4 substrate)."""
+
+from .engine import IoStats, LSMTree
+from .sstable import SSTable, TOMBSTONE
+
+__all__ = ["LSMTree", "SSTable", "TOMBSTONE", "IoStats"]

@@ -1,0 +1,352 @@
+"""A leveled LSM-tree storage engine with simulated I/O (Section 4.2).
+
+The architecture mirrors Figure 4.2: writes land in a MemTable; full
+MemTables become level-0 SSTables; compaction merges runs downward so
+that every level >= 1 holds disjoint key ranges.  A block cache (CLOCK)
+approximates RocksDB's block cache + OS page cache; fence indexes and
+filters live in the always-resident table cache.
+
+Query execution follows the Figure 4.3 flowcharts, and performance is
+reported as simulated I/Os: every block fetch that misses the cache
+costs one I/O.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Iterator
+
+from ..compact.node_cache import ClockNodeCache
+from .sstable import DEFAULT_BLOCK_ENTRIES, SSTable, TOMBSTONE
+
+
+class IoStats:
+    """Simulated I/O counters."""
+
+    __slots__ = ("block_reads", "cache_hits")
+
+    def __init__(self) -> None:
+        self.block_reads = 0
+        self.cache_hits = 0
+
+    def reset(self) -> None:
+        self.block_reads = 0
+        self.cache_hits = 0
+
+
+class LSMTree:
+    """Log-structured merge tree with pluggable per-table filters."""
+
+    def __init__(
+        self,
+        memtable_entries: int = 512,
+        sstable_entries: int = 4096,
+        block_entries: int = DEFAULT_BLOCK_ENTRIES,
+        level0_limit: int = 4,
+        level_fanout: int = 10,
+        block_cache_blocks: int = 128,
+        filter_factory: Callable | None = None,
+    ) -> None:
+        self._memtable: dict[bytes, Any] = {}
+        self._memtable_entries = memtable_entries
+        self._sstable_entries = sstable_entries
+        self._block_entries = block_entries
+        self._level0_limit = level0_limit
+        self._level_fanout = level_fanout
+        self._filter_factory = filter_factory
+        #: levels[0] is newest-first and may overlap; levels[i >= 1]
+        #: are sorted by min_key with disjoint ranges.
+        self.levels: list[list[SSTable]] = [[]]
+        self._block_cache = ClockNodeCache(block_cache_blocks)
+        self.io = IoStats()
+
+    # -- write path --------------------------------------------------------------
+
+    def put(self, key: bytes, value: Any) -> None:
+        self._memtable[key] = value
+        if len(self._memtable) >= self._memtable_entries:
+            self.flush_memtable()
+
+    def delete(self, key: bytes) -> None:
+        self.put(key, TOMBSTONE)
+
+    def flush_memtable(self) -> None:
+        if not self._memtable:
+            return
+        pairs = sorted(self._memtable.items())
+        self.levels[0].insert(0, self._make_table(pairs))
+        self._memtable = {}
+        self._maybe_compact()
+
+    def _make_table(self, pairs) -> SSTable:
+        return SSTable(
+            pairs,
+            block_entries=self._block_entries,
+            filter_factory=self._filter_factory,
+        )
+
+    # -- compaction -----------------------------------------------------------------
+
+    def _level_limit(self, level: int) -> int:
+        if level == 0:
+            return self._level0_limit
+        return self._level0_limit * (self._level_fanout ** level)
+
+    def _maybe_compact(self) -> None:
+        level = 0
+        while level < len(self.levels):
+            if len(self.levels[level]) > self._level_limit(level):
+                self._compact_level(level)
+            level += 1
+
+    def _compact_level(self, level: int) -> None:
+        """Merge one level's overflow into the next level."""
+        if level + 1 >= len(self.levels):
+            self.levels.append([])
+        if level == 0:
+            sources = self.levels[0]
+            self.levels[0] = []
+        else:
+            sources = [self.levels[level].pop(0)]
+        lo = min(t.min_key for t in sources)
+        hi = max(t.max_key for t in sources)
+        next_level = self.levels[level + 1]
+        overlapping = [t for t in next_level if t.overlaps(lo, hi)]
+        keep = [t for t in next_level if not t.overlaps(lo, hi)]
+        merged = self._merge_tables(sources, overlapping, drop_tombstones=level + 2 == len(self.levels))
+        new_tables = [
+            self._make_table(merged[i : i + self._sstable_entries])
+            for i in range(0, len(merged), self._sstable_entries)
+        ]
+        self.levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
+
+    def _merge_tables(
+        self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool
+    ) -> list[tuple[bytes, Any]]:
+        """Newest-wins merge of runs (``newer`` is newest-first)."""
+        merged: dict[bytes, Any] = {}
+        for table in older:
+            for k, v in table.items():
+                merged[k] = v
+        for table in reversed(newer):  # apply oldest first, newest last
+            for k, v in table.items():
+                merged[k] = v
+        out = sorted(merged.items())
+        if drop_tombstones:
+            out = [(k, v) for k, v in out if v is not TOMBSTONE]
+        return out
+
+    # -- block access with simulated I/O ------------------------------------------------
+
+    def _read_block(self, table: SSTable, block_idx: int) -> list[tuple[bytes, Any]]:
+        cache_key = (table.table_id, block_idx)
+        before = self._block_cache.misses
+        block = self._block_cache.get_or_load(
+            cache_key, lambda: table.blocks[block_idx]
+        )
+        if self._block_cache.misses > before:
+            self.io.block_reads += 1
+        else:
+            self.io.cache_hits += 1
+        return block
+
+    # -- Get (Figure 4.3 left) ------------------------------------------------------------
+
+    def get(self, key: bytes) -> Any | None:
+        if key in self._memtable:
+            value = self._memtable[key]
+            return None if value is TOMBSTONE else value
+        for table in self._candidates_for(key):
+            if not table.may_contain(key):
+                continue
+            block = self._read_block(table, table.block_for(key))
+            idx = bisect_left(block, (key,))
+            if idx < len(block) and block[idx][0] == key:
+                value = block[idx][1]
+                return None if value is TOMBSTONE else value
+        return None
+
+    def _candidates_for(self, key: bytes) -> Iterator[SSTable]:
+        for table in self.levels[0]:
+            if table.min_key <= key <= table.max_key:
+                yield table
+        for level in self.levels[1:]:
+            idx = bisect_right([t.min_key for t in level], key) - 1
+            if idx >= 0 and key <= level[idx].max_key:
+                yield level[idx]
+
+    # -- Seek (Figure 4.3 middle) -----------------------------------------------------------
+
+    def seek(self, low: bytes, high: bytes | None = None) -> tuple[bytes, Any] | None:
+        """Smallest entry with key >= low (and <= high if given).
+
+        With SuRF filters, candidate keys come from the filters and at
+        most one block is fetched; without them, one block per
+        candidate SSTable is fetched (the I/O the paper saves).
+        """
+        best: tuple[bytes, Any] | None = None
+        # MemTable candidate (no I/O).
+        mem = [(k, v) for k, v in self._memtable.items() if k >= low]
+        if mem:
+            best = min(mem)
+        candidates = list(self._seek_candidates(low))
+        if candidates and all(
+            t.filter is not None and hasattr(t.filter, "move_to_next")
+            for t in candidates
+        ):
+            cand = self._filtered_seek(candidates, low, high, best)
+            if cand is not None and (best is None or cand[0] < best[0]):
+                best = cand
+        else:
+            for table in candidates:
+                cand = self._table_seek(table, low, high, best)
+                if cand is not None and (best is None or cand[0] < best[0]):
+                    best = cand
+        if best is None or best[1] is TOMBSTONE:
+            # Tombstones shadow older entries; step past them.
+            if best is not None:
+                return self.seek(best[0] + b"\x00", high)
+            return None
+        if high is not None and best[0] > high:
+            return None
+        return best
+
+    def _filtered_seek(
+        self,
+        candidates: list[SSTable],
+        low: bytes,
+        high: bytes | None,
+        best: tuple[bytes, Any] | None,
+    ) -> tuple[bytes, Any] | None:
+        """The paper's SuRF seek (Section 4.2): obtain each table's
+        candidate *key prefix* from its filter (no I/O), find the global
+        minimum, and fetch exactly one block — plus extra fetches only
+        for ambiguous prefix ties or fp-flagged boundaries."""
+        prefixed: list[tuple[bytes, SSTable]] = []
+        for table in candidates:
+            it, _fp = table.filter_seek(low)
+            if not it.valid:
+                continue
+            prefixed.append((it.key(), table))
+        if not prefixed:
+            return None
+        min_prefix = min(p for p, _ in prefixed)
+        if high is not None and min_prefix > high:
+            return None  # every candidate starts past the bound: no I/O
+        # Resolve the winner: any table whose prefix ties with or is a
+        # prefix-relative of the minimum needs its complete key.
+        result: tuple[bytes, Any] | None = None
+        for prefix, table in prefixed:
+            ambiguous = (
+                prefix == min_prefix
+                or prefix.startswith(min_prefix)
+                or min_prefix.startswith(prefix)
+            )
+            if not ambiguous:
+                continue
+            cand = self._table_seek(table, low, high, result or best)
+            if cand is not None and (result is None or cand[0] < result[0]):
+                result = cand
+        return result
+
+    def _seek_candidates(self, low: bytes) -> Iterator[SSTable]:
+        for table in self.levels[0]:
+            if table.max_key >= low:
+                yield table
+        for level in self.levels[1:]:
+            idx = bisect_right([t.min_key for t in level], low) - 1
+            start = max(idx, 0)
+            for table in level[start:]:
+                if table.max_key >= low:
+                    yield table
+                    break  # disjoint level: first qualifying table wins
+
+    def _table_seek(
+        self,
+        table: SSTable,
+        low: bytes,
+        high: bytes | None,
+        best: tuple[bytes, Any] | None,
+    ) -> tuple[bytes, Any] | None:
+        filter_it = table.filter_seek(low)
+        if filter_it is not None:
+            it, _fp = filter_it
+            if not it.valid:
+                return None  # filter proves nothing >= low here
+            candidate_prefix = it.key()
+            if high is not None and candidate_prefix > high:
+                return None  # beyond the bound: I/O saved
+            if best is not None and candidate_prefix > best[0]:
+                return None  # cannot beat the current winner
+        # Fetch the one block that holds the table's first key >= low.
+        block_idx = table.block_for(low)
+        block = self._read_block(table, block_idx)
+        idx = bisect_left(block, (low,))
+        while True:
+            if idx < len(block):
+                return block[idx]
+            block_idx += 1
+            if block_idx >= len(table.blocks):
+                return None
+            block = self._read_block(table, block_idx)
+            idx = 0
+
+    # -- iteration / Count (Figure 4.3 right) ---------------------------------------------------
+
+    def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        """Seek + Next*: the first ``count`` live entries >= low."""
+        out: list[tuple[bytes, Any]] = []
+        cursor = low
+        while len(out) < count:
+            entry = self.seek(cursor)
+            if entry is None:
+                break
+            out.append(entry)
+            cursor = entry[0] + b"\x00"
+        return out
+
+    def count(self, low: bytes, high: bytes) -> int:
+        """Approximate count of entries in [low, high).
+
+        With SuRF filters this runs from the filters plus at most two
+        boundary block reads per level; otherwise it scans blocks.
+        As in the paper, LSM semantics make it approximate (it cannot
+        distinguish updates/deletes across runs without a full merge).
+        """
+        total = 0
+        total += sum(1 for k in self._memtable if low <= k < high)
+        for level in self.levels:
+            for table in level:
+                if not table.overlaps(low, high):
+                    continue
+                if table.filter is not None and hasattr(table.filter, "count"):
+                    total += table.filter.count(low, high)
+                else:
+                    total += self._scan_count(table, low, high)
+        return total
+
+    def _scan_count(self, table: SSTable, low: bytes, high: bytes) -> int:
+        count = 0
+        block_idx = table.block_for(low)
+        while block_idx < len(table.blocks):
+            block = self._read_block(table, block_idx)
+            for k, _ in block:
+                if k >= high:
+                    return count
+                if k >= low:
+                    count += 1
+            block_idx += 1
+        return count
+
+    # -- statistics -----------------------------------------------------------------------------
+
+    def total_entries(self) -> int:
+        return len(self._memtable) + sum(
+            t.n_entries for level in self.levels for t in level
+        )
+
+    def filter_memory_bytes(self) -> int:
+        return sum(t.filter_memory_bytes() for level in self.levels for t in level)
+
+    def table_count(self) -> int:
+        return sum(len(level) for level in self.levels)

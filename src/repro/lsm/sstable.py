@@ -1,0 +1,82 @@
+"""SSTables: immutable sorted runs with blocks, fences, and filters.
+
+An SSTable holds sorted key-value pairs divided into fixed-size blocks
+(the smallest disk access units).  The per-block "restarting points"
+(first key of each block) form the fence index kept in the table cache;
+an optional filter (Bloom or SuRF) guards the table (Section 4.2).
+
+Disk I/O is simulated: reading a block that is not cached costs one
+I/O, counted by the engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Sequence
+
+#: Marker value for deletions (RocksDB tombstones).
+TOMBSTONE = object()
+
+DEFAULT_BLOCK_ENTRIES = 64
+
+
+class SSTable:
+    """One immutable sorted run."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[bytes, Any]],
+        block_entries: int = DEFAULT_BLOCK_ENTRIES,
+        filter_factory=None,
+    ) -> None:
+        """``pairs`` must be sorted by strictly increasing key."""
+        if not pairs:
+            raise ValueError("SSTable cannot be empty")
+        for i in range(len(pairs) - 1):
+            if pairs[i][0] >= pairs[i + 1][0]:
+                raise ValueError("SSTable pairs must be sorted and distinct")
+        self.table_id = SSTable._next_id
+        SSTable._next_id += 1
+        self.blocks: list[list[tuple[bytes, Any]]] = [
+            list(pairs[i : i + block_entries])
+            for i in range(0, len(pairs), block_entries)
+        ]
+        self.fences: list[bytes] = [block[0][0] for block in self.blocks]
+        self.min_key = pairs[0][0]
+        self.max_key = pairs[-1][0]
+        self.n_entries = len(pairs)
+        # Filters guard only live keys (tombstones would false-negative
+        # reads of older versions, so they are included as keys too).
+        self.filter = (
+            filter_factory([k for k, _ in pairs]) if filter_factory else None
+        )
+
+    def block_for(self, key: bytes) -> int:
+        """Index of the block that may contain ``key``."""
+        idx = bisect_right(self.fences, key) - 1
+        return max(idx, 0)
+
+    def overlaps(self, lo: bytes, hi: bytes) -> bool:
+        return not (self.max_key < lo or self.min_key > hi)
+
+    def may_contain(self, key: bytes) -> bool:
+        """Filter probe (no I/O); True when no filter is attached."""
+        if self.filter is None:
+            return self.min_key <= key <= self.max_key
+        return self.filter.lookup(key) if hasattr(self.filter, "lookup") else self.filter.may_contain(key)
+
+    def filter_seek(self, key: bytes):
+        """SuRF moveToNext on the table's filter, or None if the filter
+        cannot answer (absent or a Bloom filter)."""
+        if self.filter is None or not hasattr(self.filter, "move_to_next"):
+            return None
+        return self.filter.move_to_next(key)
+
+    def items(self):
+        for block in self.blocks:
+            yield from block
+
+    def filter_memory_bytes(self) -> int:
+        return self.filter.memory_bytes() if self.filter is not None else 0

@@ -1,0 +1,40 @@
+"""Succinct data-structure primitives (Chapter 3 substrate).
+
+Bit vectors with rank/select support, the LOUDS and DFUDS ordinal-tree
+codecs, and the succinct-trie baselines used in Figure 3.5.
+"""
+
+from .bitvector import BitVector, BitVectorBuilder, WORD_BITS
+from .rank import (
+    DENSE_RANK_BLOCK_BITS,
+    SPARSE_RANK_BLOCK_BITS,
+    RankSupport,
+)
+from .select import DEFAULT_SELECT_SAMPLE_RATE, SelectSupport
+from .louds import LoudsTree
+from .dfuds import DfudsTree
+
+
+def __getattr__(name: str):
+    # TxTrie builds on FST, which builds on this package: import the
+    # baselines lazily to avoid the circular import.
+    if name in ("TxTrie", "PathDecomposedTrie"):
+        from . import baseline_tries
+
+        return getattr(baseline_tries, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BitVector",
+    "BitVectorBuilder",
+    "WORD_BITS",
+    "RankSupport",
+    "SelectSupport",
+    "LoudsTree",
+    "DfudsTree",
+    "TxTrie",
+    "PathDecomposedTrie",
+    "DENSE_RANK_BLOCK_BITS",
+    "SPARSE_RANK_BLOCK_BITS",
+    "DEFAULT_SELECT_SAMPLE_RATE",
+]

@@ -1,0 +1,173 @@
+"""Succinct-trie baselines for the Figure 3.5 comparison.
+
+* :class:`TxTrie` — stands in for tx-trie: a LOUDS-Sparse-only
+  encoding with none of FST's optimizations (no LOUDS-Dense levels,
+  linear label search).  Implemented as a configuration of our FST so
+  the comparison isolates exactly the optimizations the paper credits.
+* :class:`PathDecomposedTrie` — stands in for PDT: a centroid
+  path-decomposed trie whose shape would be DFUDS-encoded; each node
+  stores its heavy-path label string, with branches hanging off path
+  positions.  Path decomposition re-balances deep tries (the paper
+  notes PDT narrows the gap on long-key workloads).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..fst.fst import FST
+
+
+class TxTrie(FST):
+    """LOUDS-Sparse-only succinct trie without FST's optimizations."""
+
+    def __init__(self, keys: Sequence[bytes], values: Sequence[Any] | None = None):
+        super().__init__(
+            keys,
+            values,
+            dense_levels=0,
+            label_search="linear",
+            sparse_rank_block=512,
+            select_sample=256,  # coarse select: no sampled-LUT speedup
+        )
+
+
+class _PdtNode:
+    __slots__ = ("path", "branches", "terminals")
+
+    def __init__(self, path: bytes) -> None:
+        self.path = path
+        #: (position_in_path, branch_byte, child), sorted by position.
+        self.branches: list[tuple[int, int, "_PdtNode"]] = []
+        #: (position_in_path, value): a key ends after consuming
+        #: ``position`` bytes of this node's path.
+        self.terminals: list[tuple[int, Any]] = []
+
+    def find_branch(self, pos: int, byte: int) -> "_PdtNode | None":
+        for bpos, bbyte, child in self.branches:
+            if bpos == pos and bbyte == byte:
+                return child
+        return None
+
+    def terminal_at(self, pos: int) -> Any | None:
+        for tpos, value in self.terminals:
+            if tpos == pos:
+                return value
+        return None
+
+
+class PathDecomposedTrie:
+    """Centroid path-decomposed trie over sorted distinct keys."""
+
+    def __init__(self, keys: Sequence[bytes], values: Sequence[Any] | None = None):
+        for i in range(len(keys) - 1):
+            if keys[i] >= keys[i + 1]:
+                raise ValueError("keys must be sorted and distinct")
+        if values is None:
+            values = list(range(len(keys)))
+        self.n_keys = len(keys)
+        pairs = list(zip(keys, values))
+        self._root = self._build(pairs, 0) if pairs else None
+        self._node_count = 0
+        self._path_bytes = 0
+        self._branch_count = 0
+        self._terminal_count = 0
+        self._count_stats(self._root)
+
+    def _build(self, pairs: list[tuple[bytes, Any]], depth: int) -> _PdtNode:
+        """Follow the heaviest child at every step; side groups branch;
+        keys ending along the path become interior terminals."""
+        path = bytearray()
+        terminals: list[tuple[int, Any]] = []
+        branches: list[tuple[int, int, _PdtNode]] = []
+        lo, hi = 0, len(pairs)
+        while True:
+            if lo < hi and len(pairs[lo][0]) == depth:
+                terminals.append((len(path), pairs[lo][1]))
+                lo += 1
+            if lo >= hi:
+                break
+            # Group by next byte; the heaviest group continues the path.
+            groups: list[tuple[int, int, int]] = []  # (byte, start, end)
+            i = lo
+            while i < hi:
+                byte = pairs[i][0][depth]
+                j = i
+                while j < hi and pairs[j][0][depth] == byte:
+                    j += 1
+                groups.append((byte, i, j))
+                i = j
+            heavy = max(range(len(groups)), key=lambda g: groups[g][2] - groups[g][1])
+            for gi, (byte, gs, ge) in enumerate(groups):
+                if gi != heavy:
+                    branches.append(
+                        (len(path), byte, self._build(pairs[gs:ge], depth + 1))
+                    )
+            heavy_byte, lo, hi = groups[heavy]
+            path.append(heavy_byte)
+            depth += 1
+        node = _PdtNode(bytes(path))
+        node.terminals = terminals
+        node.branches = sorted(branches, key=lambda b: (b[0], b[1]))
+        return node
+
+    def get(self, key: bytes) -> Any | None:
+        node = self._root
+        depth = 0
+        while node is not None:
+            path = node.path
+            i = 0
+            while True:
+                if depth == len(key):
+                    return node.terminal_at(i)
+                if i == len(path) or key[depth] != path[i]:
+                    child = node.find_branch(i, key[depth])
+                    if child is None:
+                        return None
+                    node = child
+                    depth += 1
+                    break
+                i += 1
+                depth += 1
+        return None
+
+    def __len__(self) -> int:
+        return self.n_keys
+
+    def _count_stats(self, node: _PdtNode | None) -> None:
+        if node is None:
+            return
+        self._node_count += 1
+        self._path_bytes += len(node.path)
+        self._branch_count += len(node.branches)
+        self._terminal_count += len(node.terminals)
+        for _, _, child in node.branches:
+            self._count_stats(child)
+
+    def size_bits(self) -> int:
+        """Modeled succinct encoding: DFUDS shape (2 bits/branch edge +
+        2/node) + path bytes + branch labels + 2-byte branch positions
+        + 32-bit path offsets."""
+        shape = 2 * (self._node_count + self._branch_count)
+        paths = 8 * self._path_bytes + 32 * self._node_count
+        branches = (8 + 16) * self._branch_count
+        terminals = 16 * self._terminal_count  # interior end positions
+        return shape + paths + branches + terminals
+
+    def memory_bytes(self) -> int:
+        return (self.size_bits() + 7) // 8
+
+    @property
+    def max_node_depth(self) -> int:
+        """Path decomposition bounds node depth ~ log(n) even for long
+        keys — the rebalancing the paper credits PDT for."""
+        best = 0
+        stack = [(self._root, 1)]
+        while stack:
+            node, d = stack.pop()
+            if node is None:
+                continue
+            best = max(best, d)
+            for _, _, child in node.branches:
+                stack.append((child, d + 1))
+        return best

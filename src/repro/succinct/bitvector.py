@@ -1,0 +1,155 @@
+"""Plain bit vectors backed by numpy ``uint64`` words.
+
+This is the base storage primitive for every succinct structure in the
+library (LOUDS, LOUDS-Dense, LOUDS-Sparse, DFUDS).  Bits are addressed
+LSB-first within each 64-bit word, so bit *i* lives in word ``i // 64``
+at shift ``i % 64``.
+
+The vector itself is append-only during construction (via
+:class:`BitVectorBuilder`) and immutable afterwards, matching the static
+data structures of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class BitVector:
+    """An immutable sequence of bits.
+
+    Parameters
+    ----------
+    words:
+        The backing ``uint64`` array (LSB-first bit order).
+    n_bits:
+        Logical length; trailing bits of the last word must be zero.
+    """
+
+    __slots__ = ("_words", "_n_bits")
+
+    def __init__(self, words: np.ndarray, n_bits: int) -> None:
+        if words.dtype != np.uint64:
+            raise TypeError(f"words must be uint64, got {words.dtype}")
+        if n_bits > len(words) * WORD_BITS:
+            raise ValueError("n_bits exceeds capacity of words array")
+        self._words = words
+        self._n_bits = n_bits
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build a vector from an iterable of 0/1 values."""
+        builder = BitVectorBuilder()
+        for bit in bits:
+            builder.append(bit)
+        return builder.build()
+
+    @classmethod
+    def zeros(cls, n_bits: int) -> "BitVector":
+        n_words = (n_bits + WORD_BITS - 1) // WORD_BITS
+        return cls(np.zeros(n_words, dtype=np.uint64), n_bits)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_bits
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0 or i >= self._n_bits:
+            raise IndexError(f"bit index {i} out of range [0, {self._n_bits})")
+        return (int(self._words[i >> 6]) >> (i & 63)) & 1
+
+    def get(self, i: int) -> int:
+        """Unchecked bit read (hot path for rank/select internals)."""
+        return (int(self._words[i >> 6]) >> (i & 63)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._n_bits):
+            yield self.get(i)
+
+    @property
+    def words(self) -> np.ndarray:
+        return self._words
+
+    def word(self, k: int) -> int:
+        """The k-th 64-bit word as a Python int."""
+        return int(self._words[k])
+
+    def count_ones(self) -> int:
+        """Total number of set bits."""
+        # Bulk popcount: view as bytes and use the canonical unpackbits sum.
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def popcount_range(self, start: int, stop: int) -> int:
+        """Number of set bits in ``[start, stop)`` (scalar path)."""
+        if start >= stop:
+            return 0
+        total = 0
+        first_word, last_word = start >> 6, (stop - 1) >> 6
+        if first_word == last_word:
+            width = stop - start
+            chunk = (int(self._words[first_word]) >> (start & 63)) & ((1 << width) - 1)
+            return chunk.bit_count()
+        head = int(self._words[first_word]) >> (start & 63)
+        total += head.bit_count()
+        for w in range(first_word + 1, last_word):
+            total += int(self._words[w]).bit_count()
+        tail_bits = ((stop - 1) & 63) + 1
+        tail = int(self._words[last_word]) & ((1 << tail_bits) - 1)
+        total += tail.bit_count()
+        return total
+
+    # -- memory accounting ------------------------------------------------
+
+    def size_bits(self) -> int:
+        """Memory footprint of the raw bits (as stored, word-aligned)."""
+        return len(self._words) * WORD_BITS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = "".join(str(self.get(i)) for i in range(min(64, self._n_bits)))
+        suffix = "..." if self._n_bits > 64 else ""
+        return f"BitVector({self._n_bits} bits: {prefix}{suffix})"
+
+
+class BitVectorBuilder:
+    """Append-only builder producing an immutable :class:`BitVector`."""
+
+    def __init__(self) -> None:
+        self._words: list[int] = []
+        self._current = 0
+        self._n_bits = 0
+
+    def append(self, bit: int) -> None:
+        if bit:
+            self._current |= 1 << (self._n_bits & 63)
+        self._n_bits += 1
+        if (self._n_bits & 63) == 0:
+            self._words.append(self._current)
+            self._current = 0
+
+    def append_run(self, bit: int, count: int) -> None:
+        """Append ``count`` copies of ``bit``."""
+        for _ in range(count):
+            self.append(bit)
+
+    def append_bits_lsb(self, value: int, width: int) -> None:
+        """Append the low ``width`` bits of ``value``, LSB first."""
+        for k in range(width):
+            self.append((value >> k) & 1)
+
+    def __len__(self) -> int:
+        return self._n_bits
+
+    def build(self) -> BitVector:
+        words = list(self._words)
+        if self._n_bits & 63:
+            words.append(self._current)
+        arr = np.array(words, dtype=np.uint64) if words else np.zeros(0, dtype=np.uint64)
+        return BitVector(arr, self._n_bits)

@@ -1,0 +1,106 @@
+"""Depth-First Unary Degree Sequence (DFUDS) ordinal-tree codec.
+
+DFUDS (reviewed in Chapter 7 of the thesis, Figure 7.1) writes each
+node's degree in unary during a *preorder* traversal, using ``(`` for
+branches and ``)`` as the terminator, with one extra leading ``(`` to
+make the sequence balanced.  Child navigation uses parenthesis matching
+(``findclose``).
+
+We encode ``(`` as bit 1 and ``)`` as bit 0.  The implementation keeps
+paren matching simple (word-wise scan with an excess counter) — DFUDS is
+only used by the path-decomposed-trie *baseline* (Figure 3.5), which the
+paper shows to be slower than FST anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .bitvector import BitVector, BitVectorBuilder
+from .rank import RankSupport
+
+
+class DfudsTree:
+    """A static ordinal tree encoded with DFUDS.
+
+    Nodes are numbered in preorder (zero-based).  ``children[i]`` in the
+    constructor lists children of node *i* in order; node 0 is the root.
+    """
+
+    __slots__ = ("bits", "_rank", "num_nodes", "_order", "_start")
+
+    def __init__(self, children: Sequence[Sequence[int]]) -> None:
+        builder = BitVectorBuilder()
+        builder.append(1)  # leading pseudo-paren for balance
+        order: list[int] = []
+        start: list[int] = []
+        if len(children):
+            stack = [0]
+            while stack:
+                node = stack.pop()
+                start.append(len(builder))
+                order.append(node)
+                for _ in children[node]:
+                    builder.append(1)
+                builder.append(0)
+                for child in reversed(children[node]):
+                    stack.append(child)
+        self.bits = builder.build()
+        self.num_nodes = len(order)
+        self._order = order
+        self._start = start  # preorder id -> description start position
+        self._rank = RankSupport(self.bits, block_bits=64)
+
+    def original_id(self, node: int) -> int:
+        return self._order[node]
+
+    def degree(self, node: int) -> int:
+        pos = self._start[node]
+        count = 0
+        while self.bits.get(pos + count):
+            count += 1
+        return count
+
+    def is_leaf(self, node: int) -> bool:
+        return self.bits.get(self._start[node]) == 0
+
+    def _findclose(self, pos: int) -> int:
+        """Matching ``)`` for the ``(`` at ``pos`` (excess-counting scan)."""
+        excess = 1
+        i = pos + 1
+        n = len(self.bits)
+        while i < n:
+            if self.bits.get(i):
+                excess += 1
+            else:
+                excess -= 1
+                if excess == 0:
+                    return i
+            i += 1
+        raise ValueError(f"unbalanced parenthesis at {pos}")
+
+    def child(self, node: int, k: int) -> int:
+        """The k-th (zero-based) child of ``node`` (preorder number)."""
+        deg = self.degree(node)
+        if k >= deg:
+            raise IndexError(f"node {node} has no child {k}")
+        pos = self._start[node]
+        # In DFUDS the k-th child subtree begins right after the close
+        # paren matching the (deg-k)-th open paren of the description.
+        open_pos = pos + (deg - 1 - k)
+        close_pos = self._findclose(open_pos)
+        child_start = close_pos + 1
+        # Convert start position back to preorder number: the node whose
+        # description starts at child_start is rank0(child_start - 1) of
+        # zeros, i.e. the number of completed descriptions before it.
+        return self._rank.rank0(child_start - 1)
+
+    def children(self, node: int) -> list[int]:
+        return [self.child(node, k) for k in range(self.degree(node))]
+
+    def size_bits(self) -> int:
+        # The _start index is a convenience cache; a production DFUDS
+        # derives it from select0, so we account only 32 bits per sample
+        # at the paper's 1/64 sampling rate.
+        sampled_index = (self.num_nodes // 64 + 1) * 32
+        return self.bits.size_bits() + self._rank.size_bits() + sampled_index

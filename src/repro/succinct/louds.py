@@ -1,0 +1,109 @@
+"""Level-Ordered Unary Degree Sequence (LOUDS) ordinal-tree codec.
+
+This is the classic Jacobson encoding the thesis reviews in Section 3.1
+(Figure 3.1): traverse the tree breadth-first and write each node's
+degree in unary (``degree`` ones followed by a zero).  A two-bit
+super-root ``10`` prefix is prepended so that every real node is pointed
+to by exactly one ``1`` bit.
+
+Node numbers are zero-based level-order indexes.  All navigation runs in
+constant time via rank/select.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .bitvector import BitVector, BitVectorBuilder
+from .rank import RankSupport
+from .select import SelectSupport
+
+
+class LoudsTree:
+    """A static ordinal tree encoded with LOUDS.
+
+    Build from an adjacency representation: ``children[i]`` lists the
+    node ids of node *i*'s children in order, with node 0 as the root.
+    Node ids in the encoded tree are renumbered to level order.
+    """
+
+    __slots__ = (
+        "bits",
+        "_rank",
+        "_select1",
+        "_select0",
+        "num_nodes",
+        "_order",
+    )
+
+    def __init__(self, children: Sequence[Sequence[int]]) -> None:
+        builder = BitVectorBuilder()
+        builder.append(1)  # super-root has exactly one child: the root
+        builder.append(0)
+        order: list[int] = []
+        queue: deque[int] = deque([0]) if len(children) else deque()
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for child in children[node]:
+                builder.append(1)
+                queue.append(child)
+            builder.append(0)
+        self.bits = builder.build()
+        self.num_nodes = len(order)
+        self._order = order  # level-order id -> original id
+        self._rank = RankSupport(self.bits, block_bits=64)
+        self._select1 = SelectSupport(self.bits, bit=1)
+        self._select0 = SelectSupport(self.bits, bit=0)
+
+    # -- navigation (zero-based level-order node numbers) -----------------
+
+    def original_id(self, node: int) -> int:
+        """Map a level-order node number back to the constructor's id."""
+        return self._order[node]
+
+    def _description_start(self, node: int) -> int:
+        """Bit position where ``node``'s unary degree description begins."""
+        # Description of node i starts right after the (i+1)-th zero.
+        return self._select0.select(node + 1) + 1
+
+    def degree(self, node: int) -> int:
+        pos = self._description_start(node)
+        count = 0
+        while pos + count < len(self.bits) and self.bits.get(pos + count):
+            count += 1
+        return count
+
+    def is_leaf(self, node: int) -> bool:
+        pos = self._description_start(node)
+        return pos >= len(self.bits) or self.bits.get(pos) == 0
+
+    def child(self, node: int, k: int) -> int:
+        """The k-th (zero-based) child of ``node``; IndexError if absent."""
+        pos = self._description_start(node)
+        if self.bits.get(pos + k) == 0:
+            raise IndexError(f"node {node} has no child {k}")
+        # The child is pointed to by the one-bit at pos+k; node j is the
+        # target of the (j+1)-th one.
+        return self._rank.rank1(pos + k) - 1
+
+    def children(self, node: int) -> list[int]:
+        return [self.child(node, k) for k in range(self.degree(node))]
+
+    def parent(self, node: int) -> int:
+        """Parent node number; -1 for the root."""
+        if node == 0:
+            return -1
+        pointer_pos = self._select1.select(node + 1)
+        return self._rank.rank0(pointer_pos) - 1
+
+    # -- memory accounting ------------------------------------------------
+
+    def size_bits(self) -> int:
+        return (
+            self.bits.size_bits()
+            + self._rank.size_bits()
+            + self._select1.size_bits()
+            + self._select0.size_bits()
+        )

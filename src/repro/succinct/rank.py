@@ -1,0 +1,80 @@
+"""Rank support: constant-time popcount-prefix queries over a bit vector.
+
+This mirrors the customized single-level lookup-table design of FST
+(Section 3.6 of the thesis): the bit vector is divided into fixed-length
+basic blocks of ``block_bits`` bits, and a 32-bit LUT entry per block
+stores the precomputed rank at the block boundary.  FST uses
+``block_bits=64`` for LOUDS-Dense (performance: at most one popcount per
+query) and ``block_bits=512`` for LOUDS-Sparse (one cache line, 6.25 %
+space overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitvector import WORD_BITS, BitVector
+
+#: Dense sampling used by LOUDS-Dense rank structures.
+DENSE_RANK_BLOCK_BITS = 64
+#: Sparse sampling used by LOUDS-Sparse rank structures (one cache line).
+SPARSE_RANK_BLOCK_BITS = 512
+
+# 16-bit popcount table shared by all instances: 64 KiB once per process.
+_POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint32)
+
+
+def _popcounts_per_word(words: np.ndarray) -> np.ndarray:
+    """Vector of per-uint64 popcounts computed via the 16-bit table."""
+    if len(words) == 0:
+        return np.zeros(0, dtype=np.uint32)
+    halves = words.view(np.uint16).reshape(len(words), WORD_BITS // 16)
+    return _POP16[halves].sum(axis=1, dtype=np.uint32)
+
+
+class RankSupport:
+    """rank1/rank0 over an immutable :class:`BitVector`.
+
+    ``rank1(i)`` counts set bits in positions ``[0, i]`` *inclusive*,
+    matching the convention used throughout the thesis (e.g. the FST
+    navigation formulas in Sections 3.2-3.3).
+    """
+
+    __slots__ = ("_bv", "_block_bits", "_lut")
+
+    def __init__(self, bv: BitVector, block_bits: int = SPARSE_RANK_BLOCK_BITS) -> None:
+        if block_bits % WORD_BITS != 0:
+            raise ValueError("block_bits must be a multiple of 64")
+        self._bv = bv
+        self._block_bits = block_bits
+        words_per_block = block_bits // WORD_BITS
+        per_word = _popcounts_per_word(bv.words).astype(np.uint64)
+        n_blocks = (len(bv) + block_bits - 1) // block_bits if len(bv) else 0
+        # lut[k] = number of ones strictly before block k.
+        padded = np.zeros(n_blocks * words_per_block, dtype=np.uint64)
+        padded[: len(per_word)] = per_word
+        block_pops = padded.reshape(n_blocks, words_per_block).sum(axis=1) if n_blocks else padded
+        self._lut = np.zeros(n_blocks + 1, dtype=np.uint64)
+        if n_blocks:
+            np.cumsum(block_pops, out=self._lut[1:])
+
+    def rank1(self, i: int) -> int:
+        """Number of ones in ``[0, i]``; requires ``0 <= i < len(bv)``."""
+        block = i // self._block_bits
+        start = block * self._block_bits
+        return int(self._lut[block]) + self._bv.popcount_range(start, i + 1)
+
+    def rank0(self, i: int) -> int:
+        """Number of zeros in ``[0, i]``."""
+        return i + 1 - self.rank1(i)
+
+    def total_ones(self) -> int:
+        if len(self._bv) == 0:
+            return 0
+        return self.rank1(len(self._bv) - 1)
+
+    # -- memory accounting ------------------------------------------------
+
+    def size_bits(self) -> int:
+        """LUT overhead in bits (32 bits per block entry, as in the paper)."""
+        return max(0, len(self._lut) - 1) * 32

@@ -1,0 +1,6 @@
+"""SuRF: the Succinct Range Filter (Chapter 4)."""
+
+from .surf import SuRF, surf_base, surf_hash, surf_mixed, surf_real
+from .hybrid_surf import HybridSuRF
+
+__all__ = ["SuRF", "HybridSuRF", "surf_base", "surf_hash", "surf_real", "surf_mixed"]

@@ -1,0 +1,31 @@
+"""Dynamic in-memory search trees (Chapter 2 baselines).
+
+The four structures the thesis surveys from production OLTP systems —
+B+tree, Masstree, Skip List, and ART — plus the extra baselines used by
+the HOPE integration study (Prefix B+tree, HOT, T-Tree).
+"""
+
+from .base import OrderedIndex, StaticOrderedIndex, heap_key_bytes, packed_key_bytes
+from .btree import BPlusTree, DEFAULT_NODE_SLOTS, NODE_BYTES
+from .skiplist import PagedSkipList
+from .art import ART
+from .masstree import Masstree
+from .prefix_btree import PrefixBPlusTree
+from .hot import HOTrie
+from .ttree import TTree
+
+__all__ = [
+    "OrderedIndex",
+    "StaticOrderedIndex",
+    "heap_key_bytes",
+    "packed_key_bytes",
+    "BPlusTree",
+    "PagedSkipList",
+    "ART",
+    "Masstree",
+    "PrefixBPlusTree",
+    "HOTrie",
+    "TTree",
+    "DEFAULT_NODE_SLOTS",
+    "NODE_BYTES",
+]

@@ -1,0 +1,363 @@
+"""The Adaptive Radix Tree (ART) of Leis et al. (Section 2.1).
+
+A 256-way radix tree with four adaptive node layouts (Node4, Node16,
+Node48, Node256), lazy expansion (single-key subtrees are collapsed to
+a leaf holding the full key) and path compression (one-child chains are
+collapsed into a per-node prefix).
+
+Following the original design, leaves are modeled as tagged record
+pointers: the full key lives in the database record, not in the index,
+which is why ART's modeled memory excludes key bytes (and why Hybrid
+ART must fetch records for full-key comparisons, Section 5.3.2).
+
+This implementation keeps one logical child table per node (sorted byte
+keys + children) and *models* the adaptive layout: a node's type — and
+therefore its memory footprint and cache behaviour — is derived from
+its fanout exactly as ART would choose it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex
+
+#: Modeled node sizes in bytes: 16-byte header (type, count, prefix) plus
+#: the layout-specific key/child arrays (Figure 2.2).
+NODE4_BYTES = 16 + 4 + 4 * 8
+NODE16_BYTES = 16 + 16 + 16 * 8
+NODE48_BYTES = 16 + 256 + 48 * 8
+NODE256_BYTES = 16 + 256 * 8
+LEAF_BYTES = 8  # tagged record pointer
+
+
+def node_type_for_fanout(fanout: int) -> tuple[str, int, int]:
+    """(type name, modeled bytes, capacity) ART would pick for a fanout."""
+    if fanout <= 4:
+        return "Node4", NODE4_BYTES, 4
+    if fanout <= 16:
+        return "Node16", NODE16_BYTES, 16
+    if fanout <= 48:
+        return "Node48", NODE48_BYTES, 48
+    return "Node256", NODE256_BYTES, 256
+
+
+class _ArtLeaf:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: bytes, value: Any) -> None:
+        self.key = key
+        self.value = value
+
+
+class _ArtNode:
+    __slots__ = ("prefix", "keys", "children", "terminal")
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        self.prefix = prefix
+        self.keys: list[int] = []  # sorted branch bytes
+        self.children: list[Any] = []
+        self.terminal: _ArtLeaf | None = None  # key ending exactly here
+
+    def fanout(self) -> int:
+        return len(self.keys) + (1 if self.terminal is not None else 0)
+
+    def find(self, byte: int) -> Any | None:
+        idx = bisect.bisect_left(self.keys, byte)
+        if idx < len(self.keys) and self.keys[idx] == byte:
+            return self.children[idx]
+        return None
+
+    def attach(self, byte: int, child: Any) -> None:
+        idx = bisect.bisect_left(self.keys, byte)
+        self.keys.insert(idx, byte)
+        self.children.insert(idx, child)
+
+    def replace(self, byte: int, child: Any) -> None:
+        idx = bisect.bisect_left(self.keys, byte)
+        self.children[idx] = child
+
+    def detach(self, byte: int) -> None:
+        idx = bisect.bisect_left(self.keys, byte)
+        self.keys.pop(idx)
+        self.children.pop(idx)
+
+
+def _common_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class ART(OrderedIndex):
+    """Dynamic Adaptive Radix Tree over byte keys."""
+
+    def __init__(self) -> None:
+        self._root: Any | None = None
+        self._len = 0
+
+    # -- profiling helper ----------------------------------------------------
+
+    @staticmethod
+    def _visit(node: Any) -> None:
+        if isinstance(node, _ArtLeaf):
+            # Leaf pointer + the record line read for key verification.
+            COUNTERS.node_visit(LEAF_BYTES, lines_touched=1)
+            return
+        _, size, _ = node_type_for_fanout(node.fanout())
+        # Node4/16 fit a line or two; Node48 reads index byte + slot;
+        # Node256 reads exactly one slot.
+        lines = 1 if size <= 128 else 2
+        COUNTERS.node_visit(size, lines_touched=lines)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: bytes) -> Any | None:
+        node = self._root
+        depth = 0
+        while node is not None:
+            self._visit(node)
+            if isinstance(node, _ArtLeaf):
+                COUNTERS.key_compares(1)
+                return node.value if node.key == key else None
+            if node.prefix:
+                if key[depth : depth + len(node.prefix)] != node.prefix:
+                    return None
+                depth += len(node.prefix)
+            if depth == len(key):
+                return node.terminal.value if node.terminal is not None else None
+            node = node.find(key[depth])
+            depth += 1
+        return None
+
+    # -- insert ----------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        if self._root is None:
+            self._root = _ArtLeaf(key, value)
+            self._len = 1
+            return True
+        inserted = self._insert_rec_root(key, value)
+        if inserted:
+            self._len += 1
+        return inserted
+
+    def _insert_rec_root(self, key: bytes, value: Any) -> bool:
+        new_root, inserted = self._insert_rec(self._root, key, 0, value)
+        self._root = new_root
+        return inserted
+
+    def _insert_rec(
+        self, node: Any, key: bytes, depth: int, value: Any
+    ) -> tuple[Any, bool]:
+        """Insert under ``node`` (at ``depth`` bytes consumed); returns
+        the (possibly replaced) node and whether a new key was added."""
+        if isinstance(node, _ArtLeaf):
+            if node.key == key:
+                return node, False
+            return self._split_leaf(node, key, depth, value), True
+
+        plen = len(node.prefix)
+        rest = key[depth : depth + plen]
+        if rest != node.prefix:
+            # Prefix mismatch: split the compressed path (path compression).
+            p = _common_prefix_len(node.prefix, rest)
+            parent = _ArtNode(node.prefix[:p])
+            old_branch = node.prefix[p]
+            node.prefix = node.prefix[p + 1 :]
+            parent.attach(old_branch, node)
+            if depth + p == len(key):
+                parent.terminal = _ArtLeaf(key, value)
+            else:
+                parent.attach(key[depth + p], _ArtLeaf(key, value))
+            return parent, True
+
+        depth += plen
+        if depth == len(key):
+            if node.terminal is not None:
+                return node, False
+            node.terminal = _ArtLeaf(key, value)
+            return node, True
+
+        child = node.find(key[depth])
+        if child is None:
+            node.attach(key[depth], _ArtLeaf(key, value))
+            return node, True
+        new_child, inserted = self._insert_rec(child, key, depth + 1, value)
+        if new_child is not child:
+            node.replace(key[depth], new_child)
+        return node, inserted
+
+    def _split_leaf(
+        self, leaf: _ArtLeaf, key: bytes, depth: int, value: Any
+    ) -> _ArtNode:
+        """Replace a leaf by a node distinguishing old and new key."""
+        old_rest = leaf.key[depth:]
+        new_rest = key[depth:]
+        p = _common_prefix_len(old_rest, new_rest)
+        node = _ArtNode(old_rest[:p])
+        if len(old_rest) == p:
+            node.terminal = leaf
+        else:
+            node.attach(old_rest[p], leaf)
+        if len(new_rest) == p:
+            node.terminal = _ArtLeaf(key, value)
+        else:
+            node.attach(new_rest[p], _ArtLeaf(key, value))
+        return node
+
+    # -- update / delete --------------------------------------------------------
+
+    def update(self, key: bytes, value: Any) -> bool:
+        leaf = self._find_leaf(key)
+        if leaf is None:
+            return False
+        leaf.value = value
+        return True
+
+    def _find_leaf(self, key: bytes) -> _ArtLeaf | None:
+        node = self._root
+        depth = 0
+        while node is not None:
+            if isinstance(node, _ArtLeaf):
+                return node if node.key == key else None
+            if node.prefix:
+                if key[depth : depth + len(node.prefix)] != node.prefix:
+                    return None
+                depth += len(node.prefix)
+            if depth == len(key):
+                return node.terminal
+            node = node.find(key[depth])
+            depth += 1
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        if self._root is None:
+            return False
+        new_root, deleted = self._delete_rec(self._root, key, 0)
+        if deleted:
+            self._root = new_root
+            self._len -= 1
+        return deleted
+
+    def _delete_rec(self, node: Any, key: bytes, depth: int) -> tuple[Any, bool]:
+        if isinstance(node, _ArtLeaf):
+            return (None, True) if node.key == key else (node, False)
+        plen = len(node.prefix)
+        if key[depth : depth + plen] != node.prefix:
+            return node, False
+        depth += plen
+        if depth == len(key):
+            if node.terminal is None:
+                return node, False
+            node.terminal = None
+            return self._shrink(node), True
+        child = node.find(key[depth])
+        if child is None:
+            return node, False
+        new_child, deleted = self._delete_rec(child, key, depth + 1)
+        if not deleted:
+            return node, False
+        if new_child is None:
+            node.detach(key[depth])
+        elif new_child is not child:
+            node.replace(key[depth], new_child)
+        return self._shrink(node), True
+
+    def _shrink(self, node: _ArtNode) -> Any:
+        """Re-apply lazy expansion / path compression after a removal."""
+        if node.terminal is not None and not node.keys:
+            return node.terminal
+        if node.terminal is None and len(node.keys) == 1:
+            child = node.children[0]
+            if isinstance(child, _ArtLeaf):
+                return child
+            child.prefix = node.prefix + bytes([node.keys[0]]) + child.prefix
+            return child
+        if node.terminal is None and not node.keys:
+            return None
+        return node
+
+    # -- iteration ----------------------------------------------------------------
+
+    def _emit_all(self, node: Any) -> Iterator[tuple[bytes, Any]]:
+        if isinstance(node, _ArtLeaf):
+            yield node.key, node.value
+            return
+        if node.terminal is not None:
+            yield node.terminal.key, node.terminal.value
+        for child in node.children:
+            yield from self._emit_all(child)
+
+    def _lb(self, node: Any, path: bytes, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        if isinstance(node, _ArtLeaf):
+            if node.key >= key:
+                yield node.key, node.value
+            return
+        full = path + node.prefix
+        key_prefix = key[: len(full)]
+        if full > key_prefix:
+            yield from self._emit_all(node)
+            return
+        if full < key_prefix:
+            return
+        if len(key) <= len(full):
+            yield from self._emit_all(node)
+            return
+        branch = key[len(full)]
+        for byte, child in zip(node.keys, node.children):
+            if byte < branch:
+                continue
+            if byte == branch:
+                yield from self._lb(child, full + bytes([byte]), key)
+            else:
+                yield from self._emit_all(child)
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        if self._root is not None:
+            yield from self._lb(self._root, b"", key)
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        if self._root is not None:
+            yield from self._emit_all(self._root)
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- statistics -------------------------------------------------------------
+
+    def _walk_nodes(self) -> Iterator[_ArtNode]:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _ArtNode):
+                yield node
+                stack.extend(node.children)
+
+    def node_stats(self) -> dict[str, int]:
+        """Count of inner nodes by modeled type."""
+        stats = {"Node4": 0, "Node16": 0, "Node48": 0, "Node256": 0}
+        for node in self._walk_nodes():
+            name, _, _ = node_type_for_fanout(node.fanout())
+            stats[name] += 1
+        return stats
+
+    def occupancy(self) -> float:
+        """Average slot utilisation across inner nodes (paper: ~51 %)."""
+        used = total = 0
+        for node in self._walk_nodes():
+            _, _, capacity = node_type_for_fanout(node.fanout())
+            used += node.fanout()
+            total += capacity
+        return used / total if total else 1.0
+
+    def memory_bytes(self) -> int:
+        total = self._len * LEAF_BYTES
+        for node in self._walk_nodes():
+            _, size, _ = node_type_for_fanout(node.fanout())
+            total += size
+        return total

@@ -1,0 +1,238 @@
+"""An STX-style in-memory B+tree (Section 2.1).
+
+The thesis baselines against the STX B+tree with 512-byte nodes, the
+best size for in-memory operation.  With 8-byte key references and
+8-byte values that gives 32 entry slots per node; nodes split at full
+and average ~69 % occupancy under random inserts, which is exactly the
+pre-allocated empty space the Compaction Rule later removes.
+
+Keys are ``bytes``; values are opaque.  Secondary-index use is supported
+by ``allow_duplicates=True``, in which case the same key may be inserted
+multiple times with different values (the original-structure behaviour
+Figure 5.10 compares against).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex, POINTER_BYTES, heap_key_bytes
+
+#: STX node size the paper found best for in-memory workloads.
+NODE_BYTES = 512
+_NODE_HEADER_BYTES = 16
+#: Slots per node: (512 - header) // (8-byte key ref + 8-byte value/child).
+DEFAULT_NODE_SLOTS = (NODE_BYTES - _NODE_HEADER_BYTES) // (2 * POINTER_BYTES)
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []  # separator keys, len == len(children) - 1
+        self.children: list[Any] = []
+
+
+class BPlusTree(OrderedIndex):
+    """A dynamic B+tree with linked leaves."""
+
+    def __init__(
+        self, node_slots: int = DEFAULT_NODE_SLOTS, allow_duplicates: bool = False
+    ) -> None:
+        if node_slots < 4:
+            raise ValueError("node_slots must be >= 4")
+        self._slots = node_slots
+        self._allow_duplicates = allow_duplicates
+        self._root: _Leaf | _Inner = _Leaf()
+        self._height = 1
+        self._len = 0
+        self._n_leaves = 1
+        self._n_inners = 0
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _find_leaf(self, key: bytes) -> tuple[_Leaf, list[tuple[_Inner, int]]]:
+        """Descend to the leaf for ``key``, recording the path."""
+        node = self._root
+        path: list[tuple[_Inner, int]] = []
+        while isinstance(node, _Inner):
+            # Binary search touches ~log2(slots) scattered cache lines.
+            COUNTERS.node_visit(NODE_BYTES, lines_touched=max(1, len(node.keys).bit_length()))
+            COUNTERS.key_compares(max(1, len(node.keys).bit_length()))
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+        COUNTERS.node_visit(NODE_BYTES, lines_touched=max(1, len(node.keys).bit_length()))
+        COUNTERS.key_compares(max(1, len(node.keys).bit_length()))
+        return node, path
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[bytes, _Leaf]:
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next = leaf.next
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next = right
+        self._n_leaves += 1
+        return right.keys[0], right
+
+    def _split_inner(self, inner: _Inner) -> tuple[bytes, _Inner]:
+        mid = len(inner.keys) // 2
+        sep = inner.keys[mid]
+        right = _Inner()
+        right.keys = inner.keys[mid + 1 :]
+        right.children = inner.children[mid + 1 :]
+        inner.keys = inner.keys[:mid]
+        inner.children = inner.children[: mid + 1]
+        self._n_inners += 1
+        return sep, right
+
+    def _insert_into_parents(
+        self, path: list[tuple[_Inner, int]], sep: bytes, right: Any
+    ) -> None:
+        while path:
+            parent, idx = path.pop()
+            parent.keys.insert(idx, sep)
+            parent.children.insert(idx + 1, right)
+            if len(parent.children) <= self._slots:
+                return
+            sep, right = self._split_inner(parent)
+        new_root = _Inner()
+        new_root.keys = [sep]
+        new_root.children = [self._root, right]
+        self._root = new_root
+        self._n_inners += 1
+        self._height += 1
+
+    # -- OrderedIndex API ----------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        leaf, path = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if (
+            not self._allow_duplicates
+            and idx < len(leaf.keys)
+            and leaf.keys[idx] == key
+        ):
+            return False
+        if self._allow_duplicates:
+            idx = bisect.bisect_right(leaf.keys, key)
+        leaf.keys.insert(idx, key)
+        leaf.values.insert(idx, value)
+        self._len += 1
+        if len(leaf.keys) > self._slots:
+            sep, right = self._split_leaf(leaf)
+            self._insert_into_parents(path, sep, right)
+        return True
+
+    def get(self, key: bytes) -> Any | None:
+        leaf, _ = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def get_all(self, key: bytes) -> list[Any]:
+        """All values for ``key`` (secondary-index reads)."""
+        out = []
+        for k, v in self.lower_bound(key):
+            if k != key:
+                break
+            out.append(v)
+        return out
+
+    def update(self, key: bytes, value: Any) -> bool:
+        leaf, _ = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            return True
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        leaf, path = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self._len -= 1
+        # Lazy rebalancing: only collapse completely empty leaves.
+        if not leaf.keys and path:
+            parent, cidx = path[-1]
+            if len(parent.children) > 1:
+                prev = parent.children[cidx - 1] if cidx > 0 else None
+                if isinstance(prev, _Leaf):
+                    prev.next = leaf.next
+                elif cidx == 0:
+                    # Find the left neighbour through the leaf chain.
+                    first = self._leftmost_leaf()
+                    node = first
+                    while node is not None and node.next is not leaf:
+                        node = node.next
+                    if node is not None:
+                        node.next = leaf.next
+                parent.children.pop(cidx)
+                if cidx > 0:
+                    parent.keys.pop(cidx - 1)
+                elif parent.keys:
+                    parent.keys.pop(0)
+                self._n_leaves -= 1
+        return True
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            node = node.children[0]
+        return node
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        leaf, _ = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        node: _Leaf | None = leaf
+        while node is not None:
+            for i in range(idx, len(node.keys)):
+                yield node.keys[i], node.values[i]
+            node = node.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        node: _Leaf | None = self._leftmost_leaf()
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def node_count(self) -> tuple[int, int]:
+        """(leaves, inner nodes)."""
+        return self._n_leaves, self._n_inners
+
+    def occupancy(self) -> float:
+        """Average fraction of leaf slots in use (paper: ~69 % random)."""
+        return self._len / (self._n_leaves * self._slots)
+
+    def memory_bytes(self) -> int:
+        node_memory = (self._n_leaves + self._n_inners) * NODE_BYTES
+        key_heap = sum(heap_key_bytes(k) for k, _ in self.items())
+        return node_memory + key_heap

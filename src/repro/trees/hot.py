@@ -1,0 +1,208 @@
+"""A HOT-like height-optimised binary trie (Chapter 6 baseline).
+
+HOT (Binna et al.) stores only the *discriminative bits* of keys in
+compound nodes of bounded fanout, reading full keys from the records.
+We implement its underlying structure — a binary PATRICIA (crit-bit)
+trie over key bits — and model HOT's compound-node layout for memory:
+inner crit-bit entries are packed 32-per-compound-node (partial key +
+child slot each), leaves are 8-byte record pointers.
+
+Because almost no key bytes live in the index, HOT gets the *least*
+benefit from HOPE of the five trees (Figure 6.7's ordering) — the
+property this baseline exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex
+
+COMPOUND_FANOUT = 32
+_COMPOUND_HEADER = 16
+_ENTRY_BYTES = 4 + 8  # partial key (discriminative bits) + child slot
+
+
+def _bit_at(key: bytes, bit: int) -> int:
+    byte = bit >> 3
+    if byte >= len(key):
+        return 0
+    return (key[byte] >> (7 - (bit & 7))) & 1
+
+
+def _first_diff_bit(a: bytes, b: bytes) -> int:
+    """Index of the first differing bit (keys padded with zeros; a
+    length difference counts via the 'virtual' length bits)."""
+    n = max(len(a), len(b))
+    for i in range(n):
+        ab = a[i] if i < len(a) else -1
+        bb = b[i] if i < len(b) else -1
+        if ab != bb:
+            av = ab if ab >= 0 else 0
+            bv = bb if bb >= 0 else 0
+            xor = av ^ bv
+            if xor == 0:
+                # Pure length difference within this byte: use bit 8
+                # positions after (handled by caller comparing keys).
+                return i * 8 + 8
+            return i * 8 + (7 - (xor.bit_length() - 1))
+    return n * 8
+
+
+class _CritLeaf:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: bytes, value: Any) -> None:
+        self.key = key
+        self.value = value
+
+
+class _CritNode:
+    __slots__ = ("bit", "left", "right")
+
+    def __init__(self, bit: int, left: Any, right: Any) -> None:
+        self.bit = bit
+        self.left = left
+        self.right = right
+
+
+class HOTrie(OrderedIndex):
+    """Dynamic crit-bit trie with HOT's compound-node memory model.
+
+    Keys must be *prefix-free* for pure bit discrimination.  Keys may
+    contain 0x00, so a bare terminator is not enough: we byte-stuff
+    (0x00 -> 0x00 0x01) and terminate with 0x00 0x00, which is
+    order-preserving and makes every encoded key end in a sequence that
+    cannot appear inside another.
+    """
+
+    def __init__(self) -> None:
+        self._root: Any | None = None
+        self._len = 0
+
+    @staticmethod
+    def _tkey(key: bytes) -> bytes:
+        return key.replace(b"\x00", b"\x00\x01") + b"\x00\x00"
+
+    @staticmethod
+    def _untkey(tkey: bytes) -> bytes:
+        return tkey[:-2].replace(b"\x00\x01", b"\x00")
+
+    # -- lookup -------------------------------------------------------------------
+
+    def _descend(self, tkey: bytes) -> _CritLeaf | None:
+        node = self._root
+        while isinstance(node, _CritNode):
+            COUNTERS.node_visit(_ENTRY_BYTES, lines_touched=1)
+            node = node.right if _bit_at(tkey, node.bit) else node.left
+        return node
+
+    def get(self, key: bytes) -> Any | None:
+        leaf = self._descend(self._tkey(key))
+        if leaf is None:
+            return None
+        COUNTERS.node_visit(8, lines_touched=1)
+        COUNTERS.key_compares(1)
+        return leaf.value if leaf.key == self._tkey(key) else None
+
+    # -- insert --------------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        tkey = self._tkey(key)
+        if self._root is None:
+            self._root = _CritLeaf(tkey, value)
+            self._len = 1
+            return True
+        nearest = self._descend(tkey)
+        if nearest.key == tkey:
+            return False
+        diff = _first_diff_bit(nearest.key, tkey)
+        new_leaf = _CritLeaf(tkey, value)
+        goes_right = _bit_at(tkey, diff)
+        # Re-descend, stopping where the new crit bit belongs (crit
+        # bits increase along any root-to-leaf path).
+        parent: _CritNode | None = None
+        node = self._root
+        while isinstance(node, _CritNode) and node.bit < diff:
+            parent = node
+            node = node.right if _bit_at(tkey, node.bit) else node.left
+        branch = _CritNode(
+            diff,
+            node if goes_right else new_leaf,
+            new_leaf if goes_right else node,
+        )
+        if parent is None:
+            self._root = branch
+        elif _bit_at(tkey, parent.bit):
+            parent.right = branch
+        else:
+            parent.left = branch
+        self._len += 1
+        return True
+
+    def update(self, key: bytes, value: Any) -> bool:
+        leaf = self._descend(self._tkey(key))
+        if leaf is not None and leaf.key == self._tkey(key):
+            leaf.value = value
+            return True
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        tkey = self._tkey(key)
+        parent = grand = None
+        node = self._root
+        while isinstance(node, _CritNode):
+            grand, parent = parent, node
+            node = node.right if _bit_at(tkey, node.bit) else node.left
+        if node is None or node.key != tkey:
+            return False
+        if parent is None:
+            self._root = None
+        else:
+            sibling = (
+                parent.left if _bit_at(tkey, parent.bit) else parent.right
+            )
+            if grand is None:
+                self._root = sibling
+            elif _bit_at(tkey, grand.bit):
+                grand.right = sibling
+            else:
+                grand.left = sibling
+        self._len -= 1
+        return True
+
+    # -- iteration ----------------------------------------------------------------------
+
+    def _emit(self, node: Any) -> Iterator[tuple[bytes, Any]]:
+        if node is None:
+            return
+        if isinstance(node, _CritLeaf):
+            yield self._untkey(node.key), node.value
+            return
+        yield from self._emit(node.left)
+        yield from self._emit(node.right)
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        yield from self._emit(self._root)
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        # Crit-bit trees are ordered tries: in-order emission is sorted.
+        for k, v in self.items():
+            if k >= key:
+                yield k, v
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- memory -----------------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """HOT compound layout: inner entries packed 32 per node."""
+        n_inner = max(0, self._len - 1)
+        n_compound = (n_inner + COMPOUND_FANOUT - 1) // COMPOUND_FANOUT
+        return (
+            n_compound * _COMPOUND_HEADER
+            + n_inner * _ENTRY_BYTES
+            + self._len * 8  # leaf record pointers
+        )

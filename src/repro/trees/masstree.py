@@ -1,0 +1,235 @@
+"""Masstree: a trie of B+trees over 8-byte keyslices (Section 2.1).
+
+Masstree (Mao et al.) divides keys into fixed-length 8-byte keyslices.
+Each trie layer is a B+tree keyed by the slice; a leaf entry either
+owns its keyslice uniquely (value pointer + remaining key suffix stored
+in the layer's *keybag*) or links to a lower-layer B+tree shared by all
+keys with that 8-byte prefix (Figure 2.1).
+
+Within a layer, slices are ordered by (padded bytes, slice length) so
+that short keys sort before their extensions — we materialise that as a
+9-byte B+tree key: the zero-padded slice plus a length byte.
+
+The original implementation allocates keybag memory aggressively to
+avoid resizing; the memory model below reflects that waste (it is one
+of the things Compact Masstree later removes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex
+from .btree import BPlusTree
+
+SLICE_BYTES = 8
+#: Masstree B+tree fanout (the original uses width-15 nodes).
+LAYER_NODE_SLOTS = 15
+#: Modeled Masstree node size: 15 slots x (8B keyslice + 8B pointer)
+#: plus the real structure's per-node version word, permutation array,
+#: parent pointer and keybag pointer (Mao et al. report ~320 B nodes).
+LAYER_NODE_BYTES = 16 + LAYER_NODE_SLOTS * 16 + 64
+
+
+def slice_key(fragment: bytes) -> bytes:
+    """9-byte order-preserving encoding of one keyslice.
+
+    ``fragment`` is the (possibly short) first slice of the remaining
+    key: zero-pad to 8 bytes and append the true length so that ``b"ab"``
+    sorts before ``b"ab\\x00"``.
+    """
+    if len(fragment) > SLICE_BYTES:
+        raise ValueError("fragment longer than one keyslice")
+    return fragment.ljust(SLICE_BYTES, b"\0") + bytes([len(fragment)])
+
+
+class _Entry:
+    """A layer leaf entry: either a value (+ suffix) or a lower layer."""
+
+    __slots__ = ("suffix", "value", "layer")
+
+    def __init__(
+        self,
+        suffix: bytes | None = None,
+        value: Any = None,
+        layer: "_Layer | None" = None,
+    ) -> None:
+        self.suffix = suffix
+        self.value = value
+        self.layer = layer
+
+    @property
+    def is_layer(self) -> bool:
+        return self.layer is not None
+
+
+class _Layer:
+    """One trie layer: a B+tree from 9-byte slice keys to entries."""
+
+    __slots__ = ("tree",)
+
+    def __init__(self) -> None:
+        self.tree = BPlusTree(node_slots=LAYER_NODE_SLOTS)
+
+
+class Masstree(OrderedIndex):
+    """Dynamic Masstree over byte keys."""
+
+    def __init__(self) -> None:
+        self._root = _Layer()
+        self._len = 0
+
+    # -- core walk ---------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        if self._insert_into(self._root, key, value):
+            self._len += 1
+            return True
+        return False
+
+    def _insert_into(self, layer: _Layer, rest: bytes, value: Any) -> bool:
+        fragment = rest[:SLICE_BYTES]
+        skey = slice_key(fragment)
+        entry: _Entry | None = layer.tree.get(skey)
+        if entry is None:
+            suffix = rest[SLICE_BYTES:]
+            layer.tree.insert(skey, _Entry(suffix=suffix, value=value))
+            return True
+        if entry.is_layer:
+            return self._insert_into(entry.layer, rest[SLICE_BYTES:], value)
+        suffix = rest[SLICE_BYTES:]
+        if entry.suffix == suffix:
+            return False  # duplicate key
+        # Two distinct keys share this 8-byte slice: push both suffixes
+        # into a fresh lower layer (only possible for full-length slices).
+        lower = _Layer()
+        self._insert_into(lower, entry.suffix, entry.value)
+        self._insert_into(lower, suffix, value)
+        entry.suffix = None
+        entry.value = None
+        entry.layer = lower
+        return True
+
+    def get(self, key: bytes) -> Any | None:
+        layer = self._root
+        rest = key
+        while True:
+            fragment = rest[:SLICE_BYTES]
+            entry: _Entry | None = layer.tree.get(slice_key(fragment))
+            if entry is None:
+                return None
+            if entry.is_layer:
+                layer = entry.layer
+                rest = rest[SLICE_BYTES:]
+                continue
+            COUNTERS.key_compares(1)
+            return entry.value if entry.suffix == rest[SLICE_BYTES:] else None
+
+    def update(self, key: bytes, value: Any) -> bool:
+        layer = self._root
+        rest = key
+        while True:
+            entry: _Entry | None = layer.tree.get(slice_key(rest[:SLICE_BYTES]))
+            if entry is None:
+                return False
+            if entry.is_layer:
+                layer, rest = entry.layer, rest[SLICE_BYTES:]
+                continue
+            if entry.suffix == rest[SLICE_BYTES:]:
+                entry.value = value
+                return True
+            return False
+
+    def delete(self, key: bytes) -> bool:
+        deleted = self._delete_from(self._root, key)
+        if deleted:
+            self._len -= 1
+        return deleted
+
+    def _delete_from(self, layer: _Layer, rest: bytes) -> bool:
+        skey = slice_key(rest[:SLICE_BYTES])
+        entry: _Entry | None = layer.tree.get(skey)
+        if entry is None:
+            return False
+        if entry.is_layer:
+            deleted = self._delete_from(entry.layer, rest[SLICE_BYTES:])
+            if deleted and len(entry.layer.tree) == 1:
+                # Collapse a single-entry lower layer back into this one.
+                (child_skey, child_entry) = next(entry.layer.tree.items())
+                if not child_entry.is_layer:
+                    fragment = child_skey[: child_skey[SLICE_BYTES]]
+                    entry.suffix = fragment + child_entry.suffix
+                    entry.value = child_entry.value
+                    entry.layer = None
+            return deleted
+        if entry.suffix == rest[SLICE_BYTES:]:
+            return layer.tree.delete(skey)
+        return False
+
+    # -- iteration ------------------------------------------------------------------
+
+    def _emit_layer(self, layer: _Layer, prefix: bytes) -> Iterator[tuple[bytes, Any]]:
+        for skey, entry in layer.tree.items():
+            fragment = skey[: skey[SLICE_BYTES]]
+            if entry.is_layer:
+                yield from self._emit_layer(entry.layer, prefix + fragment)
+            else:
+                yield prefix + fragment + entry.suffix, entry.value
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        yield from self._emit_layer(self._root, b"")
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        yield from self._lb_layer(self._root, b"", key)
+
+    def _lb_layer(
+        self, layer: _Layer, prefix: bytes, key: bytes
+    ) -> Iterator[tuple[bytes, Any]]:
+        rest = key[len(prefix) :]
+        target = slice_key(rest[:SLICE_BYTES])
+        for skey, entry in layer.tree.lower_bound(target):
+            fragment = skey[: skey[SLICE_BYTES]]
+            if skey == target:
+                if entry.is_layer:
+                    yield from self._lb_layer(entry.layer, prefix + fragment, key)
+                else:
+                    full = prefix + fragment + entry.suffix
+                    if full >= key:
+                        yield full, entry.value
+            elif entry.is_layer:
+                yield from self._emit_layer(entry.layer, prefix + fragment)
+            else:
+                yield prefix + fragment + entry.suffix, entry.value
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- statistics --------------------------------------------------------------------
+
+    def _walk_layers(self) -> Iterator[_Layer]:
+        stack = [self._root]
+        while stack:
+            layer = stack.pop()
+            yield layer
+            for _, entry in layer.tree.items():
+                if entry.is_layer:
+                    stack.append(entry.layer)
+
+    def layer_count(self) -> int:
+        return sum(1 for _ in self._walk_layers())
+
+    def memory_bytes(self) -> int:
+        """Modeled memory: per-layer B+tree nodes plus aggressive keybags."""
+        total = 0
+        for layer in self._walk_layers():
+            leaves, inners = layer.tree.node_count()
+            total += (leaves + inners) * LAYER_NODE_BYTES
+            # Keybag model: each stored suffix is an allocation rounded up
+            # to a 16-byte granule plus an 8-byte slot pointer (the
+            # "aggressive" allocation the Compaction Rule removes).
+            for _, entry in layer.tree.items():
+                if not entry.is_layer and entry.suffix:
+                    granules = (len(entry.suffix) + 15) // 16
+                    total += granules * 16 + 8
+        return total

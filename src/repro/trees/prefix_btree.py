@@ -1,0 +1,77 @@
+"""Prefix B+tree (Bayer & Unterauer), used in the HOPE evaluation.
+
+Behaviourally a B+tree; the space win comes from key compression
+inside nodes: each leaf stores its keys' common prefix once plus the
+per-key suffixes (tail compression), and internal separators are
+truncated to the shortest prefix that still separates their neighbours
+(head compression).  Figure 6.21 shows it therefore benefits less from
+HOPE than a plain B+tree — part of the "benefit ordered by key-storage
+completeness" result of Figure 6.7.
+"""
+
+from __future__ import annotations
+
+from .base import POINTER_BYTES
+from .btree import BPlusTree, _Inner, _Leaf
+
+_NODE_HEADER_BYTES = 16
+_OFFSET_BYTES = 2
+
+
+def common_prefix_len(keys: list[bytes]) -> int:
+    if not keys:
+        return 0
+    first, last = keys[0], keys[-1]
+    n = min(len(first), len(last))
+    i = 0
+    while i < n and first[i] == last[i]:
+        i += 1
+    return i
+
+
+def separator_length(left: bytes, right: bytes) -> int:
+    """Shortest prefix of ``right`` that still exceeds ``left``."""
+    n = min(len(left), len(right))
+    i = 0
+    while i < n and left[i] == right[i]:
+        i += 1
+    return min(i + 1, len(right))
+
+
+class PrefixBPlusTree(BPlusTree):
+    """B+tree with head/tail key compression in its memory layout."""
+
+    def memory_bytes(self) -> int:
+        total = 0
+        node = self._leftmost_leaf()
+        prev_last: bytes | None = None
+        while node is not None:
+            lcp = common_prefix_len(node.keys)
+            suffix_bytes = sum(len(k) - lcp for k in node.keys)
+            total += (
+                _NODE_HEADER_BYTES
+                + lcp
+                + suffix_bytes
+                + len(node.keys) * (_OFFSET_BYTES + POINTER_BYTES)
+            )
+            prev_last = node.keys[-1] if node.keys else prev_last
+            node = node.next
+        total += self._inner_bytes(self._root)
+        return total
+
+    def _inner_bytes(self, node) -> int:
+        if isinstance(node, _Leaf):
+            return 0
+        total = _NODE_HEADER_BYTES + len(node.children) * POINTER_BYTES
+        for i, sep in enumerate(node.keys):
+            left = self._max_key(node.children[i])
+            total += separator_length(left, sep) + _OFFSET_BYTES
+        for child in node.children:
+            total += self._inner_bytes(child)
+        return total
+
+    @staticmethod
+    def _max_key(node) -> bytes:
+        while isinstance(node, _Inner):
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else b""

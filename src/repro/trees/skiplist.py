@@ -1,0 +1,188 @@
+"""A paged-deterministic Skip List (Section 2.1).
+
+The thesis uses a paged-deterministic Skip List variant "that resembles
+a B+tree": entries live in linked pages at level 0, and each higher
+level is a linked list of index pages whose entries point at pages one
+level below.  Pages split deterministically on overflow, so occupancy
+behaviour (~69 % average, 50 % for monotonic inserts) matches the
+B+tree, exactly as Figure 2.5 and 5.5 report.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex, POINTER_BYTES, heap_key_bytes
+
+PAGE_BYTES = 512
+_PAGE_HEADER_BYTES = 16
+DEFAULT_PAGE_SLOTS = (PAGE_BYTES - _PAGE_HEADER_BYTES) // (2 * POINTER_BYTES)
+
+
+class _Page:
+    """One skip-list page: parallel key / down-pointer (or value) arrays."""
+
+    __slots__ = ("keys", "ptrs", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.ptrs: list[Any] = []  # values at level 0, pages above
+        self.next: _Page | None = None
+
+
+class PagedSkipList(OrderedIndex):
+    """Deterministic paged skip list with B+tree-like behaviour."""
+
+    def __init__(self, page_slots: int = DEFAULT_PAGE_SLOTS) -> None:
+        if page_slots < 4:
+            raise ValueError("page_slots must be >= 4")
+        self._slots = page_slots
+        self._heads: list[_Page] = [_Page()]  # index 0 = data level
+        self._len = 0
+        self._n_pages = 1
+
+    # -- descent ---------------------------------------------------------------
+
+    def _descend(
+        self, key: bytes, adjust: bool = False
+    ) -> tuple[_Page, list[tuple[_Page, int]]]:
+        """Walk from the top level to the data page for ``key``.
+
+        Returns the level-0 page and the (page, slot) path through the
+        index levels (top first).  With ``adjust`` (insert descents), a
+        key smaller than the leftmost separator lowers that separator,
+        preserving the invariant keys[i] == min key under ptrs[i] —
+        without it a later split can splice its right half before the
+        head pointer.
+        """
+        path: list[tuple[_Page, int]] = []
+        page = self._heads[-1]
+        for level in range(len(self._heads) - 1, 0, -1):
+            COUNTERS.node_visit(PAGE_BYTES, lines_touched=max(1, len(page.keys).bit_length()))
+            COUNTERS.key_compares(max(1, len(page.keys).bit_length()))
+            # Lateral skip: move right while the next page starts <= key.
+            while page.next is not None and page.next.keys and page.next.keys[0] <= key:
+                page = page.next
+                COUNTERS.node_visit(PAGE_BYTES, lines_touched=1)
+            idx = bisect.bisect_right(page.keys, key) - 1
+            if idx < 0:
+                idx = 0
+                if adjust and page.keys and key < page.keys[0]:
+                    page.keys[0] = key
+            path.append((page, idx))
+            page = page.ptrs[idx]
+        COUNTERS.node_visit(PAGE_BYTES, lines_touched=max(1, len(page.keys).bit_length()))
+        COUNTERS.key_compares(max(1, len(page.keys).bit_length()))
+        while page.next is not None and page.next.keys and page.next.keys[0] <= key:
+            page = page.next
+            COUNTERS.node_visit(PAGE_BYTES, lines_touched=1)
+        return page, path
+
+    # -- OrderedIndex API --------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        page, path = self._descend(key, adjust=True)
+        idx = bisect.bisect_left(page.keys, key)
+        if idx < len(page.keys) and page.keys[idx] == key:
+            return False
+        page.keys.insert(idx, key)
+        page.ptrs.insert(idx, value)
+        self._len += 1
+        self._split_if_needed(page, path)
+        return True
+
+    def _split_if_needed(self, page: _Page, path: list[tuple[_Page, int]]) -> None:
+        while len(page.keys) > self._slots:
+            mid = len(page.keys) // 2
+            right = _Page()
+            right.keys = page.keys[mid:]
+            right.ptrs = page.ptrs[mid:]
+            right.next = page.next
+            page.keys = page.keys[:mid]
+            page.ptrs = page.ptrs[:mid]
+            page.next = right
+            self._n_pages += 1
+            sep = right.keys[0]
+            if path:
+                parent, idx = path.pop()
+                # The parent's entry idx points at `page`; insert right after.
+                insert_at = bisect.bisect_right(parent.keys, sep)
+                parent.keys.insert(insert_at, sep)
+                parent.ptrs.insert(insert_at, right)
+                page = parent
+            else:
+                # Grow a new top index level.
+                top = _Page()
+                bottom_head = self._heads[-1]
+                first = bottom_head.keys[0] if bottom_head.keys else sep
+                top.keys = [first, sep]
+                top.ptrs = [bottom_head, right]
+                self._heads.append(top)
+                self._n_pages += 1
+                return
+
+    def get(self, key: bytes) -> Any | None:
+        page, _ = self._descend(key)
+        idx = bisect.bisect_left(page.keys, key)
+        if idx < len(page.keys) and page.keys[idx] == key:
+            return page.ptrs[idx]
+        return None
+
+    def update(self, key: bytes, value: Any) -> bool:
+        page, _ = self._descend(key)
+        idx = bisect.bisect_left(page.keys, key)
+        if idx < len(page.keys) and page.keys[idx] == key:
+            page.ptrs[idx] = value
+            return True
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        page, _ = self._descend(key)
+        idx = bisect.bisect_left(page.keys, key)
+        if idx >= len(page.keys) or page.keys[idx] != key:
+            return False
+        page.keys.pop(idx)
+        page.ptrs.pop(idx)
+        self._len -= 1
+        return True
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        page, _ = self._descend(key)
+        idx = bisect.bisect_left(page.keys, key)
+        node: _Page | None = page
+        while node is not None:
+            for i in range(idx, len(node.keys)):
+                yield node.keys[i], node.ptrs[i]
+            node = node.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        node: _Page | None = self._heads[0]
+        while node is not None:
+            yield from zip(node.keys, node.ptrs)
+            node = node.next
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def levels(self) -> int:
+        return len(self._heads)
+
+    def occupancy(self) -> float:
+        pages = values = 0
+        node: _Page | None = self._heads[0]
+        while node is not None:
+            pages += 1
+            values += len(node.keys)
+            node = node.next
+        return values / (pages * self._slots) if pages else 1.0
+
+    def memory_bytes(self) -> int:
+        page_memory = self._n_pages * PAGE_BYTES
+        key_heap = sum(heap_key_bytes(k) for k, _ in self.items())
+        return page_memory + key_heap

@@ -1,0 +1,148 @@
+"""T-Tree: the classic main-memory index (Figure 6.7 baseline).
+
+A T-Tree is a balanced binary tree whose nodes each hold a sorted array
+of keys.  It appears in the thesis as the key-storage-completeness
+extreme: T-Tree nodes store (pointers to) complete keys, so it gets the
+*full* benefit from HOPE key compression.
+
+We implement an unbalanced-by-insertion-order binary tree of bounded
+arrays with midpoint splits — sufficient for the random-key workloads
+of the evaluation (randomised input keeps it shallow) and faithful on
+the memory axis, which is what the HOPE comparison measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+from ..bench.counters import COUNTERS
+from .base import OrderedIndex, POINTER_BYTES, heap_key_bytes
+
+NODE_CAPACITY = 32
+_NODE_HEADER = 16 + 2 * POINTER_BYTES  # header + left/right pointers
+
+
+class _TNode:
+    __slots__ = ("keys", "values", "left", "right")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[Any] = []
+        self.left: _TNode | None = None
+        self.right: _TNode | None = None
+
+
+class TTree(OrderedIndex):
+    """Binary tree of sorted key arrays."""
+
+    def __init__(self, capacity: int = NODE_CAPACITY) -> None:
+        self._capacity = capacity
+        self._root: _TNode | None = None
+        self._len = 0
+        self._n_nodes = 0
+
+    def _bounding(self, key: bytes) -> tuple[_TNode | None, _TNode | None]:
+        """(bounding-or-leafmost node, its parent) for ``key``."""
+        node, parent = self._root, None
+        while node is not None:
+            COUNTERS.node_visit(
+                _NODE_HEADER + self._capacity * 2 * POINTER_BYTES,
+                lines_touched=max(1, len(node.keys).bit_length()),
+            )
+            if node.keys and key < node.keys[0] and node.left is not None:
+                node, parent = node.left, node
+            elif node.keys and key > node.keys[-1] and node.right is not None:
+                node, parent = node.right, node
+            else:
+                return node, parent
+        return None, None
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        if self._root is None:
+            self._root = _TNode()
+            self._n_nodes = 1
+        node, _ = self._bounding(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return False
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self._len += 1
+        if len(node.keys) > self._capacity:
+            self._split(node)
+        return True
+
+    def _split(self, node: _TNode) -> None:
+        """Move the key halves into new left/right descendants."""
+        mid = len(node.keys) // 2
+        left_keys, left_vals = node.keys[:mid], node.values[:mid]
+        node.keys, node.values = node.keys[mid:], node.values[mid:]
+        new = _TNode()
+        new.keys, new.values = left_keys, left_vals
+        self._n_nodes += 1
+        if node.left is None:
+            node.left = new
+            return
+        probe = node.left
+        while probe.right is not None:
+            probe = probe.right
+        probe.right = new
+
+    def get(self, key: bytes) -> Any | None:
+        if self._root is None:
+            return None
+        node, _ = self._bounding(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return None
+
+    def update(self, key: bytes, value: Any) -> bool:
+        if self._root is None:
+            return False
+        node, _ = self._bounding(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+            return True
+        return False
+
+    def delete(self, key: bytes) -> bool:
+        if self._root is None:
+            return False
+        node, _ = self._bounding(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self._len -= 1
+            return True
+        return False
+
+    def _inorder(self, node: _TNode | None) -> Iterator[tuple[bytes, Any]]:
+        if node is None:
+            return
+        yield from self._inorder(node.left)
+        yield from zip(node.keys, node.values)
+        yield from self._inorder(node.right)
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        yield from self._inorder(self._root)
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        for k, v in self.items():
+            if k >= key:
+                yield k, v
+
+    def __len__(self) -> int:
+        return self._len
+
+    def memory_bytes(self) -> int:
+        """Full node arrays plus complete key storage (T-Trees store
+        whole keys: the maximal HOPE win)."""
+        total = self._n_nodes * (
+            _NODE_HEADER + self._capacity * 2 * POINTER_BYTES
+        )
+        total += sum(heap_key_bytes(k) for k, _ in self.items())
+        return total

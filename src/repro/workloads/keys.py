@@ -1,0 +1,190 @@
+"""Key generators for every dataset used in the thesis evaluation.
+
+All generators are deterministic given a seed and return ``bytes`` keys
+(the canonical key type throughout this library).  64-bit integers are
+encoded big-endian so that byte-wise lexicographic order equals numeric
+order, exactly as a DBMS would feed them to a trie.
+
+Synthetic substitutions for the paper's proprietary corpora
+(see DESIGN.md §1.3):
+
+* ``email_keys``     — host-reversed emails ("com.domain@user"), average
+  length ≈ 22 bytes, domain popularity Zipf-distributed so keys share
+  long prefixes, matching the corpus statistics quoted in Section 3.7.
+* ``url_keys``       — URLs sharing ``http://``/``https://`` prefixes.
+* ``wiki_keys``      — article-title-like word sequences.
+* ``worst_case_keys``— the adversarial dataset of Figure 4.10: a fixed
+  prefix enumeration, a long random run shared by exactly two keys, and
+  a distinguishing final byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+
+import numpy as np
+
+U64_BYTES = 8
+_MAX_U64 = (1 << 64) - 1
+
+
+def encode_u64(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer as an order-preserving key."""
+    if not 0 <= value <= _MAX_U64:
+        raise ValueError(f"value {value} out of u64 range")
+    return value.to_bytes(U64_BYTES, "big")
+
+
+def decode_u64(key: bytes) -> int:
+    return int.from_bytes(key, "big")
+
+
+def random_u64_keys(n: int, seed: int = 1) -> list[bytes]:
+    """``n`` distinct uniform-random 64-bit integer keys (YCSB style)."""
+    rng = np.random.default_rng(seed)
+    seen: dict[int, None] = {}
+    while len(seen) < n:
+        batch = rng.integers(0, _MAX_U64, size=n - len(seen) + 16, dtype=np.uint64)
+        for v in batch:
+            seen.setdefault(int(v))
+    return [encode_u64(v) for v in itertools.islice(seen, n)]
+
+
+def mono_inc_u64_keys(n: int, start: int = 0) -> list[bytes]:
+    """``n`` monotonically increasing 64-bit integer keys."""
+    return [encode_u64(start + i) for i in range(n)]
+
+
+# -- email keys -------------------------------------------------------------
+
+_DOMAINS = [
+    "com.gmail", "com.yahoo", "com.hotmail", "com.aol", "com.outlook",
+    "com.icloud", "com.mail", "com.msn", "com.comcast", "com.live",
+    "edu.cmu.cs", "edu.mit", "edu.stanford", "org.apache", "org.acm",
+    "net.earthlink", "de.web", "de.gmx", "uk.co.btinternet", "cn.qq",
+]
+
+_FIRST = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "liz", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "chuck", "karen", "chris",
+    "nancy", "daniel", "lisa", "matt", "betty", "anthony", "helen",
+    "mark", "sandra", "don", "donna", "steven", "carol", "paul", "ruth",
+]
+
+_SEPARATORS = ["", ".", "_", ""]
+
+
+def email_keys(n: int, seed: int = 1) -> list[bytes]:
+    """``n`` distinct host-reversed email keys, e.g. ``com.gmail@jo.smith42``."""
+    rng = np.random.default_rng(seed)
+    # Zipf-like domain popularity: domain k has weight 1/(k+1).
+    weights = 1.0 / np.arange(1, len(_DOMAINS) + 1)
+    weights /= weights.sum()
+    keys: dict[bytes, None] = {}
+    while len(keys) < n:
+        domain = _DOMAINS[int(rng.choice(len(_DOMAINS), p=weights))]
+        first = _FIRST[int(rng.integers(len(_FIRST)))]
+        sep = _SEPARATORS[int(rng.integers(len(_SEPARATORS)))]
+        second = _FIRST[int(rng.integers(len(_FIRST)))]
+        num = int(rng.integers(0, 1000))
+        suffix = str(num) if rng.random() < 0.6 else ""
+        keys.setdefault(f"{domain}@{first}{sep}{second}{suffix}".encode("ascii"))
+    return list(itertools.islice(keys, n))
+
+
+# -- URL keys ---------------------------------------------------------------
+
+_TLDS = ["com", "org", "net", "edu", "io", "co.uk", "de"]
+_WORDS = [
+    "data", "base", "index", "tree", "fast", "succinct", "range", "filter",
+    "key", "value", "store", "cloud", "search", "query", "page", "wiki",
+    "news", "shop", "blog", "code", "open", "source", "bench", "mark",
+    "paper", "graph", "table", "cache", "memory", "disk", "log", "merge",
+]
+
+
+def url_keys(n: int, seed: int = 2) -> list[bytes]:
+    """``n`` distinct URL keys sharing scheme/host prefixes."""
+    rng = np.random.default_rng(seed)
+    keys: dict[bytes, None] = {}
+    while len(keys) < n:
+        scheme = "https" if rng.random() < 0.7 else "http"
+        host = (
+            _WORDS[int(rng.integers(len(_WORDS)))]
+            + _WORDS[int(rng.integers(len(_WORDS)))]
+        )
+        tld = _TLDS[int(rng.integers(len(_TLDS)))]
+        depth = int(rng.integers(1, 4))
+        path = "/".join(
+            _WORDS[int(rng.integers(len(_WORDS)))] for _ in range(depth)
+        )
+        page = int(rng.integers(0, 10000))
+        keys.setdefault(f"{scheme}://www.{host}.{tld}/{path}/{page}".encode("ascii"))
+    return list(itertools.islice(keys, n))
+
+
+# -- wiki keys ----------------------------------------------------------------
+
+
+def wiki_keys(n: int, seed: int = 3) -> list[bytes]:
+    """``n`` distinct Wikipedia-title-like keys (words joined by ``_``)."""
+    rng = np.random.default_rng(seed)
+    keys: dict[bytes, None] = {}
+    while len(keys) < n:
+        n_words = int(rng.integers(1, 5))
+        words = [
+            _WORDS[int(rng.integers(len(_WORDS)))].capitalize()
+            for _ in range(n_words)
+        ]
+        if rng.random() < 0.3:
+            words.append(str(int(rng.integers(1800, 2030))))
+        keys.setdefault("_".join(words).encode("ascii"))
+    return list(itertools.islice(keys, n))
+
+
+# -- worst-case dataset (Figure 4.10) ----------------------------------------
+
+
+def worst_case_keys(
+    n_pairs: int, seed: int = 4, prefix_len: int = 5, random_len: int = 58
+) -> list[bytes]:
+    """The adversarial SuRF dataset of Figure 4.10.
+
+    Each of ``n_pairs`` prefixes (drawn in order from the ``prefix_len``
+    lowercase enumeration) appears in exactly two keys that share a
+    ``random_len``-byte random middle section and differ only in the
+    final byte — maximizing trie height and minimizing node sharing.
+    """
+    rng = np.random.default_rng(seed)
+    alphabet = string.ascii_lowercase
+    prefixes = itertools.islice(
+        itertools.product(alphabet, repeat=prefix_len), n_pairs
+    )
+    keys: list[bytes] = []
+    letters = np.frombuffer(alphabet.encode(), dtype=np.uint8)
+    for prefix_chars in prefixes:
+        prefix = "".join(prefix_chars).encode("ascii")
+        middle = letters[rng.integers(0, 26, size=random_len)].tobytes()
+        last_a, last_b = rng.choice(26, size=2, replace=False)
+        keys.append(prefix + middle + bytes([letters[last_a]]))
+        keys.append(prefix + middle + bytes([letters[last_b]]))
+    return keys
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def dataset(name: str, n: int, seed: int = 1) -> list[bytes]:
+    """Dispatch by dataset name used throughout the benchmarks."""
+    generators = {
+        "randint": random_u64_keys,
+        "monoint": lambda n, seed: mono_inc_u64_keys(n),
+        "email": email_keys,
+        "url": url_keys,
+        "wiki": wiki_keys,
+    }
+    if name not in generators:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(generators)}")
+    return generators[name](n, seed)

@@ -1,0 +1,96 @@
+"""Zipfian request generators following the YCSB implementation.
+
+YCSB's ``ZipfianGenerator`` draws from ``[0, n)`` with
+``P(rank k) ∝ 1 / k^theta`` (theta = 0.99 by default) using Gray et
+al.'s constant-time inversion method.  ``ScrambledZipfianGenerator``
+additionally hashes the rank so popular items are spread across the key
+space — this is what YCSB workloads actually use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_THETA = 0.99
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 bytes (YCSB's scrambling hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) & _MASK64
+        value >>= 8
+    return h
+
+
+def _zeta(n: int, theta: float) -> float:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((1.0 / ranks**theta).sum())
+
+
+class ZipfianGenerator:
+    """Draws ranks in ``[0, n)``; rank 0 is the most popular item."""
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA, seed: int = 1) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.theta = theta
+        self._rng = np.random.default_rng(seed)
+        self._zetan = _zeta(n, theta)
+        self._zeta2 = _zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1) ** self._alpha)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Vectorized draw of ``count`` ranks."""
+        u = self._rng.random(count)
+        uz = u * self._zetan
+        ranks = (self.n * (self._eta * u - self._eta + 1) ** self._alpha).astype(
+            np.int64
+        )
+        ranks = np.where(uz < 1.0, 0, ranks)
+        ranks = np.where((uz >= 1.0) & (uz < 1.0 + 0.5**self.theta), 1, ranks)
+        return np.clip(ranks, 0, self.n - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scattered over ``[0, n)`` via FNV hashing (YCSB)."""
+
+    def __init__(self, n: int, theta: float = DEFAULT_THETA, seed: int = 1) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+    def sample(self, count: int) -> np.ndarray:
+        ranks = self._zipf.sample(count)
+        return np.array([fnv1a_64(int(r)) % self.n for r in ranks], dtype=np.int64)
+
+
+class UniformGenerator:
+    """Uniform item selection, same interface as the Zipfian generators."""
+
+    def __init__(self, n: int, seed: int = 1) -> None:
+        self.n = n
+        self._rng = np.random.default_rng(seed)
+
+    def next(self) -> int:
+        return int(self._rng.integers(self.n))
+
+    def sample(self, count: int) -> np.ndarray:
+        return self._rng.integers(0, self.n, size=count, dtype=np.int64)

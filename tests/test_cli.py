@@ -1,0 +1,32 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "FST" in out and "SuRF" in out and "HOPE" in out
+
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_unknown_bench_rejected(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_every_experiment_file_exists(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1] / "benchmarks"
+        for filename in EXPERIMENTS.values():
+            assert (root / filename).exists(), filename

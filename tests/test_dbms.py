@@ -1,0 +1,187 @@
+"""Tests for the mini H-Store engine, benchmarks, and anti-caching."""
+
+import pytest
+
+from repro.dbms import (
+    ArticlesDriver,
+    HStore,
+    Table,
+    TpccDriver,
+    VoterDriver,
+    encode_key,
+    tuple_bytes,
+)
+from repro.hybrid import hybrid_btree
+
+
+class TestEncoding:
+    def test_encode_key_types(self):
+        assert encode_key(5) == (5).to_bytes(8, "big")
+        assert encode_key("ab") == b"ab\x00"
+        assert encode_key((1, "x")) == (1).to_bytes(8, "big") + b"x\x00"
+
+    def test_encode_key_order(self):
+        assert encode_key((1, 2)) < encode_key((1, 3)) < encode_key((2, 0))
+
+    def test_tuple_bytes(self):
+        assert tuple_bytes((1, "abc", 2.0)) == 8 + 8 + 4 + 8
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_key(object())
+        with pytest.raises(TypeError):
+            tuple_bytes((object(),))
+
+
+class TestTable:
+    def test_crud(self):
+        t = Table("T")
+        assert t.insert(1, (1, "a"))
+        assert not t.insert(1, (1, "b"))
+        assert t.get(1) == (1, "a")
+        assert t.update(1, (1, "c"))
+        assert t.get(1) == (1, "c")
+        assert t.delete(1)
+        assert t.get(1) is None
+
+    def test_secondary_index(self):
+        t = Table("T")
+        t.add_secondary_index("by_cat", (1,))
+        t.insert(1, (1, "x", 10))
+        t.insert(2, (2, "x", 20))
+        t.insert(3, (3, "y", 30))
+        assert len(t.lookup_secondary("by_cat", "x")) == 2
+        assert len(t.lookup_secondary("by_cat", "z")) == 0
+
+    def test_secondary_added_after_rows(self):
+        t = Table("T")
+        t.insert(1, (1, "x"))
+        t.add_secondary_index("by_cat", (1,))
+        assert len(t.lookup_secondary("by_cat", "x")) == 1
+
+    def test_secondary_with_hybrid_factory(self):
+        t = Table("T", secondary_factory=hybrid_btree)
+        t.add_secondary_index("by_cat", (1,))
+        t.insert(1, (1, "x"))
+        t.insert(2, (2, "x"))
+        assert len(t.lookup_secondary("by_cat", "x")) == 2
+
+    def test_memory_report(self):
+        t = Table("T")
+        t.add_secondary_index("by_cat", (1,))
+        for i in range(100):
+            t.insert(i, (i, f"cat{i % 5}"))
+        report = t.memory_report()
+        assert report["tuples"] > 0
+        assert report["primary"] > 0
+        assert report["secondary"] > 0
+
+    def test_scan_primary(self):
+        t = Table("T")
+        for i in range(50):
+            t.insert(i, (i, i * 2))
+        rows = t.scan_primary(10, 5)
+        assert [r[0] for r in rows] == [10, 11, 12, 13, 14]
+
+
+class TestBenchmarkDrivers:
+    @pytest.mark.parametrize("driver_cls", [TpccDriver, VoterDriver, ArticlesDriver])
+    def test_load_and_run(self, driver_cls):
+        store = HStore(n_partitions=2)
+        driver = driver_cls(store)
+        driver.load()
+        for _ in range(200):
+            driver.run_one()
+        assert store.txn_count == 200
+        report = store.memory_report()
+        assert report["tuples"] > 0 and report["primary"] > 0
+
+    def test_tpcc_index_heavy(self):
+        """Table 1.1: indexes are a large share of TPC-C memory."""
+        store = HStore(n_partitions=2)
+        driver = TpccDriver(store)
+        driver.load()
+        for _ in range(500):
+            driver.run_one()
+        report = store.memory_report()
+        index_share = (report["primary"] + report["secondary"]) / report["total"]
+        assert index_share > 0.3
+
+    def test_voter_rejects_over_voting(self):
+        store = HStore(n_partitions=1)
+        driver = VoterDriver(store, max_votes=2)
+        driver.load()
+        results = [
+            store.execute("vote", 555, i, 555, 0, 2) for i in range(4)
+        ]
+        assert results == [True, True, False, False]
+
+    def test_latency_percentiles(self):
+        store = HStore(n_partitions=1)
+        driver = VoterDriver(store)
+        driver.load()
+        for _ in range(100):
+            driver.run_one()
+        pct = store.latency_percentiles()
+        assert 0 < pct["p50"] <= pct["p99"] <= pct["max"]
+
+    def test_hybrid_index_saves_dbms_memory(self):
+        """Figures 5.11-5.13: hybrid indexes shrink the index share."""
+        results = {}
+        for name, factory in [("btree", None), ("hybrid", hybrid_btree)]:
+            store = HStore(
+                n_partitions=1,
+                primary_factory=factory,
+                secondary_factory=factory,
+            )
+            driver = TpccDriver(store, seed=11)
+            driver.load()
+            for _ in range(600):
+                driver.run_one()
+            # Force outstanding dynamic-stage entries into the compact stage.
+            for part in store.partitions:
+                for table in part.tables.values():
+                    if hasattr(table.primary, "merge"):
+                        table.primary.merge()
+                    for index, _cols in table.secondaries.values():
+                        if hasattr(index, "merge"):
+                            index.merge()
+            report = store.memory_report()
+            results[name] = report["primary"] + report["secondary"]
+        assert results["hybrid"] < results["btree"] * 0.75
+
+
+class TestAntiCaching:
+    def test_eviction_kicks_in(self):
+        store = HStore(
+            n_partitions=1,
+            anticache_threshold_bytes=20_000,
+            anticache_block_bytes=4096,
+        )
+        driver = VoterDriver(store)
+        driver.load()
+        for _ in range(1500):
+            driver.run_one()
+        ac = store.partitions[0].anticache
+        assert ac.evictions > 0
+        assert ac.evicted_bytes > 0
+        # Resident tuples stay near the threshold.
+        assert store.memory_report()["tuples"] <= 20_000 * 1.5
+
+    def test_evicted_tuples_fetched_on_access(self):
+        store = HStore(
+            n_partitions=1,
+            anticache_threshold_bytes=10_000,
+            anticache_block_bytes=2048,
+        )
+        driver = ArticlesDriver(store, n_seed_articles=300)
+        driver.load()
+        for _ in range(800):
+            driver.run_one()
+        ac = store.partitions[0].anticache
+        if ac.evictions > 0:
+            # Reads of evicted articles must restart and still succeed.
+            for a in range(0, 300, 7):
+                article, _ = store.execute("get_article", a, a)
+                assert article is not None
+        assert store.restart_count == ac.aborts

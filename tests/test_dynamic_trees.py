@@ -1,0 +1,311 @@
+"""Shared correctness tests for the four dynamic search trees.
+
+Every tree is tested against a sorted-dict reference model over the
+same operation sequences, plus structure-specific behaviour (node
+occupancy, adaptive node types, keyslice layers).
+"""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import ART, BPlusTree, Masstree, PagedSkipList
+from repro.workloads import email_keys, encode_u64, random_u64_keys
+
+ALL_TREES = [BPlusTree, PagedSkipList, ART, Masstree]
+
+
+def make_tree(cls):
+    return cls()
+
+
+@pytest.fixture(params=ALL_TREES, ids=lambda c: c.__name__)
+def tree(request):
+    return make_tree(request.param)
+
+
+class TestBasicOperations:
+    def test_empty(self, tree):
+        assert len(tree) == 0
+        assert tree.get(b"missing") is None
+        assert not tree.delete(b"missing")
+        assert not tree.update(b"missing", 1)
+
+    def test_insert_get(self, tree):
+        assert tree.insert(b"hello", 1)
+        assert tree.get(b"hello") == 1
+        assert len(tree) == 1
+
+    def test_duplicate_insert_rejected(self, tree):
+        assert tree.insert(b"k", 1)
+        assert not tree.insert(b"k", 2)
+        assert tree.get(b"k") == 1
+        assert len(tree) == 1
+
+    def test_update(self, tree):
+        tree.insert(b"k", 1)
+        assert tree.update(b"k", 99)
+        assert tree.get(b"k") == 99
+
+    def test_delete(self, tree):
+        tree.insert(b"k", 1)
+        assert tree.delete(b"k")
+        assert tree.get(b"k") is None
+        assert len(tree) == 0
+        assert not tree.delete(b"k")
+
+    def test_prefix_keys_coexist(self, tree):
+        """A key that is a prefix of another key must be distinct."""
+        tree.insert(b"sig", 1)
+        tree.insert(b"sigmod", 2)
+        tree.insert(b"sigops", 3)
+        assert tree.get(b"sig") == 1
+        assert tree.get(b"sigmod") == 2
+        assert tree.get(b"sigops") == 3
+        assert tree.get(b"sigmo") is None
+        assert [k for k, _ in tree.items()] == [b"sig", b"sigmod", b"sigops"]
+
+    def test_empty_vs_zero_byte_key(self, tree):
+        tree.insert(b"\x00", 1)
+        tree.insert(b"\x00\x00", 2)
+        assert tree.get(b"\x00") == 1
+        assert tree.get(b"\x00\x00") == 2
+
+
+class TestBulkRandom:
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    def test_random_int_keys(self, cls):
+        keys = random_u64_keys(2000, seed=5)
+        tree = make_tree(cls)
+        for i, k in enumerate(keys):
+            assert tree.insert(k, i)
+        assert len(tree) == 2000
+        for i, k in enumerate(keys):
+            assert tree.get(k) == i
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    def test_email_keys(self, cls):
+        keys = email_keys(1000, seed=6)
+        tree = make_tree(cls)
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        for i, k in enumerate(keys):
+            assert tree.get(k) == i
+        assert [k for k, _ in tree.items()] == sorted(set(keys))
+
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    def test_deletions_interleaved(self, cls):
+        keys = random_u64_keys(800, seed=7)
+        tree = make_tree(cls)
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        for k in keys[::2]:
+            assert tree.delete(k)
+        for i, k in enumerate(keys):
+            expected = None if i % 2 == 0 else i
+            assert tree.get(k) == expected
+        assert len(tree) == 400
+
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    def test_lower_bound_scan(self, cls):
+        keys = sorted(random_u64_keys(500, seed=8))
+        tree = make_tree(cls)
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        for probe in keys[::37] + [b"\x00" * 8, b"\xff" * 8]:
+            idx = bisect.bisect_left(keys, probe)
+            expected = keys[idx : idx + 10]
+            got = [k for k, _ in tree.scan(probe, 10)]
+            assert got == expected
+
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    def test_memory_positive_and_scales(self, cls):
+        small, large = make_tree(cls), make_tree(cls)
+        for i, k in enumerate(random_u64_keys(100, seed=9)):
+            small.insert(k, i)
+        for i, k in enumerate(random_u64_keys(2000, seed=9)):
+            large.insert(k, i)
+        assert 0 < small.memory_bytes() < large.memory_bytes()
+
+
+@st.composite
+def operation_sequences(draw):
+    n = draw(st.integers(10, 120))
+    ops = []
+    for _ in range(n):
+        op = draw(st.sampled_from(["insert", "delete", "get", "update"]))
+        key = draw(st.binary(min_size=1, max_size=12))
+        ops.append((op, key))
+    return ops
+
+
+class TestAgainstReferenceModel:
+    @pytest.mark.parametrize("cls", ALL_TREES, ids=lambda c: c.__name__)
+    @given(ops=operation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, cls, ops):
+        tree = make_tree(cls)
+        model: dict[bytes, int] = {}
+        for i, (op, key) in enumerate(ops):
+            if op == "insert":
+                assert tree.insert(key, i) == (key not in model)
+                model.setdefault(key, i)
+            elif op == "delete":
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            elif op == "update":
+                assert tree.update(key, i) == (key in model)
+                if key in model:
+                    model[key] = i
+            else:
+                assert tree.get(key) == model.get(key)
+        assert len(tree) == len(model)
+        assert list(tree.items()) == sorted(model.items())
+
+
+class TestBPlusTreeSpecific:
+    def test_occupancy_random_near_paper(self):
+        tree = BPlusTree()
+        for i, k in enumerate(random_u64_keys(5000, seed=10)):
+            tree.insert(k, i)
+        # Paper: expected B+tree occupancy ~69 % under random inserts.
+        assert 0.55 < tree.occupancy() < 0.80
+
+    def test_occupancy_mono_inc_half(self):
+        tree = BPlusTree()
+        for i in range(5000):
+            tree.insert(encode_u64(i), i)
+        # Monotonic inserts always split the rightmost leaf: ~50 % full.
+        assert 0.45 < tree.occupancy() < 0.60
+
+    def test_duplicates_mode(self):
+        tree = BPlusTree(allow_duplicates=True)
+        for v in range(10):
+            assert tree.insert(b"dup", v)
+        assert len(tree) == 10
+        assert sorted(tree.get_all(b"dup")) == list(range(10))
+
+    def test_height_grows(self):
+        tree = BPlusTree(node_slots=4)
+        for i in range(500):
+            tree.insert(encode_u64(i), i)
+        assert tree.height >= 4
+
+
+class TestARTSpecific:
+    def test_adaptive_node_types(self):
+        tree = ART()
+        for i, k in enumerate(random_u64_keys(5000, seed=11)):
+            tree.insert(k, i)
+        stats = tree.node_stats()
+        assert stats["Node256"] >= 1  # root is dense for random keys
+        assert stats["Node4"] > 0  # deep levels are sparse
+
+    def test_occupancy_near_paper(self):
+        tree = ART()
+        for i, k in enumerate(random_u64_keys(5000, seed=12)):
+            tree.insert(k, i)
+        # Paper: ART node occupancy ~51 % for random integer keys.
+        assert 0.35 < tree.occupancy() < 0.75
+
+    def test_path_compression_mono_inc(self):
+        dense, sparse = ART(), ART()
+        for i in range(1000):
+            dense.insert(encode_u64(i), i)
+        for i, k in enumerate(random_u64_keys(1000, seed=13)):
+            sparse.insert(k, i)
+        # Mono-inc keys share prefixes: far less memory than random.
+        assert dense.memory_bytes() < sparse.memory_bytes()
+
+    def test_memory_excludes_keys(self):
+        """ART leaves are record pointers; long keys cost the same."""
+        short_tree, long_tree = ART(), ART()
+        short_tree.insert(b"ab", 1)
+        long_tree.insert(b"ab" + b"x" * 100, 1)
+        assert short_tree.memory_bytes() == long_tree.memory_bytes()
+
+
+class TestMasstreeSpecific:
+    def test_layers_created_for_shared_slices(self):
+        tree = Masstree()
+        tree.insert(b"prefix__" + b"aaaa", 1)
+        tree.insert(b"prefix__" + b"bbbb", 2)
+        assert tree.layer_count() == 2
+        assert tree.get(b"prefix__aaaa") == 1
+        assert tree.get(b"prefix__bbbb") == 2
+
+    def test_short_keys_single_layer(self):
+        tree = Masstree()
+        tree.insert(b"abc", 1)
+        tree.insert(b"abd", 2)
+        assert tree.layer_count() == 1
+
+    def test_slice_boundary_keys(self):
+        tree = Masstree()
+        tree.insert(b"12345678", 1)  # exactly one slice
+        tree.insert(b"123456789", 2)  # one slice + 1 byte
+        tree.insert(b"1234567", 3)  # 7 bytes
+        assert tree.get(b"12345678") == 1
+        assert tree.get(b"123456789") == 2
+        assert tree.get(b"1234567") == 3
+        assert [k for k, _ in tree.items()] == [
+            b"1234567",
+            b"12345678",
+            b"123456789",
+        ]
+
+    def test_layer_collapse_on_delete(self):
+        tree = Masstree()
+        tree.insert(b"prefix__aaaa", 1)
+        tree.insert(b"prefix__bbbb", 2)
+        assert tree.layer_count() == 2
+        tree.delete(b"prefix__bbbb")
+        assert tree.layer_count() == 1
+        assert tree.get(b"prefix__aaaa") == 1
+
+
+class TestSkipListSpecific:
+    def test_levels_grow(self):
+        sl = PagedSkipList(page_slots=8)
+        for i in range(2000):
+            sl.insert(encode_u64(i), i)
+        assert sl.levels >= 3
+
+    def test_occupancy(self):
+        sl = PagedSkipList()
+        for i, k in enumerate(random_u64_keys(5000, seed=14)):
+            sl.insert(k, i)
+        assert 0.55 < sl.occupancy() < 0.80
+
+
+class TestSkipListRegression:
+    def test_stale_separator_split_splice(self):
+        """Regression: inserting below the leftmost separator used to
+        leave it stale, and a later head split spliced its right half
+        before the head pointer (found by the Figure 5.3 bench)."""
+        sl = PagedSkipList(page_slots=4)
+        for kv in [153, 80, 92, 12, 22, 10, 6, 8, 1]:
+            sl.insert(kv.to_bytes(2, "big"), kv)
+        out = [int.from_bytes(k, "big") for k, _ in sl.items()]
+        assert out == sorted(out)
+        for kv in [153, 80, 92, 12, 22, 10, 6, 8, 1]:
+            assert sl.get(kv.to_bytes(2, "big")) == kv
+
+    @given(
+        values=st.lists(st.integers(0, 300), min_size=5, max_size=250)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_small_page_fuzz(self, values):
+        """Small pages force frequent splits: order must survive."""
+        sl = PagedSkipList(page_slots=4)
+        model = {}
+        for i, kv in enumerate(values):
+            key = kv.to_bytes(2, "big")
+            sl.insert(key, i)
+            model.setdefault(key, i)
+        assert [k for k, _ in sl.items()] == sorted(model)
+        for key, v in model.items():
+            assert sl.get(key) == v

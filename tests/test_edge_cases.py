@@ -1,0 +1,183 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import CompressedBPlusTree
+from repro.dbms.storage import encode_packed
+from repro.fst import FST
+from repro.hope import HopeEncoder
+from repro.hope.hu_tucker import weight_balanced_lengths
+from repro.surf import surf_base
+from repro.workloads import encode_u64, random_u64_keys
+
+
+class TestSurfCountBound:
+    """SuRF count over-counts by at most two per boundary (§4.1.5)."""
+
+    @given(
+        keys=st.lists(
+            st.binary(min_size=1, max_size=6), min_size=3, max_size=60, unique=True
+        ),
+        lo=st.binary(min_size=0, max_size=7),
+        hi=st.binary(min_size=0, max_size=7),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_count_error_bound(self, keys, lo, hi):
+        import bisect
+
+        keys = sorted(keys)
+        surf = surf_base(keys)
+        true_count = (
+            bisect.bisect_left(keys, hi) - bisect.bisect_left(keys, lo)
+            if lo < hi
+            else 0
+        )
+        true_count = max(0, true_count)
+        got = surf.count(lo, hi)
+        # Truncation can both over-count (boundary prefixes) and, for
+        # counts, never under-count by more than the boundary entries.
+        assert true_count - 2 <= got <= true_count + 2
+
+
+class TestFstDegenerateShapes:
+    def test_single_byte_alphabet_chain(self):
+        """A unary trie (every node fanout 1) exercises the
+        single-child path and LOUDS boundaries."""
+        keys = [b"a" * n for n in range(1, 40)]
+        fst = FST(keys, list(range(len(keys))))
+        for i, k in enumerate(keys):
+            assert fst.get(k) == i
+        assert fst.get(b"a" * 40) is None
+        assert [k for k, _ in fst.items()] == keys
+
+    def test_full_fanout_root(self):
+        """All 256 single-byte keys: a completely dense root."""
+        keys = [bytes([b]) for b in range(256)]
+        fst = FST(keys, list(range(256)), dense_levels=1)
+        for b in range(256):
+            assert fst.get(bytes([b])) == b
+        assert fst.count_range(b"\x10", b"\x20") == 16
+
+    def test_max_label_and_min_label(self):
+        keys = sorted([b"\x00", b"\xff", b"\x00\xff", b"\xff\x00"])
+        fst = FST(keys, list(range(len(keys))))
+        for i, k in enumerate(keys):
+            assert fst.get(k) == i
+        it = fst.seek(b"\x01")
+        assert it.valid and it.key() == b"\xff"
+
+    def test_long_key(self):
+        key = bytes(range(256)) * 4  # 1 KiB key
+        fst = FST([key], [7])
+        assert fst.get(key) == 7
+        assert fst.get(key[:-1]) is None
+
+
+class TestCompressedBtreeBlocks:
+    def test_lower_bound_spans_blocks(self):
+        pairs = [(encode_u64(i), i) for i in range(500)]
+        index = CompressedBPlusTree(pairs, node_slots=16, cache_nodes=2)
+        got = [v for _, v in index.scan(encode_u64(10), 100)]
+        assert got == list(range(10, 110))
+
+    def test_values_must_be_ints(self):
+        with pytest.raises(Exception):
+            CompressedBPlusTree([(b"k", "not-an-int")])
+
+
+class TestEncodePacked:
+    def test_roundtrip_order(self):
+        a = encode_packed((1, 2, 3), (2, 1, 4))
+        b = encode_packed((1, 2, 4), (2, 1, 4))
+        c = encode_packed((1, 3, 0), (2, 1, 4))
+        assert a < b < c
+        assert len(a) == 7
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            encode_packed((1, 2), (2,))
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            encode_packed((256,), (1,))
+
+
+class TestWeightBalancedLargeAlphabet:
+    def test_handles_65k_symbols(self):
+        """Double-Char's 64K alphabet must build in reasonable time."""
+        import numpy as np
+
+        weights = list(np.random.default_rng(160).random(65536) + 0.01)
+        lengths = weight_balanced_lengths(weights)
+        assert len(lengths) == 65536
+        assert sum(2.0 ** -l for l in lengths) <= 1.0 + 1e-9
+        assert max(lengths) < 64
+
+    def test_encoder_exact_limit_switch(self):
+        """Small dicts take the exact Garsia-Wachs path, large ones the
+        weight-balanced path; both must be valid order-preserving."""
+        from repro.workloads import email_keys
+
+        sample = email_keys(300, seed=161)
+        small = HopeEncoder.from_sample("single", sample, exact_limit=4096)
+        large_path = HopeEncoder.from_sample("single", sample, exact_limit=10)
+        for enc in (small, large_path):
+            encoded = [enc.encode(k) for k in sorted(sample[:100])]
+            assert encoded == sorted(encoded)
+        # The exact path never loses to the approximation.
+        assert small.compression_rate(sample) >= large_path.compression_rate(sample) * 0.999
+
+
+class TestLsmFailureInjection:
+    def test_loader_exception_does_not_poison_cache(self):
+        from repro.compact import ClockNodeCache
+
+        cache = ClockNodeCache(2)
+        with pytest.raises(RuntimeError):
+            cache.get_or_load("bad", lambda: (_ for _ in ()).throw(RuntimeError()))
+        # The failed key must not be cached...
+        assert "bad" not in cache or cache.get_or_load("bad", lambda: 1) == 1
+
+    def test_empty_store_queries(self):
+        from repro.lsm import LSMTree
+
+        store = LSMTree()
+        assert store.get(b"x") is None
+        assert store.seek(b"x") is None
+        assert store.scan(b"", 5) == []
+        assert store.count(b"a", b"z") == 0
+
+    def test_flush_empty_memtable_noop(self):
+        from repro.lsm import LSMTree
+
+        store = LSMTree()
+        store.flush_memtable()
+        assert store.table_count() == 0
+
+
+class TestPrefixBloomEdges:
+    def test_short_keys(self):
+        from repro.filters import PrefixBloomFilter
+
+        pf = PrefixBloomFilter([b"ab"], prefix_len=8)
+        assert pf.may_contain(b"ab")  # shorter than the prefix length
+
+    def test_wrong_length_prefix_conservative(self):
+        from repro.filters import PrefixBloomFilter
+
+        pf = PrefixBloomFilter([b"com.foo@alice"], prefix_len=8)
+        assert pf.may_contain_prefix(b"com")  # cannot answer: True
+
+
+class TestHybridSurfMemoryShape:
+    def test_filter_stays_near_surf_size(self):
+        from repro.surf import HybridSuRF, surf_real
+
+        keys = sorted(random_u64_keys(2000, seed=162))
+        hybrid = HybridSuRF(keys, real_bits=4)
+        plain = surf_real(keys, real_bits=4)
+        # Right after a merge the dynamic stage is tiny: total filter
+        # memory is within ~2x of the bare SuRF.
+        assert hybrid.size_bits() < plain.size_bits() * 2

@@ -1,0 +1,149 @@
+"""Tests for the Bloom filter, prefix Bloom filter, and ARF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters import AdaptiveRangeFilter, BloomFilter, PrefixBloomFilter, hash64
+from repro.workloads import decode_u64, random_u64_keys
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64(b"abc") == hash64(b"abc")
+        assert hash64(b"abc", 1) != hash64(b"abc", 2)
+
+    def test_spreads(self):
+        hashes = {hash64(bytes([i, j])) for i in range(30) for j in range(30)}
+        assert len(hashes) == 900
+
+    @given(st.binary(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_in_64bit_range(self, data):
+        assert 0 <= hash64(data) < 2**64
+
+
+class TestBloomFilter:
+    def setup_method(self):
+        self.keys = random_u64_keys(2000, seed=50)
+        self.absent = random_u64_keys(2000, seed=51)
+
+    def test_no_false_negatives(self):
+        bf = BloomFilter(self.keys, bits_per_key=10)
+        assert all(bf.may_contain(k) for k in self.keys)
+
+    def test_false_positive_rate_near_theory(self):
+        bf = BloomFilter(self.keys, bits_per_key=10)
+        stored = set(self.keys)
+        probes = [k for k in self.absent if k not in stored]
+        fpr = sum(bf.may_contain(k) for k in probes) / len(probes)
+        # Theoretical FPR at 10 bits/key is ~0.8 %; allow slack.
+        assert fpr < 0.05
+
+    def test_more_bits_fewer_fps(self):
+        stored = set(self.keys)
+        probes = [k for k in self.absent if k not in stored]
+        fpr = []
+        for bpk in (4, 10, 16):
+            bf = BloomFilter(self.keys, bits_per_key=bpk)
+            fpr.append(sum(bf.may_contain(k) for k in probes) / len(probes))
+        assert fpr[0] > fpr[1] > fpr[2] or fpr[2] < 0.001
+
+    def test_range_always_positive(self):
+        bf = BloomFilter(self.keys)
+        assert bf.may_contain_range(b"a", b"b")
+
+    def test_size_accounting(self):
+        bf = BloomFilter(self.keys, bits_per_key=12)
+        assert bf.size_bits() == 2000 * 12
+
+    def test_empty_filter(self):
+        bf = BloomFilter([], bits_per_key=10)
+        assert not bf.may_contain(b"anything") or True  # no crash
+        assert bf.size_bits() >= 64
+
+
+class TestPrefixBloomFilter:
+    def test_point_positive_for_shared_prefix(self):
+        """The paper's criticism: absent keys sharing a present prefix
+        always false-positive."""
+        keys = [b"com.foo@alice", b"com.foo@bob"]
+        pf = PrefixBloomFilter(keys, prefix_len=8)
+        assert pf.may_contain(b"com.foo@charlie")  # guaranteed FP
+
+    def test_prefix_query(self):
+        keys = [b"com.foo@alice", b"org.bar@bob"]
+        pf = PrefixBloomFilter(keys, prefix_len=8)
+        assert pf.may_contain_prefix(b"com.foo@")
+        assert not pf.may_contain_prefix(b"net.baz@") or True  # probabilistic
+
+    def test_range_conservative(self):
+        pf = PrefixBloomFilter([b"com.foo@alice"], prefix_len=8)
+        assert pf.may_contain_range(b"aaa", b"zzz")
+
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ValueError):
+            PrefixBloomFilter([b"x"], prefix_len=0)
+
+
+class TestARF:
+    def setup_method(self):
+        rng = np.random.default_rng(52)
+        self.keys = sorted(int(v) for v in rng.integers(0, 2**64, 5000, dtype=np.uint64))
+
+    def _ranges(self, n, seed, width=2**40):
+        rng = np.random.default_rng(seed)
+        los = rng.integers(0, 2**64 - width, n, dtype=np.uint64)
+        return [(int(lo), int(lo) + width) for lo in los]
+
+    def test_untrained_always_positive(self):
+        arf = AdaptiveRangeFilter(self.keys)
+        for lo, hi in self._ranges(50, seed=1):
+            assert arf.may_contain_range(lo, hi)
+
+    def test_one_sided_error_after_training(self):
+        arf = AdaptiveRangeFilter(self.keys, max_nodes=4096)
+        arf.train(self._ranges(2000, seed=2))
+        keys = set(self.keys)
+        for lo, hi in self._ranges(500, seed=3):
+            truly_contains = any(lo <= k < hi for k in self.keys)
+            if truly_contains:
+                assert arf.may_contain_range(lo, hi), "false negative!"
+
+    def test_training_reduces_false_positives(self):
+        train = self._ranges(3000, seed=4)
+        test = self._ranges(1000, seed=5)
+        untrained = AdaptiveRangeFilter(self.keys, max_nodes=4096)
+        trained = AdaptiveRangeFilter(self.keys, max_nodes=4096)
+        trained.train(train)
+
+        def fpr(arf):
+            fp = tn = 0
+            for lo, hi in test:
+                empty = not any(lo <= k < hi for k in self.keys)
+                if empty:
+                    if arf.may_contain_range(lo, hi):
+                        fp += 1
+                    else:
+                        tn += 1
+            return fp / max(1, fp + tn)
+
+        assert fpr(trained) < fpr(untrained)
+
+    def test_node_budget_respected(self):
+        arf = AdaptiveRangeFilter(self.keys, max_nodes=100)
+        arf.train(self._ranges(2000, seed=6))
+        assert arf.n_nodes <= 100
+
+    def test_point_query(self):
+        arf = AdaptiveRangeFilter(self.keys, max_nodes=4096)
+        arf.train(self._ranges(1000, seed=7))
+        for k in self.keys[::100]:
+            assert arf.may_contain(k)
+
+    def test_memory_models(self):
+        arf = AdaptiveRangeFilter(self.keys, max_nodes=4096)
+        arf.train(self._ranges(1000, seed=8))
+        # Encoded size is tiny; build memory is much larger (Table 4.1).
+        assert arf.build_memory_bytes() > 20 * arf.memory_bytes()

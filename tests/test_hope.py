@@ -1,0 +1,268 @@
+"""Tests for HOPE (Chapter 6): alphabetic codes, the string axis model,
+the six schemes, and the order-preserving/completeness guarantees."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hope import (
+    HopeEncoder,
+    SCHEMES,
+    alphabetic_codes,
+    build_intervals,
+    find_interval,
+    garsia_wachs_lengths,
+    increment,
+    interval_symbol,
+    validate_intervals,
+    weight_balanced_lengths,
+)
+from repro.workloads import email_keys, url_keys, wiki_keys
+
+
+def optimal_alphabetic_cost_dp(weights):
+    """O(n^3) DP oracle for the optimal alphabetic tree cost."""
+    n = len(weights)
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+    cost = [[0.0] * n for _ in range(n)]
+    for span in range(1, n):
+        for i in range(n - span):
+            j = i + span
+            best = min(cost[i][k] + cost[k + 1][j] for k in range(i, j))
+            cost[i][j] = best + (prefix[j + 1] - prefix[i])
+    return cost[0][n - 1]
+
+
+class TestGarsiaWachs:
+    def test_trivial(self):
+        assert garsia_wachs_lengths([5.0]) == [0]
+        assert garsia_wachs_lengths([1.0, 1.0]) == [1, 1]
+
+    def test_skewed(self):
+        lengths = garsia_wachs_lengths([100.0, 1.0, 1.0, 1.0])
+        assert lengths[0] == 1  # hot symbol gets the shortest code
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=11
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp_optimum(self, weights):
+        lengths = garsia_wachs_lengths(weights)
+        cost = sum(w * l for w, l in zip(weights, lengths))
+        assert cost == pytest.approx(optimal_alphabetic_cost_dp(weights), rel=1e-9)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_kraft_equality(self, weights):
+        """A full binary tree's depths satisfy Kraft with equality."""
+        lengths = garsia_wachs_lengths(weights)
+        assert sum(2.0 ** -l for l in lengths) == pytest.approx(1.0)
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=100
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_balanced_near_optimal(self, weights):
+        exact = garsia_wachs_lengths(list(weights))
+        approx = weight_balanced_lengths(list(weights))
+        total = sum(weights)
+        exact_cost = sum(w * l for w, l in zip(weights, exact)) / total
+        approx_cost = sum(w * l for w, l in zip(weights, approx)) / total
+        assert approx_cost <= exact_cost + 2.0  # classic bound
+        assert sum(2.0 ** -l for l in approx) <= 1.0 + 1e-12
+
+
+class TestAlphabeticCodes:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.5, max_value=100.0), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codes_prefix_free_and_ordered(self, weights):
+        lengths = garsia_wachs_lengths(weights)
+        codes = alphabetic_codes(lengths)
+        strings = [
+            format(c, f"0{l}b") if l else "" for c, l in zip(codes, lengths)
+        ]
+        for a, b in itertools.combinations(range(len(strings)), 2):
+            if len(strings) > 1:
+                assert not strings[a].startswith(strings[b]) or strings[a] == strings[b] == ""
+                assert not strings[b].startswith(strings[a]) or strings[a] == strings[b] == ""
+        assert strings == sorted(strings)
+
+    def test_decreasing_lengths_ceiling(self):
+        # lengths [2, 1] must not make code '0' a prefix of '00'.
+        codes = alphabetic_codes([2, 1])
+        assert (codes[0], codes[1]) == (0, 1)
+
+
+class TestIntervals:
+    def test_increment(self):
+        assert increment(b"ab") == b"ac"
+        assert increment(b"a\xff") == b"b"
+        assert increment(b"\xff\xff") is None
+
+    def test_interval_symbol_paper_example(self):
+        # All strings in [sing, sinh) start with 'sing' (Figure 6.4d).
+        assert interval_symbol(b"sing", b"sinh") == b"sing"
+        # [sinh, sion): common prefix 'si'.
+        assert interval_symbol(b"sinh", b"sion") == b"si"
+
+    def test_build_intervals_complete(self):
+        intervals = build_intervals([b"sing", b"sion", b"tion"])
+        validate_intervals(intervals)
+        assert intervals[0].lo == b"\x00"
+        assert intervals[-1].hi is None
+
+    def test_single_byte_only(self):
+        intervals = build_intervals([])
+        assert len(intervals) == 256
+        for i, iv in enumerate(intervals):
+            assert iv.lo == bytes([i])
+            assert iv.symbol == bytes([i])
+
+    def test_find_interval(self):
+        intervals = build_intervals([b"sing"])
+        idx = find_interval(intervals, b"single")
+        assert intervals[idx].symbol == b"sing"
+        # [sinh, t) spans up to the next single-byte boundary, so its
+        # common prefix is just 's'.
+        idx = find_interval(intervals, b"sinz")
+        assert intervals[idx].symbol == b"s"
+        assert intervals[idx].lo == b"sinh"
+
+
+EMAILS = email_keys(600, seed=90)
+
+
+@pytest.fixture(scope="module", params=SCHEMES)
+def encoder(request):
+    return HopeEncoder.from_sample(request.param, EMAILS[:300], dict_limit=256)
+
+
+class TestEncoderInvariants:
+    def test_roundtrip(self, encoder):
+        for key in EMAILS[:100]:
+            bits, n_bits = encoder.encode_bits(key)
+            assert encoder.decode(bits, n_bits) == key
+
+    def test_order_preserving_on_keys(self, encoder):
+        keys = sorted(EMAILS[:300])
+        encoded = [encoder.encode_bits(k) for k in keys]
+        # Compare as left-aligned bit strings.
+        as_strings = [format(b, f"0{n}b") if n else "" for b, n in encoded]
+        assert as_strings == sorted(as_strings)
+
+    def test_encodes_arbitrary_bytes(self, encoder):
+        """Completeness: keys never seen in the sample still encode."""
+        for key in (b"\x00", b"\xff\xff", b"zzz~~~", b"\x01\x80\xfe"):
+            bits, n_bits = encoder.encode_bits(key)
+            assert encoder.decode(bits, n_bits) == key
+
+    def test_padded_encoding_order(self, encoder):
+        keys = sorted(EMAILS[:200])
+        encoded = [encoder.encode(k) for k in keys]
+        assert encoded == sorted(encoded)
+
+    def test_batch_matches_single(self, encoder):
+        keys = sorted(EMAILS[:150])
+        assert encoder.encode_batch(keys) == [encoder.encode(k) for k in keys]
+
+
+class TestCompression:
+    def test_string_schemes_compress_emails(self):
+        for scheme in SCHEMES:
+            enc = HopeEncoder.from_sample(scheme, EMAILS[:300], dict_limit=512)
+            cpr = enc.compression_rate(EMAILS[300:500])
+            assert cpr > 1.0, f"{scheme} did not compress (CPR={cpr:.2f})"
+
+    def test_grams_beat_single_char(self):
+        """More context per symbol = higher CPR (Figure 6.9 ordering)."""
+        single = HopeEncoder.from_sample("single", EMAILS[:300])
+        grams3 = HopeEncoder.from_sample("3grams", EMAILS[:300], dict_limit=512)
+        test = EMAILS[300:500]
+        assert grams3.compression_rate(test) > single.compression_rate(test)
+
+    def test_larger_dict_helps_grams(self):
+        small = HopeEncoder.from_sample("3grams", EMAILS[:300], dict_limit=64)
+        large = HopeEncoder.from_sample("3grams", EMAILS[:300], dict_limit=1024)
+        test = EMAILS[300:500]
+        assert large.compression_rate(test) >= small.compression_rate(test) * 0.98
+
+    def test_cpr_on_other_datasets(self):
+        for keys in (url_keys(400, seed=91), wiki_keys(400, seed=92)):
+            enc = HopeEncoder.from_sample("double", keys[:200])
+            assert enc.compression_rate(keys[200:]) > 1.0
+
+    def test_distribution_change_degrades(self):
+        """Figure 6.14: a dictionary built on emails compresses URLs
+        worse than a dictionary built on URLs."""
+        urls = url_keys(400, seed=93)
+        email_dict = HopeEncoder.from_sample("3grams", EMAILS[:300], dict_limit=512)
+        url_dict = HopeEncoder.from_sample("3grams", urls[:200], dict_limit=512)
+        assert url_dict.compression_rate(urls[200:]) > email_dict.compression_rate(
+            urls[200:]
+        )
+
+
+class TestSchemeMetadata:
+    def test_alm_uses_fixed_codes(self):
+        enc = HopeEncoder.from_sample("alm", EMAILS[:200], dict_limit=128)
+        widths = {iv.code_len for iv in enc.intervals}
+        assert len(widths) == 1  # VIFC
+
+    def test_variable_schemes_vary_lengths(self):
+        enc = HopeEncoder.from_sample("single", EMAILS[:200])
+        widths = {iv.code_len for iv in enc.intervals}
+        assert len(widths) > 1  # FIVC exploits entropy
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            HopeEncoder.from_sample("lz77", EMAILS[:10])
+
+    def test_memory_model_ordering(self):
+        """Double-Char's 64K-entry array dwarfs Single-Char's 256."""
+        single = HopeEncoder.from_sample("single", EMAILS[:200])
+        double = HopeEncoder.from_sample("double", EMAILS[:200])
+        assert double.memory_bytes() > 100 * single.memory_bytes()
+
+    def test_build_timings_recorded(self):
+        enc = HopeEncoder.from_sample("3grams", EMAILS[:200], dict_limit=256)
+        assert enc.symbol_select_seconds >= 0
+        assert enc.dict_build_seconds > 0
+        assert enc.code_assign_seconds > 0
+
+
+class TestEncoderProperties:
+    @given(
+        keys=st.lists(st.binary(min_size=1, max_size=12), min_size=2, max_size=30),
+        scheme=st.sampled_from(["single", "3grams", "alm"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_order_preserved_any_input(self, keys, scheme):
+        sample = keys[: max(2, len(keys) // 2)]
+        enc = HopeEncoder.from_sample(scheme, sample, dict_limit=64)
+        pairs = sorted(set(keys))
+        encoded = [enc.encode_bits(k) for k in pairs]
+        strings = [format(b, f"0{n}b") if n else "" for b, n in encoded]
+        assert strings == sorted(strings)
+
+    @given(key=st.binary(min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_bytes(self, key):
+        enc = HopeEncoder.from_sample("double", EMAILS[:100])
+        bits, n_bits = enc.encode_bits(key)
+        assert enc.decode(bits, n_bits) == key

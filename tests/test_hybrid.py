@@ -1,0 +1,245 @@
+"""Tests for the dual-stage Hybrid Index (Chapter 5)."""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hybrid import (
+    HybridIndex,
+    hybrid_art,
+    hybrid_btree,
+    hybrid_compressed_btree,
+    hybrid_masstree,
+    hybrid_skiplist,
+)
+from repro.trees import BPlusTree
+from repro.workloads import email_keys, random_u64_keys
+
+FACTORIES = [hybrid_btree, hybrid_skiplist, hybrid_art, hybrid_masstree]
+IDS = ["btree", "skiplist", "art", "masstree"]
+
+
+@pytest.fixture(params=FACTORIES, ids=IDS)
+def hybrid(request):
+    return request.param(min_merge_size=64)
+
+
+class TestBasicSemantics:
+    def test_insert_get_small(self, hybrid):
+        assert hybrid.insert(b"k1", 1)
+        assert hybrid.get(b"k1") == 1
+        assert not hybrid.insert(b"k1", 2)
+
+    def test_reads_span_stages(self, hybrid):
+        keys = sorted(random_u64_keys(500, seed=70))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        assert hybrid.merge_count >= 1  # merges happened
+        assert len(hybrid.dynamic) < len(hybrid)  # bulk is static
+        for i, k in enumerate(keys):
+            assert hybrid.get(k) == i
+
+    def test_uniqueness_check_spans_stages(self, hybrid):
+        keys = sorted(random_u64_keys(300, seed=71))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        hybrid.merge()
+        # Everything now in static stage: re-inserts must be rejected.
+        for k in keys[::17]:
+            assert not hybrid.insert(k, 999)
+
+    def test_update_shadows_static(self, hybrid):
+        keys = sorted(random_u64_keys(200, seed=72))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        hybrid.merge()
+        assert hybrid.update(keys[5], 777)
+        assert hybrid.get(keys[5]) == 777
+        assert not hybrid.update(b"missing-key", 1)
+
+    def test_delete_via_tombstone(self, hybrid):
+        keys = sorted(random_u64_keys(200, seed=73))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        hybrid.merge()
+        assert hybrid.delete(keys[7])
+        assert hybrid.get(keys[7]) is None
+        assert not hybrid.delete(keys[7])
+        assert len(hybrid) == len(keys) - 1
+        # Tombstone is physically removed at the next merge.
+        hybrid.insert(b"zzz-trigger", 0)
+        hybrid.merge()
+        assert hybrid.get(keys[7]) is None
+        assert hybrid.static.get(keys[7]) is None
+
+    def test_reinsert_after_delete(self, hybrid):
+        hybrid.insert(b"key", 1)
+        hybrid.merge()
+        hybrid.delete(b"key")
+        assert hybrid.insert(b"key", 2)
+        assert hybrid.get(b"key") == 2
+
+    def test_scan_merges_stages(self, hybrid):
+        keys = sorted(random_u64_keys(400, seed=74))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        # Some keys are in dynamic, some static; scans see both sorted.
+        for start in range(0, 350, 61):
+            got = [k for k, _ in hybrid.scan(keys[start], 10)]
+            assert got == keys[start : start + 10]
+
+    def test_items_sorted_unique(self, hybrid):
+        keys = sorted(email_keys(300, seed=75))
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        hybrid.update(keys[3], 999)  # shadowing entry
+        out = [k for k, _ in hybrid.items()]
+        assert out == keys  # no duplicates from shadowing
+
+
+class TestMergeBehaviour:
+    def test_ratio_trigger(self):
+        h = hybrid_btree(merge_ratio=10, min_merge_size=50)
+        keys = sorted(random_u64_keys(2000, seed=76))
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        assert h.merge_count >= 2
+        # Invariant: dynamic stays ~1/ratio of static.
+        assert len(h.dynamic) <= max(50, len(h.static) / 10 + 1)
+
+    def test_constant_trigger(self):
+        h = hybrid_btree(merge_trigger="constant", constant_threshold=100)
+        keys = sorted(random_u64_keys(1000, seed=77))
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        # Constant trigger fires roughly every 100 inserts.
+        assert h.merge_count >= 8
+
+    def test_merge_preserves_everything(self):
+        h = hybrid_btree(min_merge_size=32)
+        keys = sorted(random_u64_keys(500, seed=78))
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        h.merge()
+        assert len(h.dynamic) == 0
+        assert [k for k, _ in h.static.items()] == keys
+
+    def test_higher_ratio_less_frequent_merges(self):
+        counts = {}
+        for ratio in (5, 40):
+            h = hybrid_btree(merge_ratio=ratio, min_merge_size=32)
+            for i, k in enumerate(sorted(random_u64_keys(1500, seed=79))):
+                h.insert(k, i)
+            counts[ratio] = h.merge_count
+        assert counts[40] >= counts[5]
+
+    def test_invalid_trigger(self):
+        with pytest.raises(ValueError):
+            hybrid_btree(merge_trigger="sometimes")
+
+
+class TestMemorySavings:
+    """Figures 5.3-5.6: hybrid indexes use 30-70 % less memory."""
+
+    @pytest.mark.parametrize("factory,original_cls", [
+        (hybrid_btree, BPlusTree),
+    ], ids=["btree"])
+    def test_hybrid_smaller_than_original(self, factory, original_cls):
+        keys = sorted(random_u64_keys(3000, seed=80))
+        hybrid = factory(min_merge_size=64)
+        original = original_cls()
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+            original.insert(k, i)
+        hybrid.merge()
+        saving = 1 - hybrid.memory_bytes() / original.memory_bytes()
+        assert saving > 0.25, f"saving {saving:.1%}"
+
+    def test_compressed_smaller_than_hybrid(self):
+        keys = sorted(email_keys(2000, seed=81))
+        plain = hybrid_btree(min_merge_size=64)
+        compressed = hybrid_compressed_btree(cache_nodes=4, min_merge_size=64)
+        for i, k in enumerate(keys):
+            plain.insert(k, i)
+            compressed.insert(k, i)
+        plain.merge()
+        compressed.merge()
+        assert compressed.memory_bytes() < plain.memory_bytes()
+
+
+class TestSecondaryIndex:
+    def test_multi_values(self):
+        h = hybrid_btree(secondary=True, min_merge_size=32)
+        for v in range(5):
+            h.insert(b"dup", v)
+        assert sorted(h.get(b"dup")) == list(range(5))
+
+    def test_in_place_append_in_static(self):
+        h = hybrid_btree(secondary=True, min_merge_size=16)
+        keys = sorted(random_u64_keys(100, seed=82))
+        for k in keys:
+            h.insert(k, 0)
+        h.merge()
+        # Key lives in static; append must not create a dynamic copy.
+        h.insert(keys[3], 1)
+        assert len(h.dynamic) == 0
+        assert sorted(h.get(keys[3])) == [0, 1]
+
+    def test_secondary_no_uniqueness_penalty(self):
+        h = hybrid_btree(secondary=True, min_merge_size=1 << 30)
+        for v in range(10):
+            assert h.insert(b"k", v)
+        assert len(h) == 1  # one key, many values
+
+
+class TestAuxiliaryStructures:
+    def test_bloom_disabled_still_correct(self):
+        h = hybrid_btree(use_bloom=False, min_merge_size=32)
+        keys = sorted(random_u64_keys(300, seed=83))
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        for i, k in enumerate(keys):
+            assert h.get(k) == i
+
+    def test_bloom_skips_dynamic_probes(self):
+        h = hybrid_btree(min_merge_size=1 << 30)  # never merge
+        keys = sorted(random_u64_keys(200, seed=84))
+        for i, k in enumerate(keys):
+            h.insert(k, i)
+        misses = random_u64_keys(200, seed=85)
+        negatives = sum(not h._bloom.may_contain(k) for k in misses)
+        assert negatives > 150  # most absent keys skip the dynamic stage
+
+
+class TestHybridProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "get", "update"]),
+                st.binary(min_size=1, max_size=6),
+            ),
+            min_size=5,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_model_with_merges(self, ops):
+        h = hybrid_btree(min_merge_size=8)  # merge very often
+        model: dict[bytes, int] = {}
+        for i, (op, key) in enumerate(ops):
+            if op == "insert":
+                assert h.insert(key, i) == (key not in model)
+                model.setdefault(key, i)
+            elif op == "delete":
+                assert h.delete(key) == (key in model)
+                model.pop(key, None)
+            elif op == "update":
+                assert h.update(key, i) == (key in model)
+                if key in model:
+                    model[key] = i
+            else:
+                assert h.get(key) == model.get(key)
+        assert len(h) == len(model)
+        assert list(h.items()) == sorted(model.items())

@@ -1,0 +1,150 @@
+"""Cross-module integration tests: the full stacks the paper deploys.
+
+These exercise the composition paths end-to-end: HOPE-encoded SuRF
+filters guarding an LSM store, hybrid indexes inside DBMS tables under
+mixed transaction traffic, and YCSB workloads driven through every
+index family.
+"""
+
+import pytest
+
+from repro.dbms import HStore, TpccDriver
+from repro.fst import FST
+from repro.hope import HopeEncoder, HopeSuRF
+from repro.hybrid import hybrid_art, hybrid_btree
+from repro.lsm import LSMTree
+from repro.surf import surf_real
+from repro.workloads import (
+    email_keys,
+    encode_u64,
+    generate,
+    random_u64_keys,
+)
+
+
+class TestHopeSurfLsmStack:
+    """HOPE + SuRF + LSM: the full Chapter 4+6 deployment."""
+
+    def setup_method(self):
+        self.keys = sorted(email_keys(2000, seed=150))
+        self.encoder = HopeEncoder.from_sample(
+            "3grams", self.keys[::7], dict_limit=512
+        )
+
+    def test_encoded_filters_guard_lsm(self):
+        # Keys enter the store HOPE-encoded; the per-SSTable SuRFs are
+        # built over the encoded keys they actually guard.
+        store = LSMTree(
+            memtable_entries=128,
+            sstable_entries=512,
+            filter_factory=lambda keys: surf_real(sorted(keys), real_bits=4),
+        )
+        for i, k in enumerate(self.keys):
+            store.put(self.encoder.encode(k), i)
+        store.flush_memtable()
+        # Every stored key is readable through its encoding.
+        for i, k in enumerate(self.keys[::31]):
+            assert store.get(self.encoder.encode(k)) == self.keys.index(k)
+        # Range scans over encoded space return source-order results.
+        lo = self.encoder.encode(self.keys[100])
+        got = [k for k, _ in store.scan(lo, 5)]
+        expected = sorted(self.encoder.encode(k) for k in self.keys)[100:105]
+        assert got == expected
+
+    def test_hope_surf_one_sided_over_lsm_workload(self):
+        filt = HopeSuRF(self.keys, self.encoder, suffix_type="real", real_bits=4)
+        for k in self.keys[::13]:
+            assert filt.lookup(k)
+        absent = email_keys(500, seed=151)
+        fp = sum(filt.lookup(k) for k in absent if k not in set(self.keys))
+        assert fp < len(absent) * 0.5  # it actually filters
+
+
+class TestHybridInDbms:
+    def test_tpcc_on_hybrid_art(self):
+        store = HStore(
+            n_partitions=1,
+            primary_factory=hybrid_art,
+            secondary_factory=hybrid_btree,
+        )
+        driver = TpccDriver(store, seed=152)
+        driver.load()
+        for _ in range(400):
+            driver.run_one()
+        # Scans through the hybrid primary stay correct mid-merge.
+        part = store.partitions[0]
+        rows = part.tables["ORDER_LINE"].scan_primary((0, 0, 0, 0), 10)
+        assert len(rows) == 10
+        report = store.memory_report()
+        assert report["primary"] > 0
+
+    def test_mixed_traffic_consistency(self):
+        index = hybrid_btree(min_merge_size=32)
+        keys = random_u64_keys(1500, seed=153)
+        shadow = {}
+        for i, k in enumerate(keys):
+            if i % 7 == 3 and shadow:
+                victim = keys[i // 2]
+                if victim in shadow:
+                    index.delete(victim)
+                    del shadow[victim]
+            index.insert(k, i)
+            shadow[k] = i
+            if i % 5 == 0:
+                index.update(k, i * 10)
+                shadow[k] = i * 10
+        assert len(index) == len(shadow)
+        for k, v in list(shadow.items())[::17]:
+            assert index.get(k) == v
+        assert list(index.items()) == sorted(shadow.items())
+
+
+class TestYcsbAcrossIndexFamilies:
+    @pytest.mark.parametrize(
+        "factory",
+        [hybrid_btree, hybrid_art],
+        ids=["hybrid-btree", "hybrid-art"],
+    )
+    def test_workload_e_scan_insert(self, factory):
+        keys = sorted(random_u64_keys(2000, seed=154))
+        workload = generate("E", keys, 600, seed=155)
+        index = factory(min_merge_size=64)
+        for i, k in enumerate(workload.load_keys):
+            index.insert(k, i)
+        inserted = set(workload.load_keys)
+        for op in workload.operations:
+            if op.op == "insert":
+                assert index.insert(op.key, 0)
+                inserted.add(op.key)
+            else:
+                got = [k for k, _ in index.scan(op.key, op.scan_len)]
+                assert got == sorted(got)
+                assert all(k in inserted for k in got)
+
+    def test_fst_serves_ycsb_c(self):
+        keys = sorted(random_u64_keys(3000, seed=156))
+        workload = generate("C", keys, 1000, seed=157)
+        fst = FST(workload.load_keys, list(range(len(workload.load_keys))))
+        lookup = {k: i for i, k in enumerate(workload.load_keys)}
+        for op in workload.operations:
+            assert fst.get(op.key) == lookup[op.key]
+
+
+class TestLsmCountWithFilters:
+    def test_count_uses_filters_not_blocks(self):
+        """The Count flowchart (Figure 4.3 right): with SuRFs, counting
+        runs from the filters; block I/O stays near zero."""
+        store = LSMTree(
+            memtable_entries=128,
+            sstable_entries=512,
+            block_cache_blocks=2,
+            filter_factory=lambda keys: surf_real(sorted(keys), real_bits=4),
+        )
+        for i in range(3000):
+            store.put(encode_u64(i * 7), i)
+        store.flush_memtable()
+        store.io.reset()
+        got = store.count(encode_u64(700), encode_u64(7000))
+        expected = len([i for i in range(3000) if 700 <= i * 7 < 7000])
+        assert abs(got - expected) <= 2 * store.table_count()
+        assert store.io.block_reads == 0  # answered from the filters

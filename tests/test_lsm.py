@@ -1,0 +1,261 @@
+"""Tests for the LSM-tree engine and its filter integrations (Ch. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters import BloomFilter
+from repro.lsm import LSMTree, TOMBSTONE, SSTable
+from repro.surf import surf_real
+from repro.workloads import encode_u64, random_u64_keys
+from repro.workloads.sensors import (
+    closed_seek_range_ns,
+    generate_sensor_events,
+    make_key,
+    split_key,
+)
+
+
+def bloom_factory(keys):
+    return BloomFilter(keys, bits_per_key=14)
+
+
+def surf_factory(keys):
+    return surf_real(sorted(keys), real_bits=4)
+
+
+class TestSSTable:
+    def test_blocks_and_fences(self):
+        pairs = [(encode_u64(i), i) for i in range(300)]
+        table = SSTable(pairs, block_entries=64)
+        assert len(table.blocks) == 5
+        assert table.fences[0] == encode_u64(0)
+        assert table.block_for(encode_u64(100)) == 1
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SSTable([(b"b", 1), (b"a", 2)])
+        with pytest.raises(ValueError):
+            SSTable([])
+
+    def test_overlaps(self):
+        table = SSTable([(b"d", 1), (b"m", 2)])
+        assert table.overlaps(b"a", b"e")
+        assert table.overlaps(b"e", b"z")
+        assert not table.overlaps(b"n", b"z")
+        assert not table.overlaps(b"a", b"c")
+
+
+class TestLSMBasics:
+    def make(self, **kw):
+        return LSMTree(memtable_entries=64, sstable_entries=256, **kw)
+
+    def test_put_get_memtable(self):
+        lsm = self.make()
+        lsm.put(b"k", 1)
+        assert lsm.get(b"k") == 1
+        assert lsm.io.block_reads == 0  # memtable read: no I/O
+
+    def test_get_after_flush(self):
+        lsm = self.make()
+        for i in range(200):
+            lsm.put(encode_u64(i), i)
+        lsm.flush_memtable()
+        for i in range(0, 200, 17):
+            assert lsm.get(encode_u64(i)) == i
+
+    def test_overwrite_newest_wins(self):
+        lsm = self.make()
+        lsm.put(b"k", 1)
+        lsm.flush_memtable()
+        lsm.put(b"k", 2)
+        assert lsm.get(b"k") == 2
+        lsm.flush_memtable()
+        assert lsm.get(b"k") == 2
+
+    def test_delete_tombstone(self):
+        lsm = self.make()
+        lsm.put(b"k", 1)
+        lsm.flush_memtable()
+        lsm.delete(b"k")
+        assert lsm.get(b"k") is None
+        lsm.flush_memtable()
+        assert lsm.get(b"k") is None
+
+    def test_compaction_creates_levels(self):
+        lsm = self.make(level0_limit=2)
+        for i in range(2000):
+            lsm.put(encode_u64(i), i)
+        lsm.flush_memtable()
+        assert len(lsm.levels) >= 2
+        # Level >= 1 tables are disjoint and sorted.
+        for level in lsm.levels[1:]:
+            for a, b in zip(level, level[1:]):
+                assert a.max_key < b.min_key
+
+    def test_everything_readable_after_compaction(self):
+        lsm = self.make(level0_limit=2)
+        keys = random_u64_keys(3000, seed=100)
+        for i, k in enumerate(keys):
+            lsm.put(k, i)
+        lsm.flush_memtable()
+        for i in range(0, len(keys), 97):
+            assert lsm.get(keys[i]) == i
+
+    def test_seek_ordering(self):
+        lsm = self.make(level0_limit=2)
+        keys = sorted(random_u64_keys(1000, seed=101))
+        for i, k in enumerate(keys):
+            lsm.put(k, i)
+        lsm.flush_memtable()
+        for probe_idx in range(0, 900, 111):
+            entry = lsm.seek(keys[probe_idx])
+            assert entry is not None and entry[0] == keys[probe_idx]
+        # Seek strictly between two keys.
+        entry = lsm.seek(keys[5] + b"\x00")
+        assert entry is not None and entry[0] == keys[6]
+
+    def test_closed_seek_bound(self):
+        lsm = self.make()
+        lsm.put(encode_u64(100), 1)
+        lsm.flush_memtable()
+        assert lsm.seek(encode_u64(50), encode_u64(60)) is None
+        assert lsm.seek(encode_u64(50), encode_u64(200)) is not None
+
+    def test_scan(self):
+        lsm = self.make(level0_limit=2)
+        keys = sorted(random_u64_keys(500, seed=102))
+        for i, k in enumerate(keys):
+            lsm.put(k, i)
+        got = [k for k, _ in lsm.scan(keys[10], 20)]
+        assert got == keys[10:30]
+
+    def test_scan_skips_deleted(self):
+        lsm = self.make()
+        for i in range(20):
+            lsm.put(encode_u64(i), i)
+        lsm.flush_memtable()
+        lsm.delete(encode_u64(5))
+        got = [k for k, _ in lsm.scan(encode_u64(4), 3)]
+        assert got == [encode_u64(4), encode_u64(6), encode_u64(7)]
+
+    def test_count(self):
+        lsm = self.make(level0_limit=2)
+        for i in range(1000):
+            lsm.put(encode_u64(i), i)
+        lsm.flush_memtable()
+        got = lsm.count(encode_u64(100), encode_u64(200))
+        assert abs(got - 100) <= 2 * len(lsm.levels) * 4
+
+
+class TestFilterIntegration:
+    def _load(self, filter_factory, n=2000):
+        lsm = LSMTree(
+            memtable_entries=128,
+            sstable_entries=512,
+            level0_limit=2,
+            block_cache_blocks=8,
+            filter_factory=filter_factory,
+        )
+        keys = random_u64_keys(n, seed=103)
+        for i, k in enumerate(keys):
+            lsm.put(k, i)
+        lsm.flush_memtable()
+        return lsm, keys
+
+    def test_filters_cut_point_query_io(self):
+        """Absent-key Gets: filters avoid block fetches (Figure 4.8)."""
+        misses = random_u64_keys(500, seed=104)
+        ios = {}
+        for name, factory in [("none", None), ("bloom", bloom_factory), ("surf", surf_factory)]:
+            lsm, _ = self._load(factory)
+            lsm.io.reset()
+            for k in misses:
+                lsm.get(k)
+            ios[name] = lsm.io.block_reads
+        assert ios["bloom"] < ios["none"] * 0.2
+        assert ios["surf"] < ios["none"] * 0.5
+
+    def test_surf_cuts_closed_seek_io(self):
+        """Empty Closed-Seeks: only SuRF avoids I/O (Figure 4.9)."""
+        import numpy as np
+
+        rng = np.random.default_rng(105)
+        probes = []
+        for _ in range(300):
+            base = int(rng.integers(0, 2**63))
+            probes.append((encode_u64(base), encode_u64(base + 2**20)))
+        ios = {}
+        for name, factory in [("none", None), ("bloom", bloom_factory), ("surf", surf_factory)]:
+            lsm, _ = self._load(factory)
+            lsm.io.reset()
+            for lo, hi in probes:
+                lsm.seek(lo, hi)
+            ios[name] = lsm.io.block_reads
+        assert ios["surf"] < ios["none"] * 0.5
+        assert ios["bloom"] > ios["none"] * 0.8  # Bloom cannot help ranges
+
+    def test_no_false_negatives_with_filters(self):
+        lsm, keys = self._load(surf_factory)
+        for i in range(0, len(keys), 59):
+            assert lsm.get(keys[i]) == i
+        lo = sorted(keys)[100]
+        assert lsm.seek(lo) is not None
+
+    def test_filter_memory_reported(self):
+        lsm, _ = self._load(surf_factory)
+        assert lsm.filter_memory_bytes() > 0
+
+
+class TestSensors:
+    def test_keys_sorted_and_structured(self):
+        ds = generate_sensor_events(n_sensors=8, events_per_sensor=50)
+        assert ds.keys == sorted(ds.keys)
+        ts, sensor = split_key(ds.keys[0])
+        assert 0 <= sensor < 8
+        assert ts >= 0
+
+    def test_key_roundtrip(self):
+        key = make_key(123456789, 42)
+        assert split_key(key) == (123456789, 42)
+
+    def test_closed_seek_range_math(self):
+        ds = generate_sensor_events(n_sensors=8, events_per_sensor=100)
+        r50 = closed_seek_range_ns(ds, 0.5)
+        r99 = closed_seek_range_ns(ds, 0.99)
+        assert r99 < r50  # smaller range = more likely empty
+
+    def test_empty_fraction_validation(self):
+        ds = generate_sensor_events(n_sensors=2, events_per_sensor=10)
+        with pytest.raises(ValueError):
+            closed_seek_range_ns(ds, 1.5)
+
+
+class TestLsmProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]),
+                st.integers(0, 50),
+            ),
+            min_size=10,
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops):
+        lsm = LSMTree(memtable_entries=8, sstable_entries=32, level0_limit=2)
+        model: dict[bytes, int] = {}
+        for i, (op, raw) in enumerate(ops):
+            key = encode_u64(raw)
+            if op == "put":
+                lsm.put(key, i)
+                model[key] = i
+            elif op == "delete":
+                lsm.delete(key)
+                model.pop(key, None)
+            else:
+                assert lsm.get(key) == model.get(key)
+        for raw in range(51):
+            key = encode_u64(raw)
+            assert lsm.get(key) == model.get(key)

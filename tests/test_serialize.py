@@ -1,0 +1,90 @@
+"""Round-trip tests for FST / SuRF serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fst import FST
+from repro.surf import SuRF, surf_base, surf_mixed, surf_real
+from repro.workloads import email_keys, random_u64_keys
+
+KEYS = sorted(random_u64_keys(1500, seed=170))
+EMAILS = sorted(email_keys(800, seed=171))
+
+
+class TestFstRoundTrip:
+    @pytest.mark.parametrize("keys", [KEYS, EMAILS], ids=["int", "email"])
+    def test_point_and_range_survive(self, keys):
+        fst = FST(keys, list(range(len(keys))))
+        clone = FST.from_bytes(fst.to_bytes())
+        for i, k in enumerate(keys[::37]):
+            assert clone.get(k) == keys.index(k) if False else clone.get(k) is not None
+        for i, k in enumerate(keys):
+            assert clone.get(k) == i
+        assert [k for k, _ in clone.items()] == keys
+        assert clone.count_range(keys[10], keys[200]) == 190
+
+    def test_size_preserved(self):
+        fst = FST(KEYS, list(range(len(KEYS))))
+        clone = FST.from_bytes(fst.to_bytes())
+        assert clone.size_bits() == fst.size_bits()
+        assert clone.dense_height == fst.dense_height
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            FST.from_bytes(b"NOPE" + b"\x00" * 100)
+
+    @given(
+        keys=st.lists(
+            st.binary(min_size=1, max_size=8), min_size=1, max_size=50, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, keys):
+        keys = sorted(keys)
+        fst = FST(keys, list(range(len(keys))))
+        clone = FST.from_bytes(fst.to_bytes())
+        for i, k in enumerate(keys):
+            assert clone.get(k) == i
+
+
+class TestSurfRoundTrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            surf_base,
+            lambda ks: surf_real(ks, real_bits=4),
+            lambda ks: surf_mixed(ks, hash_bits=2, real_bits=2),
+        ],
+        ids=["base", "real", "mixed"],
+    )
+    def test_lookup_answers_identical(self, make):
+        surf = make(KEYS)
+        clone = SuRF.from_bytes(surf.to_bytes())
+        probes = KEYS[::13] + random_u64_keys(300, seed=172)
+        for k in probes:
+            assert clone.lookup(k) == surf.lookup(k)
+        assert clone.bits_per_key() == pytest.approx(surf.bits_per_key())
+
+    def test_range_answers_identical(self):
+        surf = surf_real(EMAILS, real_bits=8)
+        clone = SuRF.from_bytes(surf.to_bytes())
+        for i in range(0, len(EMAILS) - 1, 41):
+            lo, hi = EMAILS[i], EMAILS[i + 1] + b"\x00"
+            assert clone.lookup_range(lo, hi) == surf.lookup_range(lo, hi)
+
+    def test_tombstones_survive(self):
+        surf = surf_real(KEYS, real_bits=4)
+        surf.delete(KEYS[7])
+        clone = SuRF.from_bytes(surf.to_bytes())
+        assert not clone.lookup(KEYS[7])
+        assert clone.lookup(KEYS[8])
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            SuRF.from_bytes(b"XXXX")
+
+    def test_counts_identical(self):
+        surf = surf_base(KEYS)
+        clone = SuRF.from_bytes(surf.to_bytes())
+        assert clone.count(KEYS[5], KEYS[500]) == surf.count(KEYS[5], KEYS[500])

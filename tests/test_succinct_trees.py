@@ -1,0 +1,163 @@
+"""Tests for the LOUDS and DFUDS ordinal-tree codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.succinct import DfudsTree, LoudsTree
+
+
+def paper_figure_tree():
+    """The ordinal tree from Figure 3.1 of the thesis.
+
+    Node 0 is the root with children 1, 2, 3; node 3 has three children
+    (4, 5, 6); node 5 has one child (7).
+    """
+    return [
+        [1, 2, 3],
+        [],
+        [],
+        [4, 5, 6],
+        [],
+        [7],
+        [],
+        [],
+    ]
+
+
+class TestLoudsTree:
+    def test_figure_3_1_encoding(self):
+        tree = LoudsTree(paper_figure_tree())
+        assert tree.num_nodes == 8
+        # Super-root "10", root "1110", nodes 1,2 leaves "0","0",
+        # node 3 "1110", node 4 "0", node 5 "10", node 6 "0", node 7 "0".
+        expected = [1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1, 0, 0, 1, 0, 0, 0]
+        assert list(tree.bits) == expected
+
+    def test_navigation(self):
+        tree = LoudsTree(paper_figure_tree())
+        root = 0
+        assert tree.degree(root) == 3
+        kids = tree.children(root)
+        assert len(kids) == 3
+        for kid in kids:
+            assert tree.parent(kid) == root
+        assert tree.parent(root) == -1
+
+    def test_grandchildren(self):
+        tree = LoudsTree(paper_figure_tree())
+        # Original node 3 is the third child of the root (level order 3).
+        node3 = tree.children(0)[2]
+        assert tree.original_id(node3) == 3
+        assert tree.degree(node3) == 3
+        grandkids = tree.children(node3)
+        assert {tree.original_id(g) for g in grandkids} == {4, 5, 6}
+
+    def test_leaf_detection(self):
+        tree = LoudsTree(paper_figure_tree())
+        leaves = [n for n in range(tree.num_nodes) if tree.is_leaf(n)]
+        assert len(leaves) == 5
+
+    def test_child_out_of_range(self):
+        tree = LoudsTree(paper_figure_tree())
+        with pytest.raises(IndexError):
+            tree.child(0, 3)
+
+    def test_single_node(self):
+        tree = LoudsTree([[]])
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(0)
+        assert tree.parent(0) == -1
+
+    def test_deep_chain(self):
+        n = 50
+        children = [[i + 1] for i in range(n - 1)] + [[]]
+        tree = LoudsTree(children)
+        node = 0
+        for _ in range(n - 1):
+            node = tree.child(node, 0)
+        assert tree.is_leaf(node)
+        # Walk back up.
+        for _ in range(n - 1):
+            node = tree.parent(node)
+        assert node == 0
+
+    def test_size_bits_close_to_2n(self):
+        n = 200
+        children = [[i + 1] for i in range(n - 1)] + [[]]
+        tree = LoudsTree(children)
+        # LOUDS raw bits: 2 super-root bits + one 1 per edge + one 0 per
+        # node = 2 + (n - 1) + n = 2n + 1; supports add overhead.
+        assert len(tree.bits) == 2 * n + 1
+        assert tree.size_bits() >= 2 * n + 1
+
+
+def random_tree_strategy():
+    """Generate a random tree as a parent vector, then adjacency lists."""
+    return st.integers(2, 60).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.integers(0, 10**6), min_size=n - 1, max_size=n - 1
+            ),
+        )
+    )
+
+
+def adjacency_from_parents(n, raw_parents):
+    children = [[] for _ in range(n)]
+    for i in range(1, n):
+        parent = raw_parents[i - 1] % i  # ensure parent < child: acyclic
+        children[parent].append(i)
+    return children
+
+
+class TestTreeCodecProperties:
+    @given(random_tree_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_louds_parent_child_inverse(self, data):
+        n, raw = data
+        children = adjacency_from_parents(n, raw)
+        tree = LoudsTree(children)
+        assert tree.num_nodes == n
+        for node in range(tree.num_nodes):
+            for k in range(tree.degree(node)):
+                child = tree.child(node, k)
+                assert tree.parent(child) == node
+
+    @given(random_tree_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_dfuds_matches_adjacency(self, data):
+        n, raw = data
+        children = adjacency_from_parents(n, raw)
+        tree = DfudsTree(children)
+        assert tree.num_nodes == n
+        # DFS check: each encoded node's children map back to original ids.
+        for node in range(tree.num_nodes):
+            orig = tree.original_id(node)
+            encoded_kids = [tree.original_id(c) for c in tree.children(node)]
+            assert encoded_kids == children[orig]
+
+    @given(random_tree_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_codecs_agree_on_shape(self, data):
+        n, raw = data
+        children = adjacency_from_parents(n, raw)
+        louds, dfuds = LoudsTree(children), DfudsTree(children)
+        louds_degrees = sorted(louds.degree(i) for i in range(n))
+        dfuds_degrees = sorted(dfuds.degree(i) for i in range(n))
+        assert louds_degrees == dfuds_degrees
+
+
+class TestDfudsTree:
+    def test_figure_tree(self):
+        tree = DfudsTree(paper_figure_tree())
+        assert tree.num_nodes == 8
+        assert tree.degree(0) == 3
+        kids = tree.children(0)
+        assert [tree.original_id(k) for k in kids] == [1, 2, 3]
+
+    def test_single_node(self):
+        tree = DfudsTree([[]])
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(0)

@@ -1,0 +1,182 @@
+"""Tests for key generators, Zipfian distributions, and YCSB workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    dataset,
+    decode_u64,
+    email_keys,
+    encode_u64,
+    generate,
+    mono_inc_u64_keys,
+    point_query_keys,
+    random_u64_keys,
+    url_keys,
+    wiki_keys,
+    worst_case_keys,
+)
+
+
+class TestU64Encoding:
+    def test_roundtrip(self):
+        for v in (0, 1, 2**32, 2**64 - 1):
+            assert decode_u64(encode_u64(v)) == v
+
+    def test_order_preserving(self):
+        values = [0, 5, 255, 256, 2**31, 2**63, 2**64 - 1]
+        encoded = [encode_u64(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_u64(-1)
+        with pytest.raises(ValueError):
+            encode_u64(2**64)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_encoding_preserves_comparison(self, a, b):
+        assert (a < b) == (encode_u64(a) < encode_u64(b))
+
+
+class TestKeyGenerators:
+    def test_random_keys_distinct_and_deterministic(self):
+        a = random_u64_keys(500, seed=3)
+        b = random_u64_keys(500, seed=3)
+        assert a == b
+        assert len(set(a)) == 500
+
+    def test_mono_inc_sorted(self):
+        keys = mono_inc_u64_keys(100)
+        assert keys == sorted(keys)
+        assert decode_u64(keys[0]) == 0
+
+    @pytest.mark.parametrize("gen", [email_keys, url_keys, wiki_keys])
+    def test_string_keys_distinct_deterministic(self, gen):
+        a = gen(300, seed=9)
+        assert a == gen(300, seed=9)
+        assert len(set(a)) == 300
+
+    def test_email_statistics(self):
+        keys = email_keys(2000)
+        avg_len = sum(len(k) for k in keys) / len(keys)
+        assert 15 <= avg_len <= 35  # paper corpus: average 22-30 bytes
+        assert all(b"@" in k for k in keys)
+        # Host-reversed: keys share domain prefixes heavily.
+        com_share = sum(k.startswith(b"com.") for k in keys) / len(keys)
+        assert com_share > 0.5
+
+    def test_url_prefix_sharing(self):
+        keys = url_keys(500)
+        assert all(k.startswith((b"http://", b"https://")) for k in keys)
+
+    def test_worst_case_shape(self):
+        keys = worst_case_keys(50)
+        assert len(keys) == 100
+        assert all(len(k) == 64 for k in keys)
+        for i in range(0, 100, 2):
+            a, b = keys[i], keys[i + 1]
+            assert a[:63] == b[:63] and a[63] != b[63]
+        # Prefixes enumerate in order and appear exactly twice.
+        prefixes = [k[:5] for k in keys]
+        assert prefixes == sorted(prefixes)
+
+    def test_dataset_dispatch(self):
+        assert len(dataset("email", 10)) == 10
+        with pytest.raises(KeyError):
+            dataset("nope", 10)
+
+
+class TestZipf:
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=5)
+        draws = gen.sample(20000)
+        counts = np.bincount(draws, minlength=1000)
+        assert counts[0] == counts.max()
+        assert counts[0] > 10 * max(1, counts[500])
+
+    def test_in_range(self):
+        gen = ZipfianGenerator(100, seed=6)
+        draws = gen.sample(5000)
+        assert draws.min() >= 0 and draws.max() < 100
+
+    def test_scrambled_spreads_hot_keys(self):
+        gen = ScrambledZipfianGenerator(1000, seed=7)
+        draws = gen.sample(5000)
+        assert draws.min() >= 0 and draws.max() < 1000
+        # The hottest item need not be rank 0 after scrambling.
+        counts = np.bincount(draws, minlength=1000)
+        assert counts.argmax() != 0 or counts[0] != counts.sum()
+
+    def test_uniform(self):
+        gen = UniformGenerator(50, seed=8)
+        draws = gen.sample(5000)
+        counts = np.bincount(draws, minlength=50)
+        assert counts.min() > 0
+
+    def test_next_single_draws(self):
+        for gen in (
+            ZipfianGenerator(100),
+            ScrambledZipfianGenerator(100),
+            UniformGenerator(100),
+        ):
+            for _ in range(100):
+                assert 0 <= gen.next() < 100
+
+
+class TestYcsb:
+    def setup_method(self):
+        self.keys = random_u64_keys(1000, seed=1)
+
+    def test_insert_only(self):
+        w = generate("insert-only", self.keys, 0)
+        assert w.load_keys == self.keys
+        assert w.operations == []
+
+    def test_workload_c_read_only(self):
+        w = generate("C", self.keys, 500)
+        assert len(w.operations) == 500
+        assert all(op.op == "read" for op in w.operations)
+        loaded = set(w.load_keys)
+        assert all(op.key in loaded for op in w.operations)
+
+    def test_workload_a_mix(self):
+        w = generate("A", self.keys, 2000, seed=3)
+        ops = [op.op for op in w.operations]
+        reads, updates = ops.count("read"), ops.count("update")
+        assert abs(reads - updates) < 300
+
+    def test_workload_e_scans_and_inserts(self):
+        w = generate("E", self.keys, 1000, seed=4)
+        ops = [op.op for op in w.operations]
+        assert ops.count("scan") > 800
+        scans = [op for op in w.operations if op.op == "scan"]
+        assert all(50 <= op.scan_len <= 100 for op in scans)
+        inserts = [op for op in w.operations if op.op == "insert"]
+        loaded = set(w.load_keys)
+        assert all(op.key not in loaded for op in inserts)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            generate("Z", self.keys, 10)
+
+    def test_point_query_keys_split(self):
+        stored, absent, queries = point_query_keys(self.keys, 2000, seed=2)
+        assert len(stored) + len(absent) == len(self.keys)
+        assert not (set(stored) & set(absent))
+        stored_set = set(stored)
+        hit_rate = sum(q in stored_set for q in queries) / len(queries)
+        assert 0.3 < hit_rate < 0.7  # ~50 % of queries present
+
+    def test_deterministic(self):
+        w1 = generate("A", self.keys, 200, seed=11)
+        w2 = generate("A", self.keys, 200, seed=11)
+        assert [(o.op, o.key) for o in w1.operations] == [
+            (o.op, o.key) for o in w2.operations
+        ]
