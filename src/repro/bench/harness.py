@@ -9,9 +9,11 @@ tables mirroring the paper's figures and also appended to
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
@@ -40,6 +42,13 @@ class Measurement:
     n_ops: int
 
 
+#: Floor on a measured interval: one tick of the perf counter.  Without
+#: it a sub-resolution run reports infinite throughput, which poisons
+#: downstream arithmetic (``equi_cost`` would turn inf ops/s into a
+#: meaningless cost of 0).
+MIN_TIMER_RESOLUTION = max(time.get_clock_info("perf_counter").resolution, 1e-9)
+
+
 def measure_ops(fn: Callable[[], Any], n_ops: int, repeats: int = 3) -> Measurement:
     """Time ``fn``, attributing ``n_ops`` operations to the best of
     ``repeats`` runs (best-of-N suppresses scheduler noise, which
@@ -50,7 +59,8 @@ def measure_ops(fn: Callable[[], Any], n_ops: int, repeats: int = 3) -> Measurem
         fn()
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
-    return Measurement(n_ops / best if best > 0 else float("inf"), best, n_ops)
+    best = max(best, MIN_TIMER_RESOLUTION)
+    return Measurement(n_ops / best, best, n_ops)
 
 
 def equi_cost(ops_per_sec: float, memory_bytes: int) -> float:
@@ -95,9 +105,40 @@ def _fmt(cell: Any) -> str:
 
 
 def report(name: str, title: str, headers: Sequence[str], rows) -> str:
-    """Print a paper-shaped table and persist it under benchmarks/results."""
+    """Print a paper-shaped table and persist it under benchmarks/results.
+
+    Two artifacts per experiment: the human-readable aligned table
+    (``<name>.txt``, mirrored in EXPERIMENTS.md) and a machine-readable
+    ``<name>.json`` so successive PRs can diff the perf trajectory.
+    """
+    rows = [list(row) for row in rows]
     text = format_table(title, headers, rows)
     print("\n" + text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "title": title,
+        "scale": os.environ.get("REPRO_SCALE", "small"),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "headers": list(headers),
+        "rows": [[_json_cell(c) for c in row] for row in rows],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
     return text
+
+
+def _json_cell(cell: Any):
+    """Coerce a table cell to a JSON-native value, unformatting numeric
+    strings like ``"12,345"`` so consumers can compare runs directly."""
+    if isinstance(cell, (int, float, bool)) or cell is None:
+        return cell
+    s = str(cell)
+    stripped = s.replace(",", "")
+    try:
+        return int(stripped)
+    except ValueError:
+        try:
+            return float(stripped)
+        except ValueError:
+            return s

@@ -24,12 +24,16 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from ..bench.counters import COUNTERS
-from ..succinct.bitvector import BitVector, BitVectorBuilder
+from ..succinct.bitvector import BitVector
 from ..succinct.rank import RankSupport
 from ..succinct.select import SelectSupport
 from .builder import PREFIX_LABEL, BuiltTrie, build_trie
 
 FANOUT = 256
+
+
+def _concat_words(parts: list[np.ndarray]) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint64)
 #: Default LOUDS-Sparse : LOUDS-Dense size ratio (Section 3.4).
 DEFAULT_SIZE_RATIO = 64
 
@@ -91,9 +95,14 @@ class FST:
     def _encode(self, trie: BuiltTrie) -> None:
         dh = self.dense_height
         # ---- dense levels ----
-        d_labels = BitVectorBuilder()
-        d_haschild = BitVectorBuilder()
-        d_isprefix = BitVectorBuilder()
+        # Bitmap assembly is a pure scatter: each real label sets bit
+        # (node * 256 + label) in D-Labels (and D-HasChild when it has
+        # one), so the whole level is encoded with numpy word kernels —
+        # no per-bit Python work.
+        words_per_node = FANOUT // 64
+        label_word_parts: list[np.ndarray] = []
+        child_word_parts: list[np.ndarray] = []
+        isprefix_parts: list[np.ndarray] = []
         d_values: list[Any] = []
         dense_node_count = 0
         dense_child_count = 0
@@ -101,40 +110,46 @@ class FST:
         self._dense_level_node_start: list[int] = []
         for level in trie.levels[:dh]:
             self._dense_level_node_start.append(dense_node_count)
-            node_labels: np.ndarray | None = None
-            idx = 0
-            labels, has_child, louds = level.labels, level.has_child, level.louds
-            value_iter = iter(level.values)
-            # Walk nodes within the level.
-            i = 0
-            n = len(labels)
-            while i < n:
-                label_bm = bytearray(FANOUT // 8)
-                child_bm = bytearray(FANOUT // 8)
-                is_prefix = False
-                j = i
-                while j < n and (j == i or not louds[j]):
-                    lab = labels[j]
-                    if lab == PREFIX_LABEL:
-                        is_prefix = True
-                        d_values.append(next(value_iter))
-                    else:
-                        label_bm[lab >> 3] |= 1 << (lab & 7)
-                        if has_child[j]:
-                            child_bm[lab >> 3] |= 1 << (lab & 7)
-                            dense_child_count += 1
-                        else:
-                            d_values.append(next(value_iter))
-                    j += 1
-                for bit in range(FANOUT):
-                    d_labels.append((label_bm[bit >> 3] >> (bit & 7)) & 1)
-                    d_haschild.append((child_bm[bit >> 3] >> (bit & 7)) & 1)
-                d_isprefix.append(1 if is_prefix else 0)
-                dense_node_count += 1
-                i = j
-        self.d_labels = d_labels.build()
-        self.d_haschild = d_haschild.build()
-        self.d_isprefix = d_isprefix.build()
+            labels = np.asarray(level.labels, dtype=np.int64)
+            has_child = np.asarray(level.has_child, dtype=bool)
+            louds = np.asarray(level.louds, dtype=bool)
+            node_of = np.cumsum(louds) - 1  # node index within the level
+            n_nodes = level.n_nodes
+            real = labels >= 0  # PREFIX_LABEL has no bitmap position
+            label_words = np.zeros(n_nodes * words_per_node, dtype=np.uint64)
+            child_words = np.zeros(n_nodes * words_per_node, dtype=np.uint64)
+            pos = node_of[real] * FANOUT + labels[real]
+            bits = np.left_shift(np.uint64(1), (pos & 63).astype(np.uint64))
+            np.bitwise_or.at(label_words, pos >> 6, bits)
+            child = real & has_child
+            cpos = node_of[child] * FANOUT + labels[child]
+            np.bitwise_or.at(
+                child_words,
+                cpos >> 6,
+                np.left_shift(np.uint64(1), (cpos & 63).astype(np.uint64)),
+            )
+            is_prefix = np.zeros(n_nodes, dtype=np.uint8)
+            is_prefix[node_of[~real]] = 1
+            label_word_parts.append(label_words)
+            child_word_parts.append(child_words)
+            isprefix_parts.append(is_prefix)
+            # level.values holds one value per terminating label in
+            # label order, which is exactly D-Values order.
+            d_values.extend(level.values)
+            dense_node_count += n_nodes
+            dense_child_count += int(child.sum())
+        n_dense_bits = dense_node_count * FANOUT
+        self.d_labels = BitVector(
+            _concat_words(label_word_parts), n_dense_bits
+        )
+        self.d_haschild = BitVector(
+            _concat_words(child_word_parts), n_dense_bits
+        )
+        self.d_isprefix = (
+            BitVector.from_bools(np.concatenate(isprefix_parts))
+            if isprefix_parts
+            else BitVector.zeros(0)
+        )
         self.d_values = d_values
         self.dense_node_count = dense_node_count
         self.dense_child_count = dense_child_count
@@ -143,30 +158,42 @@ class FST:
         self._d_isprefix_rank = RankSupport(self.d_isprefix, _DENSE_RANK_BLOCK)
 
         # ---- sparse levels ----
-        s_labels: list[int] = []
-        s_haschild = BitVectorBuilder()
-        s_louds = BitVectorBuilder()
+        # Per-level sequences concatenate directly; the two bitvectors
+        # pack in one packbits pass each.
+        label_parts: list[np.ndarray] = []
+        hc_parts: list[np.ndarray] = []
+        louds_parts: list[np.ndarray] = []
         s_values: list[Any] = []
         #: per sparse level: starting label index (for count boundaries)
         self._sparse_level_start: list[int] = []
         sparse_node_count = 0
+        n_sparse_labels = 0
         for level in trie.levels[dh:]:
-            self._sparse_level_start.append(len(s_labels))
-            value_iter = iter(level.values)
-            for lab, hc, ld in zip(level.labels, level.has_child, level.louds):
-                s_labels.append(lab)
-                s_haschild.append(1 if hc else 0)
-                s_louds.append(1 if ld else 0)
-                if ld:
-                    sparse_node_count += 1
-                if not hc:
-                    s_values.append(next(value_iter))
-        self.s_labels = np.array(s_labels, dtype=np.int16)
-        self.s_haschild = s_haschild.build()
-        self.s_louds = s_louds.build()
+            self._sparse_level_start.append(n_sparse_labels)
+            label_parts.append(np.asarray(level.labels, dtype=np.int16))
+            hc_parts.append(np.asarray(level.has_child, dtype=np.uint8))
+            louds_parts.append(np.asarray(level.louds, dtype=np.uint8))
+            # level.values is one value per terminating label in label
+            # order — exactly S-Values order.
+            s_values.extend(level.values)
+            sparse_node_count += level.n_nodes
+            n_sparse_labels += len(level.labels)
+        self.s_labels = (
+            np.concatenate(label_parts) if label_parts else np.zeros(0, dtype=np.int16)
+        )
+        self.s_haschild = (
+            BitVector.from_bools(np.concatenate(hc_parts))
+            if hc_parts
+            else BitVector.zeros(0)
+        )
+        self.s_louds = (
+            BitVector.from_bools(np.concatenate(louds_parts))
+            if louds_parts
+            else BitVector.zeros(0)
+        )
         self.s_values = s_values
         self.sparse_node_count = sparse_node_count
-        self._sparse_level_start.append(len(s_labels))
+        self._sparse_level_start.append(n_sparse_labels)
         self._s_haschild_rank = RankSupport(self.s_haschild, self._sparse_block())
         self._s_louds_rank = RankSupport(self.s_louds, self._sparse_block())
         self._s_louds_select = (

@@ -33,8 +33,16 @@ def _pack_bitvector(bv: BitVector) -> bytes:
 def _unpack_bitvector(buf: memoryview, offset: int) -> tuple[BitVector, int]:
     n_bits, n_bytes = struct.unpack_from("<QQ", buf, offset)
     offset += 16
-    words = np.frombuffer(buf[offset : offset + n_bytes], dtype=np.uint64).copy()
-    return BitVector(words, n_bits), offset + n_bytes
+    raw = buf[offset : offset + n_bytes]
+    if len(raw) != n_bytes or n_bytes % 8:
+        raise ValueError("corrupt FST blob: truncated or misaligned bit vector")
+    words = np.frombuffer(raw, dtype=np.uint64).copy()
+    # BitVector.__init__ rejects nonzero padding, so a tampered buffer
+    # fails loudly here instead of silently corrupting rank/select.
+    try:
+        return BitVector(words, n_bits), offset + n_bytes
+    except ValueError as exc:
+        raise ValueError(f"corrupt FST blob: {exc}") from exc
 
 
 def _pack_u64_list(values) -> bytes:

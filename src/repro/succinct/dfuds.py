@@ -40,8 +40,7 @@ class DfudsTree:
                 node = stack.pop()
                 start.append(len(builder))
                 order.append(node)
-                for _ in children[node]:
-                    builder.append(1)
+                builder.append_run(1, len(children[node]))  # word-wise unary
                 builder.append(0)
                 for child in reversed(children[node]):
                     stack.append(child)
@@ -55,28 +54,44 @@ class DfudsTree:
         return self._order[node]
 
     def degree(self, node: int) -> int:
-        pos = self._start[node]
-        count = 0
-        while self.bits.get(pos + count):
-            count += 1
-        return count
+        return self.bits.run_of_ones(self._start[node])
 
     def is_leaf(self, node: int) -> bool:
         return self.bits.get(self._start[node]) == 0
 
     def _findclose(self, pos: int) -> int:
-        """Matching ``)`` for the ``(`` at ``pos`` (excess-counting scan)."""
+        """Matching ``)`` for the ``(`` at ``pos``.
+
+        Word-accelerated excess scan: a word whose zero count cannot
+        absorb the current excess is skipped with one popcount; only the
+        word containing the answer is scanned bit by bit.
+        """
+        bits = self.bits
+        n = len(bits)
         excess = 1
         i = pos + 1
-        n = len(self.bits)
-        while i < n:
-            if self.bits.get(i):
-                excess += 1
+        n_words = (n + 63) >> 6
+        word_idx = i >> 6
+        off = i & 63
+        while word_idx < n_words:
+            base = word_idx << 6
+            width = min(64, n - base) - off
+            word = bits.word(word_idx) >> off
+            ones = (word & ((1 << width) - 1)).bit_count() if width < 64 else word.bit_count()
+            zeros = width - ones
+            if zeros < excess:
+                # The close paren cannot be in this word: net effect only.
+                excess += ones - zeros
             else:
-                excess -= 1
-                if excess == 0:
-                    return i
-            i += 1
+                for k in range(width):
+                    if (word >> k) & 1:
+                        excess += 1
+                    else:
+                        excess -= 1
+                        if excess == 0:
+                            return base + off + k
+            word_idx += 1
+            off = 0
         raise ValueError(f"unbalanced parenthesis at {pos}")
 
     def child(self, node: int, k: int) -> int:

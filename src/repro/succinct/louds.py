@@ -46,9 +46,9 @@ class LoudsTree:
         while queue:
             node = queue.popleft()
             order.append(node)
-            for child in children[node]:
-                builder.append(1)
-                queue.append(child)
+            kids = children[node]
+            builder.append_run(1, len(kids))  # word-wise unary degree
+            queue.extend(kids)
             builder.append(0)
         self.bits = builder.build()
         self.num_nodes = len(order)
@@ -69,11 +69,7 @@ class LoudsTree:
         return self._select0.select(node + 1) + 1
 
     def degree(self, node: int) -> int:
-        pos = self._description_start(node)
-        count = 0
-        while pos + count < len(self.bits) and self.bits.get(pos + count):
-            count += 1
-        return count
+        return self.bits.run_of_ones(self._description_start(node))
 
     def is_leaf(self, node: int) -> bool:
         pos = self._description_start(node)

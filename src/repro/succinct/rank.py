@@ -13,23 +13,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from .bitvector import WORD_BITS, BitVector
+# The 16-bit popcount table and the per-word popcount kernel live in
+# ``bitvector`` (shared with the bulk query paths); re-exported here for
+# backward compatibility.
+from .bitvector import WORD_BITS, BitVector, _POP16, _popcounts_per_word
 
 #: Dense sampling used by LOUDS-Dense rank structures.
 DENSE_RANK_BLOCK_BITS = 64
 #: Sparse sampling used by LOUDS-Sparse rank structures (one cache line).
 SPARSE_RANK_BLOCK_BITS = 512
-
-# 16-bit popcount table shared by all instances: 64 KiB once per process.
-_POP16 = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.uint32)
-
-
-def _popcounts_per_word(words: np.ndarray) -> np.ndarray:
-    """Vector of per-uint64 popcounts computed via the 16-bit table."""
-    if len(words) == 0:
-        return np.zeros(0, dtype=np.uint32)
-    halves = words.view(np.uint16).reshape(len(words), WORD_BITS // 16)
-    return _POP16[halves].sum(axis=1, dtype=np.uint32)
 
 
 class RankSupport:
@@ -60,12 +52,16 @@ class RankSupport:
 
     def rank1(self, i: int) -> int:
         """Number of ones in ``[0, i]``; requires ``0 <= i < len(bv)``."""
+        if i < 0 or i >= len(self._bv):
+            raise IndexError(
+                f"rank index {i} out of range [0, {len(self._bv)})"
+            )
         block = i // self._block_bits
         start = block * self._block_bits
         return int(self._lut[block]) + self._bv.popcount_range(start, i + 1)
 
     def rank0(self, i: int) -> int:
-        """Number of zeros in ``[0, i]``."""
+        """Number of zeros in ``[0, i]``; requires ``0 <= i < len(bv)``."""
         return i + 1 - self.rank1(i)
 
     def total_ones(self) -> int:
