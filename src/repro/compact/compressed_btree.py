@@ -128,6 +128,21 @@ class CompressedBPlusTree(StaticOrderedIndex):
     def __len__(self) -> int:
         return self._len
 
+    # -- serialization -------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the compressed leaves as stored: loading skips the
+        compression pass and round-trips the exact encoded form."""
+        from .serialize import compressed_btree_to_bytes
+
+        return compressed_btree_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CompressedBPlusTree":
+        from .serialize import compressed_btree_from_bytes
+
+        return compressed_btree_from_bytes(cls, data)
+
     # -- statistics ----------------------------------------------------------------------
 
     def compression_ratio(self) -> float:

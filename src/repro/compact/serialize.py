@@ -1,0 +1,153 @@
+"""Binary serialization for the D-to-S compact structures.
+
+PR 1 gave the succinct substrate (FST / SuRF) a wire format; this
+module does the same for the Chapter 2 compact structures so they can
+be persisted beside an SSTable and reloaded without a rebuild pass.
+
+Like :mod:`repro.fst.serialize`, values must be non-negative integers
+(record IDs / offsets — the paper's indexes never store payloads).
+Formats are length-checked on load: a truncated or tampered buffer
+raises ``ValueError`` rather than yielding a corrupt structure.
+
+* ``CompactBPlusTree`` / ``CompactSkipList`` / ``CompactART`` /
+  ``CompactMasstree`` serialize their sorted pair array and rebuild on
+  load (their builds are deterministic single passes).
+* ``CompressedBPlusTree`` serializes its zlib leaf blobs *as stored*,
+  so loading skips recompression and round-trips the exact encoded
+  form.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+MAGIC_PAIRS = b"RCP1"
+MAGIC_COMPRESSED = b"RCZ1"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"corrupt compact-structure buffer: {message}")
+
+
+def _read_u32(data: bytes, offset: int) -> tuple[int, int]:
+    _require(offset + 4 <= len(data), "truncated u32")
+    return _U32.unpack_from(data, offset)[0], offset + 4
+
+
+def _read_u64(data: bytes, offset: int) -> tuple[int, int]:
+    _require(offset + 8 <= len(data), "truncated u64")
+    return _U64.unpack_from(data, offset)[0], offset + 8
+
+
+def _read_blob(data: bytes, offset: int) -> tuple[bytes, int]:
+    n, offset = _read_u32(data, offset)
+    _require(offset + n <= len(data), "truncated blob")
+    return data[offset : offset + n], offset + n
+
+
+def _pack_pairs(pairs: Sequence[tuple[bytes, Any]]) -> bytes:
+    out = bytearray(_U64.pack(len(pairs)))
+    for key, value in pairs:
+        if not isinstance(value, int) or value < 0:
+            raise TypeError(
+                "serialization requires non-negative int values "
+                f"(got {value!r} for key {key!r})"
+            )
+        out += _U32.pack(len(key))
+        out += key
+        out += _U64.pack(value)
+    return bytes(out)
+
+
+def _unpack_pairs(data: bytes, offset: int) -> tuple[list[tuple[bytes, int]], int]:
+    n, offset = _read_u64(data, offset)
+    pairs: list[tuple[bytes, int]] = []
+    for _ in range(n):
+        key, offset = _read_blob(data, offset)
+        value, offset = _read_u64(data, offset)
+        pairs.append((key, value))
+    return pairs, offset
+
+
+# -- pair-array structures (rebuild on load) --------------------------------
+
+
+def pairs_to_bytes(structure: Any) -> bytes:
+    """Serialize any compact structure that can enumerate its pairs."""
+    header = MAGIC_PAIRS + _U32.pack(getattr(structure, "_slots", 0))
+    return header + _pack_pairs(list(structure.items()))
+
+
+def pairs_from_bytes(cls: type, data: bytes) -> Any:
+    """Rebuild ``cls`` from :func:`pairs_to_bytes` output."""
+    _require(data[:4] == MAGIC_PAIRS, f"bad magic {data[:4]!r}")
+    slots, offset = _read_u32(data, 4)
+    pairs, offset = _unpack_pairs(data, offset)
+    _require(offset == len(data), "trailing bytes")
+    if slots:
+        return cls(pairs, slots)
+    return cls(pairs)
+
+
+# -- compressed B+tree (blob-level round-trip) ------------------------------
+
+
+def separator_levels(first_keys: list[bytes], node_slots: int) -> list[list[bytes]]:
+    """The internal separator levels over leaf first-keys (top first)."""
+    levels: list[list[bytes]] = []
+    current = first_keys
+    while len(current) > node_slots:
+        current = [current[i] for i in range(0, len(current), node_slots)]
+        levels.append(current)
+    levels.reverse()
+    return levels
+
+
+def compressed_btree_to_bytes(tree: Any) -> bytes:
+    out = bytearray(MAGIC_COMPRESSED)
+    out += _U32.pack(tree._slots)
+    out += _U32.pack(tree._cache.capacity)
+    out += _U64.pack(tree._len)
+    out += _U64.pack(tree._uncompressed_bytes)
+    out += _U32.pack(len(tree._leaf_blobs))
+    for blob, first_key in zip(tree._leaf_blobs, tree._leaf_first_keys):
+        out += _U32.pack(len(first_key))
+        out += first_key
+        out += _U32.pack(len(blob))
+        out += blob
+    return bytes(out)
+
+
+def compressed_btree_from_bytes(cls: type, data: bytes) -> Any:
+    from .node_cache import ClockNodeCache
+
+    _require(data[:4] == MAGIC_COMPRESSED, f"bad magic {data[:4]!r}")
+    offset = 4
+    slots, offset = _read_u32(data, offset)
+    cache_nodes, offset = _read_u32(data, offset)
+    length, offset = _read_u64(data, offset)
+    uncompressed, offset = _read_u64(data, offset)
+    n_leaves, offset = _read_u32(data, offset)
+    first_keys: list[bytes] = []
+    blobs: list[bytes] = []
+    for _ in range(n_leaves):
+        first_key, offset = _read_blob(data, offset)
+        blob, offset = _read_blob(data, offset)
+        first_keys.append(first_key)
+        blobs.append(blob)
+    _require(offset == len(data), "trailing bytes")
+    _require(slots > 0, "node_slots must be positive")
+    tree = cls.__new__(cls)
+    tree._slots = slots
+    tree._len = length
+    tree._leaf_blobs = blobs
+    tree._leaf_first_keys = first_keys
+    tree._uncompressed_bytes = uncompressed
+    tree._levels = separator_levels(first_keys, slots)
+    tree._cache = ClockNodeCache(cache_nodes)
+    return tree

@@ -76,6 +76,11 @@ class BloomFilter:
     def may_contain_range(self, low: bytes, high: bytes) -> bool:
         return True
 
+    #: SuRF-vocabulary aliases: every filter answers lookup/lookup_range
+    #: and may_contain/may_contain_range interchangeably.
+    lookup = may_contain
+    lookup_range = may_contain_range
+
     def size_bits(self) -> int:
         return self.n_bits
 

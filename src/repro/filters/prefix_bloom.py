@@ -46,6 +46,10 @@ class PrefixBloomFilter:
             return self.may_contain_prefix(low[: self.prefix_len])
         return True
 
+    #: SuRF-vocabulary aliases (see :class:`~repro.filters.bloom.BloomFilter`).
+    lookup = may_contain
+    lookup_range = may_contain_range
+
     def size_bits(self) -> int:
         return self._bloom.size_bits()
 

@@ -46,6 +46,21 @@ class HopeIndex:
         """
         return self.index.scan(self.encoder.encode(key), count)
 
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        """Ordered iteration from ``key``; pairs carry *encoded* keys.
+
+        ``key`` may be raw (it is encoded first) or an already-encoded
+        bound produced by a previous scan — both sort identically.
+        """
+        return self.index.lower_bound(self.encoder.encode(key))
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        """All (encoded key, value) pairs in encoded == source order."""
+        return self.index.items()
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
     def __len__(self) -> int:
         return len(self.index)
 

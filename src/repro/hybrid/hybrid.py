@@ -241,14 +241,18 @@ class HybridIndex(OrderedIndex):
         return True
 
     def delete(self, key: bytes) -> bool:
-        if self._bloom_positive(key) and self.dynamic.delete(key):
+        # A key can live in BOTH stages (an update shadows a static
+        # entry with a dynamic insert; a delete + re-insert does too),
+        # so a successful dynamic delete must still tombstone the
+        # static copy or it resurrects at the next read/scan.
+        deleted_dynamic = self._bloom_positive(key) and self.dynamic.delete(key)
+        in_static = key not in self._deleted and self.static.get(key) is not None
+        if in_static:
+            self._deleted.add(key)  # tombstone until the next merge
+        if deleted_dynamic or in_static:
             self._len -= 1
             return True
-        if key in self._deleted or self.static.get(key) is None:
-            return False
-        self._deleted.add(key)  # tombstone until the next merge
-        self._len -= 1
-        return True
+        return False
 
     # -- range operations ------------------------------------------------------------------
 

@@ -106,6 +106,9 @@ class SuRF:
         return True
 
     __contains__ = lookup
+    #: Filter-vocabulary alias: SuRF, Bloom and PrefixBloom all answer
+    #: ``may_contain`` / ``may_contain_range`` (one-sided membership).
+    may_contain = lookup
 
     # -- range operations ---------------------------------------------------------------
 
@@ -141,13 +144,32 @@ class SuRF:
             return True
         if inclusive_high and stored == high:
             return True
-        # A stored prefix of `high` may stand for keys below it.
-        return high.startswith(stored)
+        # A stored *proper* prefix of `high` may stand for a full key
+        # below it.  Equality is excluded: that full key extends the
+        # stored entry, so it is >= high and outside [low, high).
+        return len(stored) < len(high) and high.startswith(stored)
+
+    #: Filter-vocabulary alias (see :meth:`may_contain`).
+    may_contain_range = lookup_range
 
     def count(self, low: bytes, high: bytes) -> int:
         """Approximate number of keys in [low, high); can over-count by
-        at most two at truncated boundaries."""
-        return self.fst.count_range(low, high)
+        at most two at truncated boundaries, and never under-counts.
+
+        A stored entry that is a proper *prefix* of ``low`` sorts below
+        ``low`` (so the trie count excludes it) yet stands for a full
+        key that may lie inside the range — include it, keeping the
+        error one-sided.  The matching ``high``-boundary prefix is
+        already inside the counted interval; at most one leaf can be a
+        prefix of each bound, hence the <= 2 over-count.
+        """
+        if high <= low:
+            return 0
+        n = self.fst.count_range(low, high)
+        it = self.fst.seek(low)
+        if it.valid and it.fp_flag:  # truncated prefix of `low`: ambiguous
+            n += 1
+        return n
 
     # -- deletion (Section 4.5's tombstone extension) --------------------------------------
 

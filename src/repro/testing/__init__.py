@@ -1,0 +1,43 @@
+"""Differential-testing subsystem: oracles, fuzzing, shrinking.
+
+The thesis's structures each carry subtle invariants — LOUDS-DS
+navigation, SuRF's one-sided-error guarantee, merge-time key ordering,
+order-preserving codes — and a tiny rank/select off-by-one silently
+corrupts navigation rather than crashing.  This package checks every
+structure against a trusted reference model on randomized workloads:
+
+* :mod:`repro.testing.oracle` — ``SortedOracle`` (sorted-dict
+  semantics) and ``FilterOracle`` (one-sided-error accounting);
+* :mod:`repro.testing.ops` — seeded op-sequence generators over the
+  paper's key distributions (int64 / email / URL, Zipf access);
+* :mod:`repro.testing.adapters` — a uniform op vocabulary over every
+  tree, compact structure, FST, SuRF, hybrid and HOPE-wrapped variant;
+* :mod:`repro.testing.differential` — the op-by-op differential
+  executor;
+* :mod:`repro.testing.shrink` — greedy ddmin shrinker so every failure
+  is a small, replayable script.
+
+CLI: ``python -m repro.testing fuzz --seed 0 --ops 5000``.
+"""
+
+from .adapters import all_structures, make_adapter
+from .differential import Failure, FuzzResult, fuzz_structure, run_sequence
+from .ops import Op, generate_ops, ops_from_json, ops_to_json
+from .oracle import FilterOracle, SortedOracle
+from .shrink import shrink
+
+__all__ = [
+    "SortedOracle",
+    "FilterOracle",
+    "Op",
+    "generate_ops",
+    "ops_to_json",
+    "ops_from_json",
+    "all_structures",
+    "make_adapter",
+    "run_sequence",
+    "fuzz_structure",
+    "Failure",
+    "FuzzResult",
+    "shrink",
+]

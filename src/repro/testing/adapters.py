@@ -1,0 +1,488 @@
+"""Adapters giving every structure one op vocabulary.
+
+The differential executor speaks a single op set (see
+:mod:`repro.testing.ops`); each adapter translates it onto one concrete
+structure:
+
+* dynamic trees take the ops directly;
+* static (D-to-S) structures buffer mutations in a pending dict and
+  rebuild lazily before the next read — the executor still diffs every
+  read against the oracle, so a bad build or a bad rank/select kernel
+  surfaces at the first read after it;
+* filters answer membership ops under one-sided-error comparison;
+* HOPE-wrapped trees encode keys first; ordered results are compared
+  by *value* sequence (encoded keys differ from raw keys, but their
+  order must not).
+
+``SKIPPED`` marks ops a structure legitimately cannot express (e.g.
+``serialize`` on a pointer-based tree); the executor applies the op to
+the oracle regardless so every structure sees the same logical state.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Callable, Sequence
+
+from ..compact import (
+    CompactART,
+    CompactBPlusTree,
+    CompactMasstree,
+    CompactSkipList,
+    CompressedBPlusTree,
+)
+from ..filters.bloom import BloomFilter
+from ..filters.prefix_bloom import PrefixBloomFilter
+from ..fst import FST
+from ..hope import HopeEncoder, HopeIndex
+from ..hybrid import (
+    hybrid_art,
+    hybrid_btree,
+    hybrid_compressed_btree,
+    hybrid_masstree,
+    hybrid_skiplist,
+)
+from ..surf import SuRF
+from ..trees import (
+    ART,
+    BPlusTree,
+    HOTrie,
+    Masstree,
+    PagedSkipList,
+    PrefixBPlusTree,
+    TTree,
+)
+from ..workloads.keys import email_keys
+from .ops import Op
+
+#: Sentinel: the op is outside this structure's vocabulary.
+SKIPPED = object()
+
+#: Clamp for iterator-derived range counts (keeps exact adapters from
+#: walking arbitrarily large ranges on every ``count`` op).
+COUNT_CLAMP = 64
+
+
+class Adapter:
+    """Base adapter: a named structure speaking the common op set."""
+
+    #: "exact" adapters must match the oracle answer bit-for-bit;
+    #: "filter" adapters are held to the one-sided-error contract.
+    kind = "exact"
+    #: "pairs" compares ordered results as (key, value) lists;
+    #: "values" compares the value sequence only (HOPE-encoded keys).
+    compare = "pairs"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def apply(self, op: Op) -> Any:
+        raise NotImplementedError
+
+
+def _bounded_pairs(iterator, count: int) -> list[tuple[bytes, Any]]:
+    return list(islice(iterator, count))
+
+
+def _range_answer(index, low: bytes, high: bytes) -> bool:
+    first = next(iter(index.lower_bound(low)), None)
+    return first is not None and first[0] < high
+
+
+def _count_answer(index, low: bytes, high: bytes, clamp: int = COUNT_CLAMP) -> int:
+    n = 0
+    for k, _ in index.lower_bound(low):
+        if k >= high or n >= clamp:
+            break
+        n += 1
+    return n
+
+
+class DynamicAdapter(Adapter):
+    """Any mutable OrderedIndex taken as-is."""
+
+    def __init__(self, name: str, factory: Callable[[], Any]) -> None:
+        self._factory = factory
+        super().__init__(name)
+
+    def reset(self) -> None:
+        self.index = self._factory()
+
+    def apply(self, op: Op) -> Any:
+        index = self.index
+        if op.op == "insert":
+            return index.insert(op.key, op.value)
+        if op.op == "update":
+            return index.update(op.key, op.value)
+        if op.op == "delete":
+            return index.delete(op.key)
+        if op.op == "get":
+            return index.get(op.key)
+        if op.op == "contains":
+            return op.key in index
+        if op.op == "lower_bound":
+            return _bounded_pairs(index.lower_bound(op.key), op.count)
+        if op.op == "scan":
+            return index.scan(op.key, op.count)
+        if op.op == "range":
+            return _range_answer(index, op.key, op.high)
+        if op.op == "count":
+            return _count_answer(index, op.key, op.high)
+        if op.op == "len":
+            return len(index)
+        if op.op == "items":
+            return list(index.items())
+        if op.op == "merge":
+            if hasattr(index, "merge"):
+                index.merge()
+                return None
+            return SKIPPED
+        if op.op == "serialize":
+            return SKIPPED
+        raise ValueError(f"unknown op {op.op!r}")
+
+
+class StaticAdapter(Adapter):
+    """D-to-S structure: pending mutations, lazy rebuild on read.
+
+    ``merge`` forces a rebuild; ``serialize`` forces a
+    to_bytes/from_bytes round-trip when the structure supports one, so
+    later reads run against the deserialized instance.
+    """
+
+    def __init__(self, name: str, builder: Callable[[Sequence[tuple[bytes, Any]]], Any]) -> None:
+        self._builder = builder
+        super().__init__(name)
+
+    def reset(self) -> None:
+        self._pending: dict[bytes, Any] = {}
+        self._dirty = True
+        self.index: Any = None
+
+    def _ensure(self) -> Any:
+        if self._dirty:
+            pairs = sorted(self._pending.items())
+            self.index = self._builder(pairs)
+            self._dirty = False
+        return self.index
+
+    def apply(self, op: Op) -> Any:
+        if op.op == "insert":
+            if op.key in self._pending:
+                return False
+            self._pending[op.key] = op.value
+            self._dirty = True
+            return True
+        if op.op == "update":
+            if op.key not in self._pending:
+                return False
+            self._pending[op.key] = op.value
+            self._dirty = True
+            return True
+        if op.op == "delete":
+            if op.key not in self._pending:
+                return False
+            del self._pending[op.key]
+            self._dirty = True
+            return True
+        if op.op == "merge":
+            self._dirty = True
+            self._ensure()
+            return None
+        if op.op == "serialize":
+            index = self._ensure()
+            if not hasattr(index, "to_bytes"):
+                return SKIPPED
+            self.index = type(index).from_bytes(index.to_bytes())
+            return None
+        index = self._ensure()
+        if op.op == "get":
+            return index.get(op.key)
+        if op.op == "contains":
+            return index.get(op.key) is not None
+        if op.op == "lower_bound":
+            return _bounded_pairs(index.lower_bound(op.key), op.count)
+        if op.op == "scan":
+            if hasattr(index, "scan"):
+                return index.scan(op.key, op.count)
+            return _bounded_pairs(index.lower_bound(op.key), op.count)
+        if op.op == "range":
+            return _range_answer(index, op.key, op.high)
+        if op.op == "count":
+            return _count_answer(index, op.key, op.high)
+        if op.op == "len":
+            return len(index)
+        if op.op == "items":
+            return list(index.items())
+        raise ValueError(f"unknown op {op.op!r}")
+
+
+class FstAdapter(StaticAdapter):
+    """FST: like StaticAdapter, but ``count`` uses the native
+    ``count_range`` (exact for complete tries) instead of iteration."""
+
+    def __init__(self, name: str = "fst", **fst_kwargs) -> None:
+        super().__init__(name, lambda pairs: FST([k for k, _ in pairs], [v for _, v in pairs], **fst_kwargs))
+
+    def apply(self, op: Op) -> Any:
+        if op.op == "count":
+            index = self._ensure()
+            return min(index.count_range(op.key, op.high), COUNT_CLAMP)
+        return super().apply(op)
+
+
+class FilterAdapter(Adapter):
+    """Approximate-membership structure under one-sided comparison.
+
+    The pending key set mirrors the oracle's keys exactly; reads
+    rebuild lazily.  ``builder`` maps a sorted key list to a filter
+    answering ``may_contain`` / ``may_contain_range``.
+    """
+
+    kind = "filter"
+
+    def __init__(self, name: str, builder: Callable[[list[bytes]], Any],
+                 supports_count: bool = False) -> None:
+        self._builder = builder
+        self._supports_count = supports_count
+        super().__init__(name)
+
+    def reset(self) -> None:
+        self._pending: set[bytes] = set()
+        self._dirty = True
+        self.filter: Any = None
+
+    def _ensure(self) -> Any:
+        if self._dirty:
+            self.filter = self._builder(sorted(self._pending))
+            self._dirty = False
+        return self.filter
+
+    def apply(self, op: Op) -> Any:
+        if op.op == "insert":
+            if op.key in self._pending:
+                return False
+            self._pending.add(op.key)
+            self._dirty = True
+            return True
+        if op.op == "update":
+            return SKIPPED  # filters store no values
+        if op.op == "delete":
+            if op.key not in self._pending:
+                return False
+            self._pending.discard(op.key)
+            self._dirty = True
+            return True
+        if op.op == "merge":
+            self._dirty = True
+            self._ensure()
+            return None
+        if op.op == "serialize":
+            flt = self._ensure()
+            if not hasattr(flt, "to_bytes"):
+                return SKIPPED
+            self.filter = type(flt).from_bytes(flt.to_bytes())
+            return None
+        flt = self._ensure()
+        if op.op in ("get", "contains"):
+            return bool(flt.may_contain(op.key))
+        if op.op in ("lower_bound", "scan"):
+            return SKIPPED  # no stored values to iterate
+        if op.op == "range":
+            return bool(flt.may_contain_range(op.key, op.high))
+        if op.op == "count":
+            if self._supports_count:
+                return flt.count(op.key, op.high)
+            return SKIPPED
+        if op.op == "len":
+            if hasattr(flt, "__len__"):
+                return len(flt)
+            return SKIPPED
+        if op.op == "items":
+            return SKIPPED
+        raise ValueError(f"unknown op {op.op!r}")
+
+
+class HopeAdapter(Adapter):
+    """HOPE-wrapped dynamic tree: keys are encoded before every op.
+
+    Encoded keys differ from raw keys, so ordered results compare by
+    value sequence (``compare = "values"``), which the order-preserving
+    property makes sound.  Zero-padding can (rarely) make two distinct
+    raw keys encode identically; colliding inserts are absorbed into a
+    shadow dict so the adapter still mirrors oracle semantics, and
+    ordered ops are skipped while a shadow entry exists.
+    """
+
+    compare = "values"
+
+    def __init__(self, name: str, tree_factory: Callable[[], Any],
+                 scheme: str = "3grams", dict_limit: int = 256) -> None:
+        # Deterministic dictionary: trained once on a fixed email
+        # sample (HOPE encoders are complete, so they encode arbitrary
+        # byte keys regardless of the training sample).
+        self._encoder = HopeEncoder.from_sample(
+            scheme, email_keys(256, seed=97), dict_limit=dict_limit
+        )
+        self._tree_factory = tree_factory
+        super().__init__(name)
+
+    def reset(self) -> None:
+        self.index = HopeIndex(self._tree_factory, self._encoder)
+        #: raw key -> encoded key, for every key the tree itself holds.
+        self._enc_of: dict[bytes, bytes] = {}
+        #: encoded key -> raw owner.
+        self._owner: dict[bytes, bytes] = {}
+        #: raw key -> value, for keys whose encoding collided.
+        self._shadow: dict[bytes, Any] = {}
+
+    def apply(self, op: Op) -> Any:
+        if op.op == "insert":
+            if op.key in self._enc_of or op.key in self._shadow:
+                return False
+            enc = self._encoder.encode(op.key)
+            if enc in self._owner:  # padding collision with another raw key
+                self._shadow[op.key] = op.value
+                return True
+            ok = self.index.insert(op.key, op.value)
+            if ok:
+                self._enc_of[op.key] = enc
+                self._owner[enc] = op.key
+            return ok
+        if op.op == "update":
+            if op.key in self._shadow:
+                self._shadow[op.key] = op.value
+                return True
+            if op.key not in self._enc_of:
+                return False
+            return self.index.update(op.key, op.value)
+        if op.op == "delete":
+            if op.key in self._shadow:
+                del self._shadow[op.key]
+                return True
+            if op.key not in self._enc_of:
+                return False
+            ok = self.index.delete(op.key)
+            if ok:
+                del self._owner[self._enc_of.pop(op.key)]
+            return ok
+        if op.op == "get":
+            if op.key in self._shadow:
+                return self._shadow[op.key]
+            if op.key not in self._enc_of:
+                return None
+            return self.index.get(op.key)
+        if op.op == "contains":
+            if op.key in self._shadow:
+                return True
+            return op.key in self.index
+        if op.op == "len":
+            return len(self.index) + len(self._shadow)
+        if op.op in ("lower_bound", "scan", "range", "count", "items"):
+            if self._shadow:
+                return SKIPPED  # encoded order is incomplete under collisions
+            # HopeIndex encodes bounds itself; returned keys are encoded,
+            # so range comparisons below use the encoded high bound.
+            if op.op == "lower_bound":
+                return _bounded_pairs(self.index.lower_bound(op.key), op.count)
+            if op.op == "scan":
+                return self.index.scan(op.key, op.count)
+            if op.op == "items":
+                return list(self.index.items())
+            enc_high = self._encoder.encode(op.high)
+            enc_low = self._encoder.encode(op.key)
+            # A query bound whose encoding collides with a stored key of
+            # a *different* raw key makes the encoded range ambiguous.
+            for enc_bound, raw_bound in ((enc_low, op.key), (enc_high, op.high)):
+                if self._owner.get(enc_bound, raw_bound) != raw_bound:
+                    return SKIPPED
+            if op.op == "range":
+                first = next(iter(self.index.lower_bound(op.key)), None)
+                return first is not None and first[0] < enc_high
+            n = 0
+            for enc_k, _ in self.index.lower_bound(op.key):
+                if enc_k >= enc_high or n >= COUNT_CLAMP:
+                    break
+                n += 1
+            return n
+        if op.op in ("merge", "serialize"):
+            return SKIPPED
+        raise ValueError(f"unknown op {op.op!r}")
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def _surf_builder(suffix_type: str, **kw) -> Callable[[list[bytes]], SuRF]:
+    return lambda keys: SuRF(keys, suffix_type=suffix_type, **kw)
+
+
+def all_structures() -> dict[str, Callable[[], Adapter]]:
+    """Every structure the differential executor can drive."""
+    return {
+        # dynamic trees (Chapter 2 baselines + HOPE-study extras)
+        "btree": lambda: DynamicAdapter("btree", BPlusTree),
+        "skiplist": lambda: DynamicAdapter("skiplist", PagedSkipList),
+        "art": lambda: DynamicAdapter("art", ART),
+        "masstree": lambda: DynamicAdapter("masstree", Masstree),
+        "prefix_btree": lambda: DynamicAdapter("prefix_btree", PrefixBPlusTree),
+        "hot": lambda: DynamicAdapter("hot", HOTrie),
+        "ttree": lambda: DynamicAdapter("ttree", TTree),
+        # D-to-S compact structures
+        "compact_btree": lambda: StaticAdapter("compact_btree", CompactBPlusTree),
+        "compact_skiplist": lambda: StaticAdapter("compact_skiplist", CompactSkipList),
+        "compact_art": lambda: StaticAdapter("compact_art", CompactART),
+        "compact_masstree": lambda: StaticAdapter("compact_masstree", CompactMasstree),
+        "compressed_btree": lambda: StaticAdapter("compressed_btree", CompressedBPlusTree),
+        # succinct trie
+        "fst": lambda: FstAdapter("fst"),
+        # filters (one-sided comparison)
+        "surf_base": lambda: FilterAdapter(
+            "surf_base", _surf_builder("none"), supports_count=True
+        ),
+        "surf_hash": lambda: FilterAdapter(
+            "surf_hash", _surf_builder("hash", hash_bits=8), supports_count=True
+        ),
+        "surf_real": lambda: FilterAdapter(
+            "surf_real", _surf_builder("real", real_bits=8), supports_count=True
+        ),
+        "bloom": lambda: FilterAdapter(
+            "bloom", lambda keys: BloomFilter(keys, bits_per_key=10)
+        ),
+        "prefix_bloom": lambda: FilterAdapter(
+            "prefix_bloom", lambda keys: PrefixBloomFilter(keys, prefix_len=4)
+        ),
+        # hybrid dual-stage indexes
+        "hybrid_btree": lambda: DynamicAdapter(
+            "hybrid_btree", lambda: hybrid_btree(min_merge_size=64)
+        ),
+        "hybrid_skiplist": lambda: DynamicAdapter(
+            "hybrid_skiplist", lambda: hybrid_skiplist(min_merge_size=64)
+        ),
+        "hybrid_art": lambda: DynamicAdapter(
+            "hybrid_art", lambda: hybrid_art(min_merge_size=64)
+        ),
+        "hybrid_masstree": lambda: DynamicAdapter(
+            "hybrid_masstree", lambda: hybrid_masstree(min_merge_size=64)
+        ),
+        "hybrid_compressed_btree": lambda: DynamicAdapter(
+            "hybrid_compressed_btree",
+            lambda: hybrid_compressed_btree(min_merge_size=64),
+        ),
+        # HOPE-wrapped trees
+        "hope_btree": lambda: HopeAdapter("hope_btree", BPlusTree),
+        "hope_art": lambda: HopeAdapter("hope_art", ART, scheme="single"),
+    }
+
+
+def make_adapter(name: str) -> Adapter:
+    registry = all_structures()
+    if name not in registry:
+        raise KeyError(
+            f"unknown structure {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[name]()

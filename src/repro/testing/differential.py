@@ -1,0 +1,205 @@
+"""Op-by-op differential execution against the reference oracle.
+
+Every op is applied to the trusted :class:`SortedOracle` and to the
+structure's adapter; answers are diffed immediately so a failure names
+the exact op that first diverged.  Exact structures must match the
+oracle bit-for-bit; filters are held to the one-sided-error contract
+through :class:`FilterOracle` (false positives counted, false
+negatives fatal).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .adapters import COUNT_CLAMP, SKIPPED, Adapter
+from .ops import Op
+from .oracle import FilterOracle, SortedOracle
+
+
+@dataclass
+class Failure:
+    """The first divergence between a structure and the oracle."""
+
+    structure: str
+    op_index: int
+    op: Op
+    expected: Any
+    got: Any
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.structure}: op #{self.op_index} ({self.op.describe()}) — "
+            f"{self.message}\n  expected: {self.expected!r}\n  got:      {self.got!r}"
+        )
+
+
+@dataclass
+class FuzzResult:
+    structure: str
+    n_ops: int
+    applied: int = 0
+    skipped: int = 0
+    failure: Failure | None = None
+    fp_rate: float = 0.0
+    elapsed_seconds: float = 0.0
+    shrunk_ops: list[Op] | None = None
+    repro_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _oracle_answer(oracle: SortedOracle, op: Op) -> Any:
+    """Apply ``op`` to the oracle and return the reference answer."""
+    if op.op == "insert":
+        return oracle.insert(op.key, op.value)
+    if op.op == "update":
+        return oracle.update(op.key, op.value)
+    if op.op == "delete":
+        return oracle.delete(op.key)
+    if op.op == "get":
+        return oracle.get(op.key)
+    if op.op == "contains":
+        return op.key in oracle
+    if op.op == "lower_bound" or op.op == "scan":
+        return oracle.scan(op.key, op.count)
+    if op.op == "range":
+        return oracle.range_any(op.key, op.high)
+    if op.op == "count":
+        return min(oracle.range_count(op.key, op.high), COUNT_CLAMP)
+    if op.op == "len":
+        return len(oracle)
+    if op.op == "items":
+        return list(oracle.items())
+    if op.op in ("merge", "serialize"):
+        return None
+    raise ValueError(f"unknown op {op.op!r}")
+
+
+def _values_only(result: Any) -> Any:
+    """Project (key, value) lists to value lists (HOPE comparisons)."""
+    if isinstance(result, list):
+        return [v for _k, v in result]
+    return result
+
+
+def run_sequence(
+    adapter: Adapter, ops: Sequence[Op]
+) -> tuple[Failure | None, dict[str, Any]]:
+    """Run ``ops`` through ``adapter`` and the oracle; diff op-by-op.
+
+    Returns the first :class:`Failure` (or None) plus run statistics.
+    The adapter is reset first, so a fresh run is always deterministic.
+    """
+    adapter.reset()
+    oracle = SortedOracle()
+    filter_oracle = FilterOracle(oracle) if adapter.kind == "filter" else None
+    applied = skipped = 0
+    for i, op in enumerate(ops):
+        is_read = op.op in (
+            "get", "contains", "lower_bound", "scan", "range", "count", "len", "items",
+        )
+        # Filters check reads against the *pre-op* oracle state; the
+        # oracle only mutates on write ops, so order per-op is safe.
+        try:
+            got = adapter.apply(op)
+        except Exception:
+            _oracle_answer(oracle, op)  # keep oracle state consistent
+            return (
+                Failure(
+                    adapter.name,
+                    i,
+                    op,
+                    expected="no exception",
+                    got=traceback.format_exc(limit=8),
+                    message="adapter raised",
+                ),
+                {"applied": applied, "skipped": skipped, "fp_rate": 0.0},
+            )
+        expected = _oracle_answer(oracle, op)
+        if got is SKIPPED:
+            skipped += 1
+            continue
+        applied += 1
+        if filter_oracle is not None and is_read:
+            if op.op in ("get", "contains"):
+                verdict = filter_oracle.check_point(op.key, bool(got))
+            elif op.op == "range":
+                verdict = filter_oracle.check_range(op.key, op.high, bool(got))
+            elif op.op == "count":
+                verdict = filter_oracle.check_count(op.key, op.high, got)
+            elif op.op == "len":
+                verdict = "ok" if got == expected else "false_negative"
+            else:
+                verdict = "ok"
+            if verdict not in ("ok", "fp"):
+                return (
+                    Failure(
+                        adapter.name, i, op,
+                        expected=f"one-sided answer consistent with oracle "
+                                 f"(truth: {expected!r})",
+                        got=got,
+                        message=verdict,
+                    ),
+                    {"applied": applied, "skipped": skipped,
+                     "fp_rate": filter_oracle.fp_rate()},
+                )
+            continue
+        if adapter.compare == "values":
+            expected_cmp, got_cmp = _values_only(expected), _values_only(got)
+        else:
+            expected_cmp, got_cmp = expected, got
+        if got_cmp != expected_cmp:
+            return (
+                Failure(
+                    adapter.name, i, op,
+                    expected=expected_cmp, got=got_cmp,
+                    message="answer diverged from oracle",
+                ),
+                {"applied": applied, "skipped": skipped,
+                 "fp_rate": filter_oracle.fp_rate() if filter_oracle else 0.0},
+            )
+    return (
+        None,
+        {
+            "applied": applied,
+            "skipped": skipped,
+            "fp_rate": filter_oracle.fp_rate() if filter_oracle else 0.0,
+        },
+    )
+
+
+def fuzz_structure(
+    name: str,
+    ops: Sequence[Op],
+    adapter_factory: Callable[[], Adapter],
+    shrink_on_failure: bool = True,
+) -> FuzzResult:
+    """Differential-fuzz one structure over a prepared op sequence."""
+    from .shrink import shrink  # local import: shrink uses run_sequence
+
+    started = time.perf_counter()
+    adapter = adapter_factory()
+    failure, stats = run_sequence(adapter, ops)
+    result = FuzzResult(
+        structure=name,
+        n_ops=len(ops),
+        applied=stats["applied"],
+        skipped=stats["skipped"],
+        failure=failure,
+        fp_rate=stats["fp_rate"],
+    )
+    if failure is not None and shrink_on_failure:
+        result.shrunk_ops = shrink(adapter_factory, list(ops[: failure.op_index + 1]))
+        # Re-run the shrunk sequence so the reported failure describes it.
+        refailure, _ = run_sequence(adapter_factory(), result.shrunk_ops)
+        if refailure is not None:
+            result.failure = refailure
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,141 @@
+"""Reference models the differential executor trusts.
+
+``SortedOracle`` implements the :class:`repro.trees.base.OrderedIndex`
+contract with a plain dict plus a sorted key list — the simplest
+possible implementation, kept deliberately free of any of the cleverness
+(succinct encodings, stage merging, key compression) under test.
+
+``FilterOracle`` wraps the same key set for approximate-membership
+structures and enforces the one-sided-error contract of Chapter 4:
+false positives are allowed (and counted, so FPR regressions are
+visible), false negatives are fatal.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class SortedOracle:
+    """Sorted-dict reference model for ordered-index semantics."""
+
+    def __init__(self) -> None:
+        self._map: dict[bytes, Any] = {}
+        self._keys: list[bytes] = []
+
+    # -- mutations (OrderedIndex contract) ---------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        if key in self._map:
+            return False
+        self._map[key] = value
+        bisect.insort(self._keys, key)
+        return True
+
+    def update(self, key: bytes, value: Any) -> bool:
+        if key not in self._map:
+            return False
+        self._map[key] = value
+        return True
+
+    def delete(self, key: bytes) -> bool:
+        if key not in self._map:
+            return False
+        del self._map[key]
+        idx = bisect.bisect_left(self._keys, key)
+        del self._keys[idx]
+        return True
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: bytes) -> Any | None:
+        return self._map.get(key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        idx = bisect.bisect_left(self._keys, key)
+        for k in self._keys[idx:]:
+            yield k, self._map[k]
+
+    def scan(self, key: bytes, count: int) -> list[tuple[bytes, Any]]:
+        idx = bisect.bisect_left(self._keys, key)
+        return [(k, self._map[k]) for k in self._keys[idx : idx + count]]
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        for k in self._keys:
+            yield k, self._map[k]
+
+    def range_any(self, low: bytes, high: bytes, inclusive_high: bool = False) -> bool:
+        """Is any stored key in [low, high) (or [low, high])?"""
+        idx = bisect.bisect_left(self._keys, low)
+        if idx >= len(self._keys):
+            return False
+        k = self._keys[idx]
+        return k < high or (inclusive_high and k == high)
+
+    def range_count(self, low: bytes, high: bytes) -> int:
+        """Number of stored keys in [low, high)."""
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_left(self._keys, high)
+        return max(0, hi - lo)
+
+
+class FilterOracle:
+    """One-sided-error referee for approximate membership filters.
+
+    Verdicts: ``"ok"`` (answer consistent), ``"fp"`` (false positive —
+    allowed, counted), ``"false_negative"`` (fatal: the filter denied a
+    key/range the oracle knows is present — Chapter 4's contract says a
+    negative answer *proves* absence).
+    """
+
+    def __init__(self, oracle: SortedOracle) -> None:
+        self.oracle = oracle
+        self.point_queries = 0
+        self.range_queries = 0
+        self.false_positives = 0
+
+    def check_point(self, key: bytes, answer: bool) -> str:
+        self.point_queries += 1
+        present = key in self.oracle
+        if present and not answer:
+            return "false_negative"
+        if not present and answer:
+            self.false_positives += 1
+            return "fp"
+        return "ok"
+
+    def check_range(
+        self, low: bytes, high: bytes, answer: bool, inclusive_high: bool = False
+    ) -> str:
+        self.range_queries += 1
+        present = self.oracle.range_any(low, high, inclusive_high)
+        if present and not answer:
+            return "false_negative"
+        if not present and answer:
+            self.false_positives += 1
+            return "fp"
+        return "ok"
+
+    def check_count(self, low: bytes, high: bytes, answer: int, slack: int = 2) -> str:
+        """Approximate counts may over-count by ``slack`` at truncated
+        boundaries (Section 4.1.5) but must never under-count."""
+        true_count = self.oracle.range_count(low, high)
+        if answer < true_count:
+            return "false_negative"
+        if answer > true_count + slack:
+            return "over_count"
+        if answer != true_count:
+            self.false_positives += 1
+            return "fp"
+        return "ok"
+
+    def fp_rate(self) -> float:
+        total = self.point_queries + self.range_queries
+        return self.false_positives / total if total else 0.0

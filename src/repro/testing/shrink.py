@@ -1,0 +1,79 @@
+"""Greedy sequence minimization (ddmin) for failing differential runs.
+
+Replaying is cheap and deterministic, so shrinking is just repeated
+re-execution: remove chunks of decreasing size while the sequence still
+fails, then sweep single ops until a fixpoint.  The result is the small
+reproducible script the fuzz CLI writes out — a failure report nobody
+can act on is a failure report nobody reads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .adapters import Adapter
+from .ops import Op
+
+#: Safety bound on predicate evaluations per shrink.
+MAX_EVALS = 2000
+
+
+def shrink(
+    adapter_factory: Callable[[], Adapter],
+    ops: Sequence[Op],
+    max_evals: int = MAX_EVALS,
+) -> list[Op]:
+    """Minimal-ish failing subsequence of ``ops`` (order preserved).
+
+    ``ops`` must already fail for the adapter; if it does not, it is
+    returned unchanged.
+    """
+    from .differential import run_sequence
+
+    evals = 0
+
+    def fails(seq: list[Op]) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False  # out of budget: treat as not reproducing
+        evals += 1
+        failure, _ = run_sequence(adapter_factory(), seq)
+        return failure is not None
+
+    current = list(ops)
+    if not fails(current):
+        return current
+
+    # -- ddmin over chunk complements --------------------------------------
+    n_chunks = 2
+    while len(current) >= 2 and evals < max_evals:
+        chunk = max(1, len(current) // n_chunks)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and fails(candidate):
+                current = candidate
+                reduced = True
+                # Re-try from the same offset: the next chunk shifted in.
+            else:
+                start += chunk
+        if reduced:
+            n_chunks = max(n_chunks - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            n_chunks = min(len(current), n_chunks * 2)
+
+    # -- single-op sweep to fixpoint ---------------------------------------
+    changed = True
+    while changed and evals < max_evals:
+        changed = False
+        i = len(current) - 1
+        while i >= 0 and evals < max_evals:
+            candidate = current[:i] + current[i + 1 :]
+            if candidate and fails(candidate):
+                current = candidate
+                changed = True
+            i -= 1
+    return current

@@ -1,0 +1,119 @@
+"""Serialization round-trip tests for the compact structures.
+
+PR 1 covered the succinct substrate (FST/SuRF); this covers the
+Chapter 2 D-to-S structures: CompactBPlusTree, CompactSkipList,
+CompactART, CompactMasstree and CompressedBPlusTree.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compact import (
+    CompactART,
+    CompactBPlusTree,
+    CompactMasstree,
+    CompactSkipList,
+    CompressedBPlusTree,
+)
+from repro.compact.serialize import MAGIC_COMPRESSED, MAGIC_PAIRS
+from repro.workloads import email_keys, random_u64_keys
+
+ALL_CLASSES = [
+    CompactBPlusTree,
+    CompactSkipList,
+    CompactART,
+    CompactMasstree,
+    CompressedBPlusTree,
+]
+
+INT_PAIRS = [(k, i) for i, k in enumerate(sorted(random_u64_keys(700, seed=41)))]
+EMAIL_PAIRS = [(k, i * 3) for i, k in enumerate(sorted(email_keys(400, seed=42)))]
+
+
+@pytest.mark.parametrize("cls", ALL_CLASSES)
+@pytest.mark.parametrize("pairs", [INT_PAIRS, EMAIL_PAIRS], ids=["int", "email"])
+class TestRoundTrip:
+    def test_items_survive(self, cls, pairs):
+        clone = cls.from_bytes(cls(pairs).to_bytes())
+        assert type(clone) is cls
+        assert list(clone.items()) == pairs
+        assert len(clone) == len(pairs)
+
+    def test_queries_survive(self, cls, pairs):
+        clone = cls.from_bytes(cls(pairs).to_bytes())
+        for k, v in pairs[::53]:
+            assert clone.get(k) == v
+        assert clone.get(b"\x00absent-key") is None
+        low = pairs[17][0]
+        assert next(clone.lower_bound(low)) == pairs[17]
+
+    def test_empty(self, cls, pairs):
+        clone = cls.from_bytes(cls([]).to_bytes())
+        assert len(clone) == 0
+        assert list(clone.items()) == []
+        assert clone.get(pairs[0][0]) is None
+
+
+class TestFormat:
+    def test_compressed_blob_level_exact(self):
+        """The compressed tree round-trips its zlib blobs verbatim —
+        loading must not recompress."""
+        tree = CompressedBPlusTree(INT_PAIRS, cache_nodes=7)
+        blob = tree.to_bytes()
+        clone = CompressedBPlusTree.from_bytes(blob)
+        assert clone.to_bytes() == blob
+        assert clone._leaf_blobs == tree._leaf_blobs
+        assert clone._cache.capacity == 7
+        assert clone.compression_ratio() == tree.compression_ratio()
+        assert clone.memory_bytes() == tree.memory_bytes()
+
+    def test_node_slots_survive(self):
+        tree = CompactBPlusTree(INT_PAIRS, node_slots=16)
+        clone = CompactBPlusTree.from_bytes(tree.to_bytes())
+        assert clone._slots == 16
+        assert clone.height == tree.height
+
+    def test_skiplist_stays_skiplist(self):
+        clone = CompactSkipList.from_bytes(CompactSkipList(INT_PAIRS).to_bytes())
+        assert isinstance(clone, CompactSkipList)
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES[:-1])
+    def test_non_int_values_rejected(self, cls):
+        # CompressedBPlusTree packs values at construction, so it never
+        # holds a non-int to begin with; the pair formats check at
+        # serialization time.
+        with pytest.raises(TypeError):
+            cls([(b"a", "payload")]).to_bytes()
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES)
+    def test_corruption_detected(self, cls):
+        blob = cls(INT_PAIRS[:64]).to_bytes()
+        for bad in (blob[:9], b"XXXX" + blob[4:], blob + b"\0", b""):
+            with pytest.raises(ValueError):
+                cls.from_bytes(bad)
+
+    def test_magic_mismatch_across_formats(self):
+        pair_blob = CompactBPlusTree(INT_PAIRS[:32]).to_bytes()
+        zip_blob = CompressedBPlusTree(INT_PAIRS[:32]).to_bytes()
+        assert pair_blob[:4] == MAGIC_PAIRS
+        assert zip_blob[:4] == MAGIC_COMPRESSED
+        with pytest.raises(ValueError):
+            CompressedBPlusTree.from_bytes(pair_blob)
+        with pytest.raises(ValueError):
+            CompactBPlusTree.from_bytes(zip_blob)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.binary(min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=2**63 - 1),
+        max_size=80,
+    )
+)
+def test_roundtrip_arbitrary_pairs(mapping):
+    pairs = sorted(mapping.items())
+    for cls in ALL_CLASSES:
+        clone = cls.from_bytes(cls(pairs).to_bytes())
+        assert list(clone.items()) == pairs

@@ -1,0 +1,201 @@
+"""The differential fuzz harness testing itself.
+
+Three things must hold or the harness is worthless: (1) every structure
+passes a clean run, (2) an injected bug is *caught* and shrunk to a
+small repro, (3) runs are deterministic enough to replay from a seed.
+"""
+
+import json
+
+import pytest
+
+from repro.succinct.rank import RankSupport
+from repro.testing import (
+    FilterOracle,
+    SortedOracle,
+    all_structures,
+    fuzz_structure,
+    generate_ops,
+    make_adapter,
+    ops_from_json,
+    ops_to_json,
+    run_sequence,
+    shrink,
+)
+from repro.testing.__main__ import main
+
+REPRESENTATIVE = [
+    "btree",
+    "art",
+    "compact_btree",
+    "compressed_btree",
+    "fst",
+    "surf_base",
+    "bloom",
+    "hybrid_btree",
+    "hope_btree",
+]
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("name", REPRESENTATIVE)
+    def test_structure_matches_oracle(self, name):
+        ops = generate_ops(seed=11, n_ops=700, keyspace="mixed")
+        result = fuzz_structure(name, ops, lambda: make_adapter(name))
+        assert result.ok, result.failure.describe()
+        assert result.applied > 0
+
+    def test_registry_covers_every_family(self):
+        names = set(all_structures())
+        assert len(names) >= 12  # the ISSUE floor
+        for family in ("btree", "compact_", "surf_", "hybrid_", "hope_", "bloom"):
+            assert any(family in n for n in names), f"no {family} structure"
+
+    @pytest.mark.parametrize("keyspace", ["int64", "email", "url"])
+    def test_keyspaces_run_clean(self, keyspace):
+        ops = generate_ops(seed=12, n_ops=400, keyspace=keyspace)
+        for name in ("skiplist", "compact_art", "surf_real"):
+            result = fuzz_structure(name, ops, lambda: make_adapter(name))
+            assert result.ok, f"{name}/{keyspace}: {result.failure.describe()}"
+
+
+class TestSabotage:
+    """Break a kernel, expect a small shrunk repro — the acceptance
+    criterion of the harness."""
+
+    def test_broken_rank_kernel_is_caught_and_shrunk(self, monkeypatch):
+        original = RankSupport.rank1
+
+        def corrupted(self, i):
+            n = original(self, i)
+            return n + 1 if i >= 192 else n
+
+        monkeypatch.setattr(RankSupport, "rank1", corrupted)
+        ops = generate_ops(seed=0, n_ops=1500, keyspace="mixed")
+        result = fuzz_structure("fst", ops, lambda: make_adapter("fst"))
+        assert not result.ok, "corrupted rank kernel went undetected"
+        assert result.shrunk_ops is not None
+        assert 1 <= len(result.shrunk_ops) <= 20
+        # The shrunk sequence still reproduces under a fresh adapter.
+        failure, _stats = run_sequence(make_adapter("fst"), result.shrunk_ops)
+        assert failure is not None
+
+    def test_shrinker_reaches_known_minimum(self):
+        """A structure answering wrongly for exactly one poisoned key
+        must shrink to the single op that exposes it."""
+        from repro.testing.adapters import DynamicAdapter
+        from repro.trees import BPlusTree
+
+        poison = b"\x00\x00\x00\x00\x00\x00\x00\x2a"
+
+        class PoisonedBTree(BPlusTree):
+            def get(self, key):
+                if key == poison:
+                    return 999_999
+                return super().get(key)
+
+        ops = generate_ops(seed=3, n_ops=300, keyspace="int64", universe_size=64)
+        from repro.testing.ops import Op
+
+        ops = list(ops) + [Op("get", key=poison)]
+        factory = lambda: DynamicAdapter("poisoned", PoisonedBTree)
+        failure, _ = run_sequence(factory(), ops)
+        assert failure is not None
+        shrunk = shrink(factory, ops)
+        assert len(shrunk) == 1
+        assert shrunk[0].op == "get" and shrunk[0].key == poison
+
+
+class TestDeterminism:
+    def test_same_seed_same_ops(self):
+        a = generate_ops(seed=99, n_ops=500, keyspace="email")
+        b = generate_ops(seed=99, n_ops=500, keyspace="email")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_ops(seed=1, n_ops=200, keyspace="int64")
+        b = generate_ops(seed=2, n_ops=200, keyspace="int64")
+        assert a != b
+
+    def test_ops_json_roundtrip(self):
+        ops = generate_ops(seed=5, n_ops=150, keyspace="url")
+        text = ops_to_json(ops, structure="btree", seed=5)
+        restored, meta = ops_from_json(text)
+        assert restored == ops
+        assert meta["structure"] == "btree"
+        json.loads(text)  # stays plain JSON
+
+
+class TestOracles:
+    def test_sorted_oracle_basics(self):
+        o = SortedOracle()
+        assert o.insert(b"b", 1) and not o.insert(b"b", 2)
+        assert o.insert(b"a", 0)
+        assert o.get(b"b") == 1
+        assert list(o.scan(b"a", 2)) == [(b"a", 0), (b"b", 1)]
+        assert o.range_count(b"a", b"b") == 1
+        assert o.delete(b"a") and not o.delete(b"a")
+
+    def test_filter_oracle_one_sided(self):
+        f = FilterOracle(SortedOracle())
+        f.oracle.insert(b"k", 1)
+        assert f.check_point(b"k", True) == "ok"
+        assert f.check_point(b"k", False) == "false_negative"
+        assert f.check_point(b"absent", True) == "fp"
+        assert f.check_point(b"absent", False) == "ok"
+        assert f.check_count(b"a", b"z", 0) == "false_negative"
+        assert f.check_count(b"a", b"z", 1) == "ok"
+        assert f.check_count(b"a", b"z", 3) == "fp"  # within slack, counted
+        assert f.check_count(b"a", b"z", 9) == "over_count"
+
+
+class TestCli:
+    def test_fuzz_cli_smoke(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "7",
+                "--ops",
+                "250",
+                "--structures",
+                "btree,surf_base",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_list_cli(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "btree" in out and "surf_base" in out
+
+    def test_failing_run_writes_repro(self, tmp_path, capsys, monkeypatch):
+        original = RankSupport.rank1
+        monkeypatch.setattr(
+            RankSupport,
+            "rank1",
+            lambda self, i: original(self, i) + (1 if i >= 192 else 0),
+        )
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--ops",
+                "1200",
+                "--structures",
+                "fst",
+                "--out-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        repros = list(tmp_path.glob("repro-*.json"))
+        assert repros, "no repro script written on failure"
+        ops, meta = ops_from_json(repros[0].read_text())
+        assert meta["structure"] == "fst"
+        assert len(ops) <= 20

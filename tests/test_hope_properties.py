@@ -1,0 +1,136 @@
+"""Property-based tests of HOPE's core guarantees (Section 6.1.1).
+
+For every scheme the dictionary must be a complete, order-preserving
+partition of the string axis whose codes form a prefix-free (uniquely
+decodable) alphabetic code, and the end-to-end encoder must satisfy
+encode(a) < encode(b) whenever a < b (as exact bit strings).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hope import HopeEncoder, SCHEMES, garsia_wachs_lengths
+from repro.hope.hu_tucker import alphabetic_codes
+from repro.hope.schemes import scheme_code_kind
+from repro.workloads import email_keys, url_keys
+
+EMAILS = sorted(email_keys(300, seed=61))
+URLS = sorted(url_keys(200, seed=62))
+
+
+def bit_string(code: int, length: int) -> str:
+    return format(code, f"0{length}b") if length else ""
+
+
+@pytest.fixture(scope="module", params=SCHEMES)
+def encoder(request):
+    return HopeEncoder.from_sample(request.param, EMAILS, dict_limit=256)
+
+
+class TestDictionaryProperties:
+    def test_codes_prefix_free(self, encoder):
+        """No codeword is a prefix of another (unique decodability)."""
+        words = sorted(
+            bit_string(iv.code, iv.code_len) for iv in encoder.intervals
+        )
+        for a, b in zip(words, words[1:]):
+            assert a != b, f"duplicate codeword {a}"
+            # After sorting, a prefix is always immediately adjacent.
+            assert not b.startswith(a), f"{a} is a prefix of {b}"
+
+    def test_codes_alphabetic(self, encoder):
+        """Codewords increase with interval order as bit strings
+        (Section 6.1.1's order-preserving theorem)."""
+        words = [bit_string(iv.code, iv.code_len) for iv in encoder.intervals]
+        for a, b in zip(words, words[1:]):
+            assert a < b
+
+    def test_kraft_equality(self, encoder):
+        """Variable-length schemes produce a *complete* prefix code:
+        the Kraft sum is exactly 1 (no wasted code space)."""
+        if scheme_code_kind(encoder.scheme) == "fixed":
+            pytest.skip("ALM uses fixed-width codes")
+        max_len = max(iv.code_len for iv in encoder.intervals)
+        kraft = sum(1 << (max_len - iv.code_len) for iv in encoder.intervals)
+        assert kraft == 1 << max_len
+
+    def test_intervals_partition_axis(self, encoder):
+        """Intervals tile the axis: contiguous, non-empty symbols."""
+        ivs = encoder.intervals
+        assert ivs[0].lo == b"\x00"
+        assert ivs[-1].hi is None
+        for a, b in zip(ivs, ivs[1:]):
+            assert a.hi == b.lo
+        for iv in ivs:
+            assert iv.symbol, "complete dictionaries consume >= 1 byte"
+            assert iv.lo.startswith(iv.symbol)
+
+
+class TestEncodeOrderPreservation:
+    @pytest.mark.parametrize("keys", [EMAILS, URLS], ids=["email", "url"])
+    def test_sorted_keys_stay_sorted(self, encoder, keys):
+        prev = None
+        for key in keys:
+            bits, n_bits = encoder.encode_bits(key)
+            cur = bit_string(bits, n_bits)
+            if prev is not None:
+                assert prev < cur, f"order violated near {key!r}"
+            prev = cur
+
+    def test_padded_bytes_monotone(self, encoder):
+        """The byte-level encode() may collide on zero-padding but must
+        never invert the order."""
+        encoded = [encoder.encode(k) for k in EMAILS]
+        assert encoded == sorted(encoded)
+
+    def test_decode_roundtrip(self, encoder):
+        for key in EMAILS[::17]:
+            assert encoder.decode(*encoder.encode_bits(key)) == key
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=1, max_size=24), st.binary(min_size=1, max_size=24))
+    def test_arbitrary_byte_pairs(self, encoder, a, b):
+        """encode(a) < encode(b) iff a < b, on arbitrary bytes — the
+        dictionary covers the whole axis, not just sampled keys."""
+        bits_a = bit_string(*encoder.encode_bits(a))
+        bits_b = bit_string(*encoder.encode_bits(b))
+        if a == b:
+            assert bits_a == bits_b
+        elif a < b:
+            assert bits_a < bits_b
+        else:
+            assert bits_a > bits_b
+
+
+class TestHuTuckerValidity:
+    """Garsia-Wachs output must always be a valid alphabetic tree."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e6),
+            min_size=2,
+            max_size=48,
+        )
+    )
+    def test_lengths_yield_prefix_free_monotone_codes(self, weights):
+        lengths = garsia_wachs_lengths(weights)
+        codes = alphabetic_codes(lengths)
+        words = [bit_string(c, l) for c, l in zip(codes, lengths)]
+        for a, b in zip(words, words[1:]):
+            assert a < b
+            assert not b.startswith(a) and not a.startswith(b)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1e6),
+            min_size=1,
+            max_size=48,
+        )
+    )
+    def test_kraft_complete(self, weights):
+        lengths = garsia_wachs_lengths(weights)
+        max_len = max(lengths)
+        assert sum(1 << (max_len - l) for l in lengths) == 1 << max_len
