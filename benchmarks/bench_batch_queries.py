@@ -1,0 +1,148 @@
+"""Batched read path: scalar-loop vs native batch throughput.
+
+The PR-3 tentpole claim (BS-tree-style data parallelism): answering a
+whole key batch per traversal step amortizes interpreted-Python
+per-key overhead.  This measures scalar vs ``get_many``/``lookup_many``
+/``may_contain_many`` throughput at batch sizes {1, 16, 256, 4096} for
+the four hot read paths:
+
+* FST point gets (level-synchronous LOUDS walk),
+* SuRF-Real lookups (batch trie walk + vectorized suffix check),
+* Bloom probes (one gather for all k*N probe positions),
+* HOPE(Single)-encoded Compact B+tree gets (batch encode + batch
+  searchsorted).
+
+The acceptance bar: FST ``get_many`` at batch >= 1024 reaches >= 3x the
+scalar-loop throughput on the email workload.
+"""
+
+import random
+
+from repro.bench.harness import measure_ops, report, scaled
+from repro.compact import CompactBPlusTree
+from repro.filters.bloom import BloomFilter
+from repro.fst import FST
+from repro.hope import HopeEncoder, HopeIndex
+from repro.surf import SuRF
+from repro.workloads.keys import email_keys
+
+BATCH_SIZES = (1, 16, 256, 4096)
+
+
+def _query_mix(keys, seed=7):
+    """Present keys interleaved with near-miss absent keys."""
+    rnd = random.Random(seed)
+    queries = list(keys)
+    for k in keys[:: 2]:
+        queries.append(k + b"x")
+    rnd.shuffle(queries)
+    return queries
+
+
+def _throughput_rows(name, scalar_fn, batch_fn, queries, repeats=3):
+    """One row per batch size: scalar loop vs native batch ops/s."""
+    n = len(queries)
+    scalar = measure_ops(lambda: scalar_fn(queries), n, repeats=repeats)
+    rows = []
+    speedups = {}
+    for size in BATCH_SIZES:
+        # Tiny batches pay heavy per-call overhead; measuring them over
+        # a query subsample keeps the suite fast without changing the
+        # per-op throughput being reported.
+        sample = queries if size >= 256 else queries[: min(n, 2_000)]
+        chunks = [sample[i : i + size] for i in range(0, len(sample), size)]
+
+        def run_batches(chunks=chunks):
+            for chunk in chunks:
+                batch_fn(chunk)
+
+        m = measure_ops(run_batches, len(sample), repeats=repeats)
+        speedup = m.ops_per_sec / scalar.ops_per_sec
+        speedups[size] = (scalar.ops_per_sec, m.ops_per_sec, speedup)
+        rows.append(
+            [
+                name,
+                size,
+                f"{scalar.ops_per_sec:,.0f}",
+                f"{m.ops_per_sec:,.0f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    return rows, speedups
+
+
+def run_experiment(email_keys_sorted):
+    keys = email_keys_sorted[: scaled(10_000)]
+    queries = _query_mix(keys)
+    rows = []
+    stats = {}
+
+    fst = FST(keys, list(range(len(keys))))
+    r, s = _throughput_rows(
+        "FST get",
+        lambda qs: [fst.get(q) for q in qs],
+        fst.get_many,
+        queries,
+    )
+    rows += r
+    stats["fst"] = s
+
+    surf = SuRF(keys, suffix_type="real", real_bits=8)
+    r, s = _throughput_rows(
+        "SuRF-Real lookup",
+        lambda qs: [surf.lookup(q) for q in qs],
+        surf.lookup_many,
+        queries,
+    )
+    rows += r
+    stats["surf"] = s
+
+    bloom = BloomFilter(keys, bits_per_key=10)
+    r, s = _throughput_rows(
+        "Bloom probe",
+        lambda qs: [bloom.may_contain(q) for q in qs],
+        bloom.may_contain_many,
+        queries,
+    )
+    rows += r
+    stats["bloom"] = s
+
+    encoder = HopeEncoder.from_sample("single", keys[:: max(1, len(keys) // 256)])
+    # Dedup padding collisions (encode is not injective after byte
+    # padding); strictly-increasing pairs feed the static tree.
+    enc_pairs: dict = {}
+    for i, k in enumerate(keys):
+        enc_pairs.setdefault(encoder.encode(k), i)
+    hope = HopeIndex(
+        lambda: CompactBPlusTree(sorted(enc_pairs.items())), encoder
+    )
+    r, s = _throughput_rows(
+        "HOPE+CompactBTree get",
+        lambda qs: [hope.get(q) for q in qs],
+        hope.get_many,
+        queries,
+    )
+    rows += r
+    stats["hope"] = s
+
+    return rows, stats
+
+
+def test_batch_queries(benchmark, email_keys_sorted):
+    rows, stats = benchmark.pedantic(
+        run_experiment, args=(email_keys_sorted,), rounds=1, iterations=1
+    )
+    report(
+        "batch_queries",
+        "Batched read path: scalar loop vs native batch throughput (email keys)",
+        ["structure", "batch size", "scalar ops/s", "batch ops/s", "speedup"],
+        rows,
+    )
+    # Acceptance: FST batch >= 4096 well above the scalar loop.  The
+    # committed (medium-scale, 100k-key) numbers sit above 3x at batch
+    # 1024+; at CI's small scale we assert a conservative 2x so timer
+    # noise on shared runners cannot flake the gate.
+    assert stats["fst"][4096][2] >= 2.0
+    # Every structure's large-batch path must beat its scalar loop.
+    for name, s in stats.items():
+        assert s[4096][2] > 1.0, f"{name}: batch slower than scalar"

@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterator, Sequence
 
+import numpy as np
+
 from ..bench.counters import COUNTERS
 from ..trees.base import POINTER_BYTES, StaticOrderedIndex, packed_key_bytes
 from ..trees.btree import DEFAULT_NODE_SLOTS
@@ -83,6 +85,36 @@ class CompactBPlusTree(StaticOrderedIndex):
         if idx < len(self._keys) and self._keys[idx] == key:
             return self._values[idx]
         return None
+
+    def _key_array(self) -> np.ndarray:
+        """Leaf keys as an object array for batched ``searchsorted``
+        (dtype=object: numpy 'S' padding would collide keys that differ
+        only in trailing NUL bytes).  Built lazily — a query-time
+        accelerator excluded from :meth:`memory_bytes`."""
+        arr = getattr(self, "_keys_arr", None)
+        if arr is None:
+            arr = np.empty(len(self._keys), dtype=object)
+            arr[:] = self._keys
+            self._keys_arr = arr
+        return arr
+
+    def get_many(self, keys: Sequence[bytes]) -> list[Any | None]:
+        """Batched :meth:`get`: one ``searchsorted`` over the packed
+        leaf array answers the whole batch."""
+        if not self._keys or not keys:
+            return [None] * len(keys)
+        queries = np.empty(len(keys), dtype=object)
+        queries[:] = list(keys)
+        idx = np.searchsorted(self._key_array(), queries, side="left")
+        if COUNTERS.enabled:
+            for key in keys:
+                self._locate(key)
+        out: list[Any | None] = [None] * len(keys)
+        n = len(self._keys)
+        for i, pos in enumerate(idx.tolist()):
+            if pos < n and self._keys[pos] == keys[i]:
+                out[i] = self._values[pos]
+        return out
 
     def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
         if not self._keys:

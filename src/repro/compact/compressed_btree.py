@@ -17,6 +17,8 @@ import struct
 import zlib
 from typing import Any, Iterator, Sequence
 
+import numpy as np
+
 from ..bench.counters import COUNTERS
 from ..trees.base import POINTER_BYTES, StaticOrderedIndex
 from ..trees.btree import DEFAULT_NODE_SLOTS
@@ -105,6 +107,44 @@ class CompressedBPlusTree(StaticOrderedIndex):
         if i < len(keys) and keys[i] == key:
             return values[i]
         return None
+
+    def get_many(self, keys: Sequence[bytes]) -> list[Any | None]:
+        """Batched :meth:`get`: one ``searchsorted`` over the leaf
+        first-key array routes the whole batch, then each distinct leaf
+        is decompressed once and all its queries answered together."""
+        if not self._leaf_blobs or not keys:
+            return [None] * len(keys)
+        first = getattr(self, "_first_keys_arr", None)
+        if first is None:
+            # dtype=object: 'S' padding would collide trailing-NUL keys.
+            first = np.empty(len(self._leaf_first_keys), dtype=object)
+            first[:] = self._leaf_first_keys
+            self._first_keys_arr = first
+        queries = np.empty(len(keys), dtype=object)
+        queries[:] = list(keys)
+        leaf_idx = np.maximum(
+            np.searchsorted(first, queries, side="right") - 1, 0
+        )
+        out: list[Any | None] = [None] * len(keys)
+        # Group by leaf so each node is decompressed at most once.
+        order = np.argsort(leaf_idx, kind="stable")
+        cur_leaf = -1
+        leaf_keys: list[bytes] = []
+        leaf_values: list[int] = []
+        for qi in order.tolist():
+            li = int(leaf_idx[qi])
+            if li != cur_leaf:
+                if COUNTERS.enabled:
+                    COUNTERS.node_visit(len(self._leaf_blobs[li]))
+                leaf_keys, leaf_values = self._leaf(li)
+                cur_leaf = li
+            elif COUNTERS.enabled:
+                COUNTERS.node_visit(len(self._leaf_blobs[li]))
+            key = keys[qi]
+            i = bisect.bisect_left(leaf_keys, key)
+            if i < len(leaf_keys) and leaf_keys[i] == key:
+                out[qi] = leaf_values[i]
+        return out
 
     def lower_bound(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
         if not self._leaf_blobs:

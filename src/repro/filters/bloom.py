@@ -52,6 +52,10 @@ class BloomFilter:
         self.n_bits = n_bits
         self.k = max(1, round(bits_per_key * math.log(2)))
         self._words = np.zeros((n_bits + 63) // 64, dtype=np.uint64)
+        # Python-int mirror of the words: scalar probes read this to
+        # avoid boxing a numpy scalar per probe (the batch path gathers
+        # from the numpy array directly).
+        self._word_ints: list[int] = self._words.tolist()
         for key in keys:
             self._set(key)
 
@@ -64,22 +68,48 @@ class BloomFilter:
     def _set(self, key: bytes) -> None:
         for bit in self._probes(key):
             self._words[bit >> 6] |= np.uint64(1 << (bit & 63))
+            self._word_ints[bit >> 6] |= 1 << (bit & 63)
 
     def may_contain(self, key: bytes) -> bool:
+        words = self._word_ints
         for bit in self._probes(key):
-            if not (int(self._words[bit >> 6]) >> (bit & 63)) & 1:
+            if not (words[bit >> 6] >> (bit & 63)) & 1:
                 return False
         return True
+
+    def may_contain_many(self, keys: Sequence[bytes]) -> list[bool]:
+        """Batched :meth:`may_contain`: all ``k * N`` probe positions are
+        computed as one uint64 array and tested with a single gather."""
+        n = len(keys)
+        if n == 0:
+            return []
+        h1 = np.fromiter((hash64(k, 0) for k in keys), dtype=np.uint64, count=n)
+        h2 = np.fromiter(
+            (hash64(k, _GOLDEN) | 1 for k in keys), dtype=np.uint64, count=n
+        )
+        # uint64 arithmetic wraps modulo 2^64, matching ``& _MASK64``.
+        steps = np.arange(self.k, dtype=np.uint64)
+        bits = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(self.n_bits)
+        words = self._words[(bits >> np.uint64(6)).astype(np.int64)]
+        present = (words >> (bits & np.uint64(63))) & np.uint64(1)
+        return present.all(axis=1).tolist()
 
     # Bloom filters cannot answer range queries: every range probe must
     # conservatively return True (this is the Figure 4.9 comparison).
     def may_contain_range(self, low: bytes, high: bytes) -> bool:
         return True
 
+    def may_contain_range_many(
+        self, pairs: Sequence[tuple[bytes, bytes]]
+    ) -> list[bool]:
+        return [True] * len(pairs)
+
     #: SuRF-vocabulary aliases: every filter answers lookup/lookup_range
     #: and may_contain/may_contain_range interchangeably.
     lookup = may_contain
     lookup_range = may_contain_range
+    lookup_many = may_contain_many
+    lookup_range_many = may_contain_range_many
 
     def size_bits(self) -> int:
         return self.n_bits

@@ -21,6 +21,8 @@ import time
 from bisect import bisect_right
 from typing import Sequence
 
+import numpy as np
+
 from .hu_tucker import DEFAULT_EXACT_LIMIT, assign_alphabetic_codes
 from .intervals import (
     Interval,
@@ -136,13 +138,85 @@ class HopeEncoder:
         n_bytes = (n_bits + 7) // 8
         return (bits << (n_bytes * 8 - n_bits)).to_bytes(n_bytes, "big")
 
+    def _single_tables(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Flat 256-entry numpy code/length tables for the Single-Char
+        batch translate (lazy; ``None`` when codes exceed 63 bits and
+        the uint64 bit-expansion kernel cannot hold them)."""
+        tables = getattr(self, "_single_np", None)
+        if tables is None:
+            assert self._single_codes is not None
+            lens = np.array([l for _, l in self._single_codes], dtype=np.int64)
+            if int(lens.max()) > 63:
+                tables = (None, None)
+            else:
+                codes = np.array(
+                    [c for c, _ in self._single_codes], dtype=np.uint64
+                )
+                tables = (codes, lens)
+            self._single_np = tables
+        return None if tables[0] is None else tables
+
+    def _encode_batch_single(self, keys: Sequence[bytes]) -> list[bytes] | None:
+        """Vectorized Single-Char encode: one ``np.frombuffer`` translate
+        of the concatenated key bytes, a bit-expansion kernel, and one
+        ``np.packbits`` pass for the whole batch."""
+        tables = self._single_tables()
+        if tables is None:
+            return None
+        codes, lens = tables
+        buf = np.frombuffer(b"".join(keys), dtype=np.uint8)
+        key_lens = np.fromiter(
+            (len(k) for k in keys), dtype=np.int64, count=len(keys)
+        )
+        sym_lens = lens[buf]
+        total = int(sym_lens.sum())
+        # MSB-first bitstream of every code, concatenated: bit t of a
+        # symbol with length L is (code >> (L - 1 - t)) & 1.
+        bit_ends = np.cumsum(sym_lens)
+        rep_lens = np.repeat(sym_lens, sym_lens)
+        t = np.arange(total, dtype=np.int64) - np.repeat(
+            bit_ends - sym_lens, sym_lens
+        )
+        shift = (rep_lens - 1 - t).astype(np.uint64)
+        bitstream = (
+            (np.repeat(codes[buf], sym_lens) >> shift) & np.uint64(1)
+        ).astype(np.uint8)
+        # Per-key bit ranges over the symbol stream.
+        cum_bits = np.zeros(len(buf) + 1, dtype=np.int64)
+        cum_bits[1:] = bit_ends
+        key_sym_end = np.cumsum(key_lens)
+        key_bit_end = cum_bits[key_sym_end]
+        key_bit_start = cum_bits[key_sym_end - key_lens]
+        key_bits = key_bit_end - key_bit_start
+        # Scatter each key's bits into its byte-padded slot so a single
+        # packbits produces every zero-padded encoding back to back.
+        padded_bits = (key_bits + 7) // 8 * 8
+        padded_start = np.zeros(len(keys), dtype=np.int64)
+        np.cumsum(padded_bits[:-1], out=padded_start[1:])
+        dest = np.arange(total, dtype=np.int64) + np.repeat(
+            padded_start - key_bit_start, key_bits
+        )
+        padded = np.zeros(int(padded_bits.sum()), dtype=np.uint8)
+        padded[dest] = bitstream
+        blob = np.packbits(padded, bitorder="big").tobytes()
+        byte_start = (padded_start // 8).tolist()
+        byte_end = ((padded_start + padded_bits) // 8).tolist()
+        return [blob[s:e] for s, e in zip(byte_start, byte_end)]
+
     def encode_batch(self, keys: Sequence[bytes]) -> list[bytes]:
         """Encode keys, reusing shared-prefix parses when sorted.
 
-        A cached parse step is reused only if the new key's remaining
-        suffix still falls inside the step's interval, which keeps the
+        Single-Char dictionaries take a fully vectorized path (flat
+        numpy translate tables, no per-symbol Python work).  Other
+        schemes reuse the previous key's shared-prefix parse: a cached
+        parse step is reused only if the new key's remaining suffix
+        still falls inside the step's interval, which keeps the
         optimization exact (adjacent intervals can share a symbol).
         """
+        if self._single_codes is not None and keys:
+            encoded = self._encode_batch_single(keys)
+            if encoded is not None:
+                return encoded
         out: list[bytes] = []
         prev_key = b""
         # Parse steps: (pos_before, interval_idx, bits_after, nbits_after)

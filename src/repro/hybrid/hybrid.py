@@ -225,6 +225,42 @@ class HybridIndex(OrderedIndex):
             return None
         return self.static.get(key)
 
+    def get_many(self, keys: Sequence[bytes]) -> list[Any | None]:
+        """Batched :meth:`get`: one vectorized Bloom probe guards the
+        dynamic stage for the whole batch, and static-stage misses go
+        down as one batch when the static structure supports it."""
+        n = len(keys)
+        out: list[Any | None] = [None] * n
+        if n == 0:
+            return out
+        if self._bloom is None:
+            positive = [True] * n
+        else:
+            positive = self._bloom.may_contain_many(keys)
+        track = self.merge_strategy == "cold"
+        static_idx: list[int] = []
+        for i, key in enumerate(keys):
+            if positive[i]:
+                value = self.dynamic.get(key)
+                if value is not None:
+                    if track:
+                        self._access[key] = self._access.get(key, 0) + 1
+                    out[i] = value
+                    continue
+            if key not in self._deleted:
+                static_idx.append(i)
+        if static_idx:
+            batch = getattr(self.static, "get_many", None)
+            if batch is not None:
+                for i, value in zip(
+                    static_idx, batch([keys[i] for i in static_idx])
+                ):
+                    out[i] = value
+            else:
+                for i in static_idx:
+                    out[i] = self.static.get(keys[i])
+        return out
+
     def update(self, key: bytes, value: Any) -> bool:
         if self._bloom_positive(key) and self.dynamic.update(key, value):
             return True

@@ -112,6 +112,24 @@ class BitVector:
         for i in range(self._n_bits):
             yield self.get(i)
 
+    def get_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized bit read: ``uint8`` 0/1 per position in one gather.
+
+        ``positions`` is any int array (duplicates and arbitrary order
+        allowed); every position must lie in ``[0, len(self))``.
+        """
+        pos = np.ascontiguousarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        lo, hi = int(pos.min()), int(pos.max())
+        if lo < 0 or hi >= self._n_bits:
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"bit index {bad} out of range [0, {self._n_bits})")
+        words = self._words[pos >> 6]
+        return ((words >> (pos & 63).astype(np.uint64)) & np.uint64(1)).astype(
+            np.uint8
+        )
+
     @property
     def words(self) -> np.ndarray:
         return self._words

@@ -32,7 +32,7 @@ class RankSupport:
     navigation formulas in Sections 3.2-3.3).
     """
 
-    __slots__ = ("_bv", "_block_bits", "_lut")
+    __slots__ = ("_bv", "_block_bits", "_lut", "_word_cum")
 
     def __init__(self, bv: BitVector, block_bits: int = SPARSE_RANK_BLOCK_BITS) -> None:
         if block_bits % WORD_BITS != 0:
@@ -49,6 +49,10 @@ class RankSupport:
         self._lut = np.zeros(n_blocks + 1, dtype=np.uint64)
         if n_blocks:
             np.cumsum(block_pops, out=self._lut[1:])
+        #: Per-word cumulative popcounts for the batch path; built
+        #: lazily on the first ``rank1_many`` call (query accelerator,
+        #: not part of the paper's modeled LUT overhead).
+        self._word_cum: np.ndarray | None = None
 
     def rank1(self, i: int) -> int:
         """Number of ones in ``[0, i]``; requires ``0 <= i < len(bv)``."""
@@ -63,6 +67,47 @@ class RankSupport:
     def rank0(self, i: int) -> int:
         """Number of zeros in ``[0, i]``; requires ``0 <= i < len(bv)``."""
         return i + 1 - self.rank1(i)
+
+    # -- batch kernels ----------------------------------------------------
+
+    def _word_cumsum(self) -> np.ndarray:
+        """``cum[k]`` = ones strictly before word ``k`` (lazy cache)."""
+        cum = self._word_cum
+        if cum is None:
+            per_word = _popcounts_per_word(self._bv.words).astype(np.int64)
+            cum = np.zeros(len(per_word) + 1, dtype=np.int64)
+            np.cumsum(per_word, out=cum[1:])
+            self._word_cum = cum
+        return cum
+
+    def rank1_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank1` over an int array of positions.
+
+        One word gather + one table-driven popcount pass for the whole
+        batch; duplicates and arbitrary order are allowed, and every
+        position must lie in ``[0, len(bv))``.
+        """
+        pos = np.ascontiguousarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        lo, hi = int(pos.min()), int(pos.max())
+        if lo < 0 or hi >= len(self._bv):
+            bad = lo if lo < 0 else hi
+            raise IndexError(f"rank index {bad} out of range [0, {len(self._bv)})")
+        cum = self._word_cumsum()
+        word_idx = pos >> 6
+        # Keep bits [0, pos & 63] by shifting them up against the top of
+        # the word (uint64 left shift drops the rest modulo 2^64).
+        shift = (np.int64(63) - (pos & 63)).astype(np.uint64)
+        masked = np.left_shift(self._bv.words[word_idx], shift)
+        return cum[word_idx] + _popcounts_per_word(masked).astype(np.int64)
+
+    def rank0_many(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rank0` (same contract as :meth:`rank1_many`)."""
+        pos = np.ascontiguousarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return pos + 1 - self.rank1_many(pos)
 
     def total_ones(self) -> int:
         if len(self._bv) == 0:

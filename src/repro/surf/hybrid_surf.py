@@ -96,6 +96,25 @@ class HybridSuRF:
             return True
         return self.static.lookup(key)
 
+    def lookup_many(self, keys: Sequence[bytes]) -> list[bool]:
+        """Batched :meth:`lookup`: exact dynamic-stage hits answer
+        directly; the misses go to the static SuRF as one batch."""
+        out = [False] * len(keys)
+        misses: list[int] = []
+        for i, key in enumerate(keys):
+            if self.dynamic.get(key) is not None:
+                out[i] = True
+            else:
+                misses.append(i)
+        if misses:
+            static = self.static.lookup_many([keys[i] for i in misses])
+            for i, found in zip(misses, static):
+                out[i] = found
+        return out
+
+    #: Filter-vocabulary alias (mirrors :class:`~repro.surf.surf.SuRF`).
+    may_contain_many = lookup_many
+
     def lookup_range(self, low: bytes, high: bytes) -> bool:
         """One-sided range membership: any key in [low, high)?"""
         for k, _ in self.dynamic.lower_bound(low):
@@ -103,6 +122,14 @@ class HybridSuRF:
                 return True
             break
         return self.static.lookup_range(low, high)
+
+    def lookup_range_many(
+        self, pairs: Sequence[tuple[bytes, bytes]]
+    ) -> list[bool]:
+        return [self.lookup_range(low, high) for low, high in pairs]
+
+    #: Filter-vocabulary alias (mirrors :class:`~repro.surf.surf.SuRF`).
+    may_contain_range_many = lookup_range_many
 
     # -- accounting -------------------------------------------------------------------
 

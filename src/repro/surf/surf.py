@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Literal, Sequence
 
+import numpy as np
+
 from ..filters.bloom import hash64
 from ..fst.fst import FST, FstIterator
 
@@ -110,6 +112,49 @@ class SuRF:
     #: ``may_contain`` / ``may_contain_range`` (one-sided membership).
     may_contain = lookup
 
+    def lookup_many(self, keys: Sequence[bytes]) -> list[bool]:
+        """Batched :meth:`lookup`: identical answers, one result per key.
+
+        The trie walk goes through the FST's level-synchronous
+        ``_lookup_many``; suffix verification compares the whole hit set
+        against the stored suffix arrays in one vectorized pass.
+        """
+        found = self.fst._lookup_many(keys)
+        out = [False] * len(keys)
+        hits = [i for i, f in enumerate(found) if f is not None]
+        if not hits:
+            return out
+        kidx = np.fromiter(
+            (found[i][0] for i in hits), dtype=np.int64, count=len(hits)
+        )
+        ok = np.ones(len(hits), dtype=bool)
+        if self._tombstones is not None:
+            tomb = np.frombuffer(bytes(self._tombstones), dtype=np.uint8)
+            ok &= (tomb[kidx >> 3] >> (kidx & 7).astype(np.uint8)) & 1 == 0
+        if self.hash_bits:
+            mask = (1 << self.hash_bits) - 1
+            query = np.fromiter(
+                (hash64(keys[i]) & mask for i in hits),
+                dtype=np.int64,
+                count=len(hits),
+            )
+            stored = np.asarray(self._hash_suffixes, dtype=np.int64)[kidx]
+            ok &= query == stored
+        if self.real_bits:
+            query = np.fromiter(
+                (_real_suffix_bits(found[i][1], self.real_bits) for i in hits),
+                dtype=np.int64,
+                count=len(hits),
+            )
+            stored = np.asarray(self._real_suffixes, dtype=np.int64)[kidx]
+            ok &= query == stored
+        for i, good in zip(hits, ok.tolist()):
+            out[i] = good
+        return out
+
+    #: Filter-vocabulary alias (see :meth:`may_contain`).
+    may_contain_many = lookup_many
+
     # -- range operations ---------------------------------------------------------------
 
     def move_to_next(self, key: bytes) -> tuple[FstIterator, bool]:
@@ -151,6 +196,16 @@ class SuRF:
 
     #: Filter-vocabulary alias (see :meth:`may_contain`).
     may_contain_range = lookup_range
+
+    def lookup_range_many(
+        self, pairs: Sequence[tuple[bytes, bytes]]
+    ) -> list[bool]:
+        """Batched :meth:`lookup_range` (range walks stay scalar: each
+        query follows its own seek path)."""
+        return [self.lookup_range(low, high) for low, high in pairs]
+
+    #: Filter-vocabulary alias (see :meth:`may_contain`).
+    may_contain_range_many = lookup_range_many
 
     def count(self, low: bytes, high: bytes) -> int:
         """Approximate number of keys in [low, high); can over-count by

@@ -122,6 +122,8 @@ class DynamicAdapter(Adapter):
             return index.delete(op.key)
         if op.op == "get":
             return index.get(op.key)
+        if op.op == "get_many":
+            return index.get_many(list(op.keys))
         if op.op == "contains":
             return op.key in index
         if op.op == "lower_bound":
@@ -202,6 +204,11 @@ class StaticAdapter(Adapter):
         index = self._ensure()
         if op.op == "get":
             return index.get(op.key)
+        if op.op == "get_many":
+            batch = getattr(index, "get_many", None)
+            if batch is None:
+                return [index.get(k) for k in op.keys]
+            return batch(list(op.keys))
         if op.op == "contains":
             return index.get(op.key) is not None
         if op.op == "lower_bound":
@@ -290,6 +297,22 @@ class FilterAdapter(Adapter):
         flt = self._ensure()
         if op.op in ("get", "contains"):
             return bool(flt.may_contain(op.key))
+        if op.op == "get_many":
+            batch = getattr(flt, "may_contain_many", None)
+            scalar = [bool(flt.may_contain(k)) for k in op.keys]
+            if batch is None:
+                return scalar
+            got = [bool(b) for b in batch(list(op.keys))]
+            # The one-sided oracle contract alone could mask a batch
+            # kernel that diverges from the scalar probe (both answers
+            # may be legal false positives): enforce bit-for-bit
+            # batch == scalar here so divergence is a shrinkable fuzz
+            # failure, not a silent FPR shift.
+            if got != scalar:
+                raise RuntimeError(
+                    f"batch/scalar divergence: batch={got} scalar={scalar}"
+                )
+            return got
         if op.op in ("lower_bound", "scan"):
             return SKIPPED  # no stored values to iterate
         if op.op == "range":
@@ -376,6 +399,21 @@ class HopeAdapter(Adapter):
             if op.key not in self._enc_of:
                 return None
             return self.index.get(op.key)
+        if op.op == "get_many":
+            # Shadowed / absent keys are answered from the collision
+            # bookkeeping; the rest go down as one encoded batch.
+            out: list[Any] = [None] * len(op.keys)
+            batch_idx: list[int] = []
+            for j, k in enumerate(op.keys):
+                if k in self._shadow:
+                    out[j] = self._shadow[k]
+                elif k in self._enc_of:
+                    batch_idx.append(j)
+            if batch_idx:
+                values = self.index.get_many([op.keys[j] for j in batch_idx])
+                for j, v in zip(batch_idx, values):
+                    out[j] = v
+            return out
         if op.op == "contains":
             if op.key in self._shadow:
                 return True

@@ -65,6 +65,10 @@ def _oracle_answer(oracle: SortedOracle, op: Op) -> Any:
         return oracle.delete(op.key)
     if op.op == "get":
         return oracle.get(op.key)
+    if op.op == "get_many":
+        # The batch reference is element-wise scalar gets: batch/scalar
+        # divergence in a structure shows up as an oracle mismatch.
+        return [oracle.get(k) for k in op.keys]
     if op.op == "contains":
         return op.key in oracle
     if op.op == "lower_bound" or op.op == "scan":
@@ -83,8 +87,11 @@ def _oracle_answer(oracle: SortedOracle, op: Op) -> Any:
 
 
 def _values_only(result: Any) -> Any:
-    """Project (key, value) lists to value lists (HOPE comparisons)."""
-    if isinstance(result, list):
+    """Project (key, value) lists to value lists (HOPE comparisons).
+
+    Batch results (``get_many``) are already plain value lists and pass
+    through unchanged."""
+    if isinstance(result, list) and (not result or isinstance(result[0], tuple)):
         return [v for _k, v in result]
     return result
 
@@ -103,7 +110,8 @@ def run_sequence(
     applied = skipped = 0
     for i, op in enumerate(ops):
         is_read = op.op in (
-            "get", "contains", "lower_bound", "scan", "range", "count", "len", "items",
+            "get", "get_many", "contains", "lower_bound", "scan", "range",
+            "count", "len", "items",
         )
         # Filters check reads against the *pre-op* oracle state; the
         # oracle only mutates on write ops, so order per-op is safe.
@@ -130,6 +138,13 @@ def run_sequence(
         if filter_oracle is not None and is_read:
             if op.op in ("get", "contains"):
                 verdict = filter_oracle.check_point(op.key, bool(got))
+            elif op.op == "get_many":
+                verdict = "ok"
+                for k, answer in zip(op.keys, got):
+                    v = filter_oracle.check_point(k, bool(answer))
+                    if v not in ("ok", "fp"):
+                        verdict = v
+                        break
             elif op.op == "range":
                 verdict = filter_oracle.check_range(op.key, op.high, bool(got))
             elif op.op == "count":

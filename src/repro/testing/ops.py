@@ -36,6 +36,7 @@ OP_NAMES = (
     "update",
     "delete",
     "get",
+    "get_many",
     "contains",
     "lower_bound",
     "scan",
@@ -49,8 +50,13 @@ OP_NAMES = (
 
 _WRITE_OPS = ("insert", "update", "delete")
 _WRITE_WEIGHTS = (0.62, 0.18, 0.20)
-_READ_OPS = ("get", "contains", "lower_bound", "scan", "range", "count", "len")
-_READ_WEIGHTS = (0.40, 0.10, 0.16, 0.10, 0.12, 0.06, 0.06)
+_READ_OPS = (
+    "get", "contains", "lower_bound", "scan", "range", "count", "len",
+    "get_many",
+)
+_READ_WEIGHTS = (0.36, 0.10, 0.16, 0.10, 0.12, 0.06, 0.06, 0.04)
+#: Largest key batch drawn for a ``get_many`` op.
+_MAX_BATCH_KEYS = 8
 
 #: Mean burst length for the write/read phase structure.
 _MEAN_BURST = 12
@@ -74,11 +80,14 @@ class Op:
     value: int | None = None
     high: bytes | None = None
     count: int | None = None
+    keys: tuple[bytes, ...] | None = None
 
     def describe(self) -> str:
         parts = [self.op]
         if self.key is not None:
             parts.append(f"key={self.key!r}")
+        if self.keys is not None:
+            parts.append(f"keys={list(self.keys)!r}")
         if self.high is not None:
             parts.append(f"high={self.high!r}")
         if self.value is not None:
@@ -185,6 +194,11 @@ def generate_ops(
                 a, b = draw_key(), draw_key()
                 low, high = (a, b) if a <= b else (b, a)
                 ops.append(Op(name, key=low, high=high))
+            elif name == "get_many":
+                batch = tuple(
+                    draw_key() for _ in range(1 + rng.randrange(_MAX_BATCH_KEYS))
+                )
+                ops.append(Op(name, keys=batch))
             else:  # len
                 ops.append(Op("len"))
         # Burst boundary: occasional structural ops.
@@ -214,6 +228,8 @@ def ops_to_json(ops: Sequence[Op], **meta) -> str:
             rec["value"] = op.value
         if op.count is not None:
             rec["count"] = op.count
+        if op.keys is not None:
+            rec["keys"] = [k.hex() for k in op.keys]
         records.append(rec)
     return json.dumps({**meta, "ops": records}, indent=2)
 
@@ -232,6 +248,9 @@ def ops_from_json(text: str) -> tuple[list[Op], dict]:
                 value=rec.get("value"),
                 high=bytes.fromhex(rec["high"]) if "high" in rec else None,
                 count=rec.get("count"),
+                keys=tuple(bytes.fromhex(h) for h in rec["keys"])
+                if "keys" in rec
+                else None,
             )
         )
     meta = {k: v for k, v in doc.items() if k != "ops"}

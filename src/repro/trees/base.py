@@ -11,7 +11,7 @@ this is what makes the paper's memory comparisons meaningful in Python
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 #: Modeled size of one pointer / tuple reference (64-bit machine).
 POINTER_BYTES = 8
@@ -82,6 +82,16 @@ class OrderedIndex(abc.ABC):
         """Modeled memory footprint (C layout), excluding the records."""
 
     # -- derived operations ------------------------------------------------
+
+    def get_many(self, keys: Sequence[bytes]) -> list[Any | None]:
+        """Batched point lookup: one result slot per key, in order.
+
+        The default is a scalar loop so every structure answers the
+        batch vocabulary; hot structures override it with native
+        data-parallel kernels (must stay bit-for-bit consistent with
+        :meth:`get`).
+        """
+        return [self.get(key) for key in keys]
 
     def scan(self, key: bytes, count: int) -> list[tuple[bytes, Any]]:
         """Short range scan: first ``count`` pairs with key >= argument."""

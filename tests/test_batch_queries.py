@@ -1,0 +1,184 @@
+"""Batch query vocabulary: batch results must equal scalar results.
+
+Every structure answering ``get_many`` / ``lookup_many`` /
+``lookup_range_many`` is held to bit-for-bit agreement with its own
+scalar path over adversarial query mixes (present keys, extensions,
+prefixes, perturbed near-misses, the empty key).
+"""
+
+import random
+
+import pytest
+
+from repro.compact import CompactBPlusTree, CompressedBPlusTree
+from repro.filters.bloom import BloomFilter
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.fst import FST
+from repro.hope import HopeEncoder, HopeIndex
+from repro.hope.integration import HopeSuRF
+from repro.hybrid import hybrid_btree, hybrid_compressed_btree
+from repro.surf import SuRF
+from repro.surf.hybrid_surf import HybridSuRF
+from repro.trees import BPlusTree
+from repro.workloads.keys import email_keys
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return sorted(set(email_keys(2000, seed=42)))
+
+
+@pytest.fixture(scope="module")
+def queries(keys):
+    rnd = random.Random(4242)
+    out = []
+    for k in keys[::3]:
+        out.append(k)
+        out.append(k + b"x")
+        out.append(k[: max(1, len(k) // 2)])
+        kb = bytearray(k)
+        kb[rnd.randrange(len(kb))] ^= 0xFF
+        out.append(bytes(kb))
+    out.append(b"")
+    rnd.shuffle(out)
+    return out
+
+
+class TestFstBatch:
+    @pytest.mark.parametrize(
+        "fst_kwargs",
+        [{}, {"dense_levels": 0}, {"dense_levels": 64}, {"truncate": True}],
+        ids=["default", "all-sparse", "all-dense", "truncated"],
+    )
+    def test_get_many_matches_scalar(self, keys, queries, fst_kwargs):
+        fst = FST(keys, list(range(len(keys))), **fst_kwargs)
+        assert fst.get_many(queries) == [fst.get(q) for q in queries]
+
+    def test_empty_batch(self, keys):
+        fst = FST(keys, list(range(len(keys))))
+        assert fst.get_many([]) == []
+
+    def test_empty_trie(self, queries):
+        fst = FST([], [])
+        assert fst.get_many(queries) == [None] * len(queries)
+
+
+class TestSurfBatch:
+    @pytest.mark.parametrize(
+        "surf_kwargs",
+        [
+            {"suffix_type": "none"},
+            {"suffix_type": "hash", "hash_bits": 8},
+            {"suffix_type": "real", "real_bits": 8},
+            {"suffix_type": "mixed", "hash_bits": 4, "real_bits": 4},
+        ],
+        ids=["base", "hash", "real", "mixed"],
+    )
+    def test_lookup_many_matches_scalar(self, keys, queries, surf_kwargs):
+        surf = SuRF(keys, **surf_kwargs)
+        for k in keys[::13]:  # exercise the tombstone check too
+            surf.delete(k)
+        assert surf.lookup_many(queries) == [surf.lookup(q) for q in queries]
+
+    def test_lookup_range_many(self, keys, queries):
+        surf = SuRF(keys, suffix_type="real", real_bits=4)
+        pairs = [
+            (min(a, b), max(a, b))
+            for a, b in zip(queries[::2], queries[1::2])
+        ][:64]
+        assert surf.lookup_range_many(pairs) == [
+            surf.lookup_range(lo, hi) for lo, hi in pairs
+        ]
+
+    def test_hybrid_surf(self, keys, queries):
+        hs = HybridSuRF(keys[: len(keys) // 2])
+        for k in keys[len(keys) // 2 :: 2]:
+            hs.insert(k)
+        for k in keys[::17]:
+            hs.delete(k)
+        assert hs.lookup_many(queries) == [hs.lookup(q) for q in queries]
+
+
+class TestFilterBatch:
+    def test_bloom(self, keys, queries):
+        bloom = BloomFilter(keys, bits_per_key=10)
+        assert bloom.may_contain_many(queries) == [
+            bloom.may_contain(q) for q in queries
+        ]
+        assert bloom.may_contain_many([]) == []
+
+    def test_bloom_incremental_fill(self, keys, queries):
+        bloom = BloomFilter([], expected_keys=len(keys))
+        for k in keys:
+            bloom._set(k)
+        assert bloom.may_contain_many(queries) == [
+            bloom.may_contain(q) for q in queries
+        ]
+
+    def test_prefix_bloom(self, keys, queries):
+        pb = PrefixBloomFilter(keys, prefix_len=6)
+        assert pb.may_contain_many(queries) == [
+            pb.may_contain(q) for q in queries
+        ]
+
+
+class TestCompactBatch:
+    @pytest.mark.parametrize("cls", [CompactBPlusTree, CompressedBPlusTree])
+    def test_get_many_matches_scalar(self, cls, keys, queries):
+        tree = cls([(k, i) for i, k in enumerate(keys)])
+        assert tree.get_many(queries) == [tree.get(q) for q in queries]
+        assert tree.get_many([]) == []
+
+    @pytest.mark.parametrize("cls", [CompactBPlusTree, CompressedBPlusTree])
+    def test_empty_tree(self, cls, queries):
+        tree = cls([])
+        assert tree.get_many(queries) == [None] * len(queries)
+
+
+class TestHopeBatch:
+    @pytest.mark.parametrize("scheme", ["single", "double", "3grams", "alm"])
+    def test_encode_batch_matches_scalar(self, scheme, keys, queries):
+        enc = HopeEncoder.from_sample(scheme, keys[::7], dict_limit=256)
+        assert enc.encode_batch(queries) == [enc.encode(q) for q in queries]
+        assert enc.encode_batch([]) == []
+
+    def test_hope_index_get_many(self, keys, queries):
+        enc = HopeEncoder.from_sample("single", keys[::7])
+        index = HopeIndex(BPlusTree, enc)
+        for i, k in enumerate(keys):
+            index.insert(k, i)
+        assert index.get_many(queries) == [index.get(q) for q in queries]
+
+    def test_hope_surf_lookup_many(self, keys, queries):
+        enc = HopeEncoder.from_sample("single", keys[::7])
+        hsurf = HopeSuRF(keys, enc, suffix_type="real", real_bits=4)
+        assert hsurf.lookup_many(queries) == [hsurf.lookup(q) for q in queries]
+
+
+class TestHybridBatch:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            hybrid_btree,
+            hybrid_compressed_btree,
+            lambda: hybrid_btree(use_bloom=False),
+            lambda: hybrid_btree(merge_strategy="cold"),
+        ],
+        ids=["btree", "compressed", "no-bloom", "merge-cold"],
+    )
+    def test_get_many_matches_scalar(self, factory, keys, queries):
+        hybrid = factory()
+        for i, k in enumerate(keys):
+            hybrid.insert(k, i)
+        for k in keys[::9]:
+            hybrid.delete(k)
+        assert hybrid.get_many(queries) == [hybrid.get(q) for q in queries]
+        assert hybrid.get_many([]) == []
+
+
+class TestDefaultVocabulary:
+    def test_dynamic_tree_default_loop(self, keys, queries):
+        tree = BPlusTree()
+        for i, k in enumerate(keys):
+            tree.insert(k, i)
+        assert tree.get_many(queries) == [tree.get(q) for q in queries]
