@@ -56,6 +56,22 @@ class ClockNodeCache:
         self._values[key] = (self._hand, value)
         self._hand = (self._hand + 1) % self.capacity
 
+    def evict(self, key: Hashable) -> bool:
+        """Drop ``key`` if cached, freeing its slot immediately.
+
+        Lets owners invalidate entries whose backing object is gone
+        (e.g. blocks of an SSTable dropped by compaction) instead of
+        leaving dead entries to squat on capacity until the hand
+        happens around.
+        """
+        hit = self._values.pop(key, None)
+        if hit is None:
+            return False
+        slot, _ = hit
+        self._slots[slot] = None
+        self._ref[slot] = False
+        return True
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._values
 

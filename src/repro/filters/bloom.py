@@ -116,3 +116,36 @@ class BloomFilter:
 
     def memory_bytes(self) -> int:
         return (self.n_bits + 7) // 8
+
+    # -- serialization (persisted per-SSTable by the durable LSM) ---------
+
+    def to_bytes(self) -> bytes:
+        """Little-endian header + the raw bit-array words."""
+        import struct
+
+        header = struct.pack(
+            "<4sQQdI", b"BLM1", self.n_keys, self.n_bits, self.bits_per_key, self.k
+        )
+        return header + self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        import struct
+
+        header_size = struct.calcsize("<4sQQdI")
+        magic, n_keys, n_bits, bits_per_key, k = struct.unpack_from(
+            "<4sQQdI", data, 0
+        )
+        if magic != b"BLM1":
+            raise ValueError("not a BloomFilter blob (bad magic)")
+        words = np.frombuffer(data[header_size:], dtype=np.uint64).copy()
+        if len(words) != (n_bits + 63) // 64:
+            raise ValueError("corrupt BloomFilter blob: word count mismatch")
+        flt = cls.__new__(cls)
+        flt.n_keys = n_keys
+        flt.bits_per_key = bits_per_key
+        flt.n_bits = n_bits
+        flt.k = k
+        flt._words = words
+        flt._word_ints = words.tolist()
+        return flt

@@ -1,6 +1,18 @@
-"""LSM-tree storage engine with simulated I/O (Chapter 4 substrate)."""
+"""LSM-tree storage engine (Chapter 4 substrate): simulated or durable."""
 
 from .engine import IoStats, LSMTree
-from .sstable import SSTable, TOMBSTONE
+from .fs import FileSystem, OsFileSystem
+from .manifest import ManifestState
+from .sstable import DiskSSTable, SSTable, TOMBSTONE, write_sstable
 
-__all__ = ["LSMTree", "SSTable", "TOMBSTONE", "IoStats"]
+__all__ = [
+    "LSMTree",
+    "SSTable",
+    "DiskSSTable",
+    "write_sstable",
+    "TOMBSTONE",
+    "IoStats",
+    "FileSystem",
+    "OsFileSystem",
+    "ManifestState",
+]

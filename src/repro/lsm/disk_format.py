@@ -1,0 +1,166 @@
+"""On-disk encodings shared by the SSTable, WAL, and manifest.
+
+Every persisted unit is a *frame*::
+
+    <u32 crc32(payload)> <u32 len(payload)> <payload>
+
+so torn and corrupted writes are detected at the first read: a frame
+whose length runs past the file or whose CRC mismatches is rejected
+(``FrameError``), and sequential readers (the WAL) treat it as
+end-of-log.  This is the checksummed-block discipline of the
+FB+-tree / RocksDB file formats.
+
+Values are typed, not pickled: the durable engine stores ints, bytes,
+UTF-8 strings, and tombstones.  Anything else raises ``TypeError`` at
+write time — a storage format must not silently depend on pickle.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+#: Marker value for deletions (RocksDB tombstones).  Defined here, at
+#: the bottom of the lsm import graph, and re-exported by
+#: :mod:`repro.lsm.sstable` for the public API.
+TOMBSTONE = object()
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_FRAME_HEADER = struct.Struct("<II")
+
+#: Value-codec tags.
+_VAL_TOMBSTONE = 0
+_VAL_INT = 1
+_VAL_BYTES = 2
+_VAL_STR = 3
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+class FrameError(ValueError):
+    """A frame failed its length or CRC check (torn/corrupt write)."""
+
+
+# -- value codec -------------------------------------------------------------
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a storable value (int / bytes / str / TOMBSTONE)."""
+    if value is TOMBSTONE:
+        return bytes([_VAL_TOMBSTONE])
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("durable LSM values must be int, bytes, or str")
+    if isinstance(value, int):
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise TypeError("int values must fit in a signed 64-bit word")
+        return bytes([_VAL_INT]) + struct.pack("<q", value)
+    if isinstance(value, bytes):
+        return bytes([_VAL_BYTES]) + value
+    if isinstance(value, str):
+        return bytes([_VAL_STR]) + value.encode("utf-8")
+    raise TypeError(
+        f"durable LSM values must be int, bytes, or str (got {type(value).__name__})"
+    )
+
+
+def decode_value(data: bytes) -> Any:
+    if not data:
+        raise FrameError("empty value encoding")
+    tag = data[0]
+    if tag == _VAL_TOMBSTONE:
+        return TOMBSTONE
+    if tag == _VAL_INT:
+        if len(data) != 9:
+            raise FrameError("bad int value length")
+        return struct.unpack("<q", data[1:])[0]
+    if tag == _VAL_BYTES:
+        return data[1:]
+    if tag == _VAL_STR:
+        return data[1:].decode("utf-8")
+    raise FrameError(f"unknown value tag {tag}")
+
+
+# -- frames ------------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(zlib.crc32(payload), len(payload)) + payload
+
+
+def read_frame(data: bytes, offset: int = 0) -> tuple[bytes, int]:
+    """Decode one frame at ``offset``; returns (payload, next_offset).
+
+    Raises :class:`FrameError` on truncation or checksum mismatch.
+    """
+    if offset + _FRAME_HEADER.size > len(data):
+        raise FrameError("truncated frame header")
+    crc, length = _FRAME_HEADER.unpack_from(data, offset)
+    start = offset + _FRAME_HEADER.size
+    payload = data[start : start + length]
+    if len(payload) != length:
+        raise FrameError("truncated frame payload")
+    if zlib.crc32(payload) != crc:
+        raise FrameError("frame CRC mismatch")
+    return payload, start + length
+
+
+# -- entry blocks ------------------------------------------------------------
+
+
+def encode_block(pairs: list[tuple[bytes, Any]]) -> bytes:
+    """One SSTable block: framed, CRC-checked entry run."""
+    out = bytearray(_U32.pack(len(pairs)))
+    for key, value in pairs:
+        val = encode_value(value)
+        out += _U32.pack(len(key))
+        out += key
+        out += _U32.pack(len(val))
+        out += val
+    return frame(bytes(out))
+
+
+def decode_block(data: bytes) -> list[tuple[bytes, Any]]:
+    """Inverse of :func:`encode_block` over one framed block."""
+    payload, _ = read_frame(data)
+    (count,) = _U32.unpack_from(payload, 0)
+    offset = 4
+    pairs: list[tuple[bytes, Any]] = []
+    for _ in range(count):
+        (klen,) = _U32.unpack_from(payload, offset)
+        offset += 4
+        key = payload[offset : offset + klen]
+        offset += klen
+        (vlen,) = _U32.unpack_from(payload, offset)
+        offset += 4
+        pairs.append((key, decode_value(payload[offset : offset + vlen])))
+        offset += vlen
+    if offset != len(payload):
+        raise FrameError("trailing bytes in block payload")
+    return pairs
+
+
+# -- length-prefixed byte strings (for footers / manifests) ------------------
+
+
+def pack_bytes(b: bytes) -> bytes:
+    return _U32.pack(len(b)) + b
+
+
+def unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
+    (n,) = _U32.unpack_from(data, offset)
+    offset += 4
+    out = data[offset : offset + n]
+    if len(out) != n:
+        raise FrameError("truncated byte string")
+    return out, offset + n
+
+
+def pack_u64(v: int) -> bytes:
+    return _U64.pack(v)
+
+
+def unpack_u64(data: bytes, offset: int) -> tuple[int, int]:
+    return _U64.unpack_from(data, offset)[0], offset + 8

@@ -1,4 +1,4 @@
-"""A leveled LSM-tree storage engine with simulated I/O (Section 4.2).
+"""A leveled LSM-tree storage engine (Section 4.2), durable or simulated.
 
 The architecture mirrors Figure 4.2: writes land in a MemTable; full
 MemTables become level-0 SSTables; compaction merges runs downward so
@@ -9,15 +9,51 @@ filters live in the always-resident table cache.
 Query execution follows the Figure 4.3 flowcharts, and performance is
 reported as simulated I/Os: every block fetch that misses the cache
 costs one I/O.
+
+Two modes share all of that logic:
+
+* **in-memory** (``path=None``): SSTables live on the heap, I/O is
+  simulated — the original reproduction substrate;
+* **durable** (``path=...``): writes are sequenced through a
+  write-ahead log with batched fsync (group commit), flushes and
+  compactions write CRC-framed table files and commit them through a
+  versioned manifest (write-temp → sync → rename), and
+  :meth:`LSMTree.open` recovers exactly the last acknowledged state —
+  a write is acknowledged once its WAL record is fsynced
+  (``seq <= last_acked_seq``).
+
+Crash-safety invariants the recovery tests machine-check:
+
+1. a table file is always fully written and fsynced before any
+   manifest references it;
+2. the manifest version switch (CURRENT rename) is the only commit
+   point — a crash on either side leaves a consistent old/new state;
+3. the previous WAL segment is deleted only after the manifest that
+   supersedes it is installed;
+4. recovery garbage-collects every file the current manifest does not
+   reference, so half-installed flushes cannot resurrect.
 """
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Iterator
 
 from ..compact.node_cache import ClockNodeCache
-from .sstable import DEFAULT_BLOCK_ENTRIES, SSTable, TOMBSTONE
+from . import manifest as manifest_mod
+from . import wal as wal_mod
+from .fs import FileSystem, OsFileSystem, join
+from .manifest import ManifestState
+from .sstable import (
+    DEFAULT_BLOCK_ENTRIES,
+    DiskSSTable,
+    SSTable,
+    SSTableBase,
+    TOMBSTONE,
+    table_file_name,
+    write_sstable,
+)
 
 
 class IoStats:
@@ -46,6 +82,9 @@ class LSMTree:
         level_fanout: int = 10,
         block_cache_blocks: int = 128,
         filter_factory: Callable | None = None,
+        path: str | None = None,
+        fs: FileSystem | None = None,
+        wal_sync_every: int = 32,
     ) -> None:
         self._memtable: dict[bytes, Any] = {}
         self._memtable_entries = memtable_entries
@@ -56,34 +95,230 @@ class LSMTree:
         self._filter_factory = filter_factory
         #: levels[0] is newest-first and may overlap; levels[i >= 1]
         #: are sorted by min_key with disjoint ranges.
-        self.levels: list[list[SSTable]] = [[]]
+        self.levels: list[list[SSTableBase]] = [[]]
         self._block_cache = ClockNodeCache(block_cache_blocks)
         self.io = IoStats()
+        #: Engine-scoped table-id allocator (persisted via the manifest
+        #: in durable mode, so recovered engines never reuse an id).
+        self._next_table_id = 0
+        #: Monotonic write sequence; every put/delete gets the next one.
+        self._seq = 0
+        #: Every seq <= this is covered by installed SSTables.
+        self._flushed_seq = 0
+        #: Every seq <= this is known durable via a *committed* manifest
+        #: install — the conservative floor of the ack watermark.
+        self._acked_floor = 0
+
+        self.path = path
+        self._fs = fs if fs is not None else (OsFileSystem() if path else None)
+        self._wal: wal_mod.WalWriter | None = None
+        self._wal_sync_every = wal_sync_every
+        self._wal_index = 0
+        self._wal_name = ""
+        self._manifest_version = 0
+        self._closed = False
+        if path is not None:
+            self._open_durable()
+
+    @classmethod
+    def open(cls, path: str, fs: FileSystem | None = None, **config) -> "LSMTree":
+        """Open (or create) a durable engine at ``path``, recovering to
+        exactly the last acknowledged state after any crash."""
+        return cls(path=path, fs=fs, **config)
+
+    # -- durability: open / recover ------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.path is not None
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent accepted write."""
+        return self._seq
+
+    @property
+    def last_acked_seq(self) -> int:
+        """Writes with seq <= this are guaranteed to survive a crash.
+
+        In-memory engines have no durability, so every accepted write
+        counts as acknowledged.  In durable mode a write is acked by
+        either a WAL group-commit fsync or a committed manifest
+        install — never by work still in flight: during a flush the
+        watermark stays at its pre-flush value until the CURRENT
+        rename lands, because only that rename makes the new SSTable
+        reachable by recovery.
+        """
+        if self._wal is None:
+            return self._seq
+        return max(self._acked_floor, self._wal.synced_seq)
+
+    def _open_durable(self) -> None:
+        fs, path = self._fs, self.path
+        fs.mkdir(path)
+        state = manifest_mod.load_current(fs, path)
+        if state is not None:
+            self._recover(state)
+        else:
+            self._start_wal(1)
+            self._install_manifest()
+        self._collect_garbage()
+
+    def _recover(self, state: ManifestState) -> None:
+        fs, path = self._fs, self.path
+        self._manifest_version = state.version
+        self._next_table_id = state.next_table_id
+        self._seq = self._flushed_seq = self._acked_floor = state.last_seq
+        self.levels = [
+            [
+                DiskSSTable(
+                    fs,
+                    join(path, table_file_name(tid)),
+                    filter_factory=self._filter_factory,
+                )
+                for tid in level
+            ]
+            for level in state.levels
+        ] or [[]]
+        # Replay the WAL into the memtable; a torn tail ends the replay
+        # (those records were never acknowledged).
+        records = wal_mod.replay(fs, join(path, state.wal_name))
+        self._start_wal(state.wal_index + 1)
+        for seq, key, value in records:
+            if seq <= state.last_seq:
+                continue  # already covered by an installed SSTable
+            self._memtable[key] = value
+            self._seq = max(self._seq, seq)
+            # Re-log into the fresh segment so recovered writes stay
+            # durable once the old segment is garbage-collected.
+            if value is TOMBSTONE:
+                self._wal.append_delete(seq, key)
+            else:
+                self._wal.append_put(seq, key, value)
+        self._wal.sync()
+        self._install_manifest()
+
+    def _start_wal(self, index: int) -> None:
+        self._wal_index = index
+        self._wal_name = wal_mod.wal_file_name(index)
+        self._wal = wal_mod.WalWriter(
+            self._fs, join(self.path, self._wal_name), self._wal_sync_every
+        )
+        # The fresh segment starts at the current sequence but claims
+        # nothing durable: until the manifest that pairs with it is
+        # installed, recovery still runs from the previous segment.
+        self._wal.last_seq = self._seq
+        self._wal.synced_seq = 0
+
+    def _install_manifest(self) -> None:
+        self._manifest_version += 1
+        state = ManifestState(
+            version=self._manifest_version,
+            next_table_id=self._next_table_id,
+            last_seq=self._flushed_seq,
+            wal_name=self._wal_name,
+            wal_index=self._wal_index,
+            levels=[[t.table_id for t in level] for level in self.levels],
+        )
+        manifest_mod.install(self._fs, self.path, state)
+        # The superseded manifest is garbage now that CURRENT moved on.
+        old = join(self.path, manifest_mod.manifest_file_name(self._manifest_version - 1))
+        if self._fs.exists(old):
+            self._fs.remove(old)
+
+    def _collect_garbage(self) -> None:
+        """Remove every file the installed manifest does not reference."""
+        referenced = {
+            manifest_mod.CURRENT,
+            manifest_mod.manifest_file_name(self._manifest_version),
+            self._wal_name,
+        }
+        for level in self.levels:
+            for table in level:
+                referenced.add(table_file_name(table.table_id))
+        for name in self._fs.listdir(self.path):
+            if name not in referenced:
+                self._fs.remove(join(self.path, name))
+
+    def sync(self) -> None:
+        """Force the WAL durability barrier (acknowledge everything)."""
+        if self._wal is not None:
+            self._wal.sync()
+
+    def close(self) -> None:
+        """Sync and release the WAL; the engine must not be used after."""
+        if self._wal is not None and not self._closed:
+            self._wal.close()
+        self._closed = True
 
     # -- write path --------------------------------------------------------------
 
     def put(self, key: bytes, value: Any) -> None:
+        self._seq += 1
+        if self._wal is not None:
+            self._wal.append_put(self._seq, key, value)
         self._memtable[key] = value
         if len(self._memtable) >= self._memtable_entries:
             self.flush_memtable()
 
     def delete(self, key: bytes) -> None:
-        self.put(key, TOMBSTONE)
+        self._seq += 1
+        if self._wal is not None:
+            self._wal.append_delete(self._seq, key)
+        self._memtable[key] = TOMBSTONE
+        if len(self._memtable) >= self._memtable_entries:
+            self.flush_memtable()
 
     def flush_memtable(self) -> None:
         if not self._memtable:
             return
         pairs = sorted(self._memtable.items())
-        self.levels[0].insert(0, self._make_table(pairs))
+        if self.durable:
+            table: SSTableBase = self._write_table(pairs)
+            self.levels[0].insert(0, table)
+            old_wal = self._wal
+            flush_seq = self._seq
+            acked_before = self.last_acked_seq
+            self._start_wal(self._wal_index + 1)
+            self._flushed_seq = flush_seq
+            self._install_manifest()
+            # The CURRENT rename just committed: every write the new
+            # table covers is durable now (and not one moment sooner).
+            self._acked_floor = max(acked_before, flush_seq)
+            # Only now is the old segment redundant (invariant 3).
+            old_wal.abandon()
+            self._fs.remove(old_wal.path)
+        else:
+            self.levels[0].insert(0, self._make_table(pairs))
         self._memtable = {}
         self._maybe_compact()
+
+    def _alloc_table_id(self) -> int:
+        tid = self._next_table_id
+        self._next_table_id += 1
+        return tid
 
     def _make_table(self, pairs) -> SSTable:
         return SSTable(
             pairs,
             block_entries=self._block_entries,
             filter_factory=self._filter_factory,
+            table_id=self._alloc_table_id(),
         )
+
+    def _write_table(self, pairs) -> DiskSSTable:
+        """Write one durable table file (fsynced before it returns)."""
+        tid = self._alloc_table_id()
+        file_path = join(self.path, table_file_name(tid))
+        write_sstable(
+            self._fs,
+            file_path,
+            pairs,
+            tid,
+            block_entries=self._block_entries,
+            filter_factory=self._filter_factory,
+        )
+        return DiskSSTable(self._fs, file_path, filter_factory=self._filter_factory)
 
     # -- compaction -----------------------------------------------------------------
 
@@ -114,14 +349,29 @@ class LSMTree:
         overlapping = [t for t in next_level if t.overlaps(lo, hi)]
         keep = [t for t in next_level if not t.overlaps(lo, hi)]
         merged = self._merge_tables(sources, overlapping, drop_tombstones=level + 2 == len(self.levels))
+        make = self._write_table if self.durable else self._make_table
         new_tables = [
-            self._make_table(merged[i : i + self._sstable_entries])
+            make(merged[i : i + self._sstable_entries])
             for i in range(0, len(merged), self._sstable_entries)
         ]
         self.levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
+        if self.durable:
+            self._install_manifest()
+        # The replaced tables left ``self.levels``: their cached blocks
+        # are dead weight now — evict them so live blocks get the
+        # capacity (and delete the files once the manifest no longer
+        # references them).
+        for table in list(sources) + overlapping:
+            self._drop_table(table)
+
+    def _drop_table(self, table: SSTableBase) -> None:
+        for idx in range(table.n_blocks):
+            self._block_cache.evict((table.table_id, idx))
+        if self.durable:
+            self._fs.remove(table.path)
 
     def _merge_tables(
-        self, newer: list[SSTable], older: list[SSTable], drop_tombstones: bool
+        self, newer: list[SSTableBase], older: list[SSTableBase], drop_tombstones: bool
     ) -> list[tuple[bytes, Any]]:
         """Newest-wins merge of runs (``newer`` is newest-first)."""
         merged: dict[bytes, Any] = {}
@@ -138,11 +388,11 @@ class LSMTree:
 
     # -- block access with simulated I/O ------------------------------------------------
 
-    def _read_block(self, table: SSTable, block_idx: int) -> list[tuple[bytes, Any]]:
+    def _read_block(self, table: SSTableBase, block_idx: int) -> list[tuple[bytes, Any]]:
         cache_key = (table.table_id, block_idx)
         before = self._block_cache.misses
         block = self._block_cache.get_or_load(
-            cache_key, lambda: table.blocks[block_idx]
+            cache_key, lambda: table.read_block(block_idx)
         )
         if self._block_cache.misses > before:
             self.io.block_reads += 1
@@ -166,7 +416,7 @@ class LSMTree:
                 return None if value is TOMBSTONE else value
         return None
 
-    def _candidates_for(self, key: bytes) -> Iterator[SSTable]:
+    def _candidates_for(self, key: bytes) -> Iterator[SSTableBase]:
         for table in self.levels[0]:
             if table.min_key <= key <= table.max_key:
                 yield table
@@ -182,7 +432,11 @@ class LSMTree:
 
         With SuRF filters, candidate keys come from the filters and at
         most one block is fetched; without them, one block per
-        candidate SSTable is fetched (the I/O the paper saves).
+        candidate SSTable is fetched (the I/O the paper saves).  When
+        the winner turns out to be a tombstone, the engine switches to
+        an iterative merged cursor (:meth:`_merge_seek`) that skips the
+        whole tombstone run reading each block at most once — a run of
+        100k deleted keys costs O(blocks) reads and O(1) stack.
         """
         best: tuple[bytes, Any] | None = None
         # MemTable candidate (no I/O).
@@ -202,54 +456,122 @@ class LSMTree:
                 cand = self._table_seek(table, low, high, best)
                 if cand is not None and (best is None or cand[0] < best[0]):
                     best = cand
-        if best is None or best[1] is TOMBSTONE:
-            # Tombstones shadow older entries; step past them.
-            if best is not None:
-                return self.seek(best[0] + b"\x00", high)
+        if best is None:
             return None
+        if best[1] is TOMBSTONE:
+            # Tombstones shadow older entries; skip the run iteratively.
+            return self._merge_seek(best[0], high)
         if high is not None and best[0] > high:
             return None
         return best
 
+    def _merge_seek(
+        self, start: bytes, high: bytes | None
+    ) -> tuple[bytes, Any] | None:
+        """First live entry >= ``start`` via a newest-wins k-way merge.
+
+        One sorted cursor per source (memtable, each L0 table, each
+        deeper level) advances through a heap; for duplicate keys the
+        lowest-rank (newest) source wins.  Every block along the skip
+        is read at most once, so a contiguous tombstone run costs
+        O(run / block_entries) block reads, not O(run) seek restarts.
+        """
+        iters: list[Iterator[tuple[bytes, Any]]] = [
+            iter(sorted((k, v) for k, v in self._memtable.items() if k >= start))
+        ]
+        for table in self.levels[0]:
+            if table.max_key >= start:
+                iters.append(self._table_cursor(table, start))
+        for level in self.levels[1:]:
+            iters.append(self._level_cursor(level, start))
+        # Heap entries are (key, rank, value); ranks are unique, so the
+        # (unorderable) values never get compared.
+        heap: list[tuple[bytes, int, Any]] = []
+        for rank, it in enumerate(iters):
+            first = next(it, None)
+            if first is not None:
+                heap.append((first[0], rank, first[1]))
+        heapq.heapify(heap)
+        while heap:
+            key = heap[0][0]
+            if high is not None and key > high:
+                return None
+            # Pop every version of ``key``; the first popped has the
+            # lowest rank (newest source) and decides liveness.
+            winner = heap[0][2]
+            while heap and heap[0][0] == key:
+                _, rank, _ = heapq.heappop(heap)
+                nxt = next(iters[rank], None)
+                if nxt is not None:
+                    heapq.heappush(heap, (nxt[0], rank, nxt[1]))
+            if winner is not TOMBSTONE:
+                return (key, winner)
+        return None
+
+    def _table_cursor(
+        self, table: SSTableBase, start: bytes
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Entries >= ``start`` from one table, block by cached block."""
+        block_idx = table.block_for(start)
+        block = self._read_block(table, block_idx)
+        for entry in block[bisect_left(block, (start,)) :]:
+            yield entry
+        for block_idx in range(block_idx + 1, table.n_blocks):
+            yield from self._read_block(table, block_idx)
+
+    def _level_cursor(
+        self, level: list[SSTableBase], start: bytes
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Entries >= ``start`` across one disjoint sorted level."""
+        idx = max(bisect_right([t.min_key for t in level], start) - 1, 0)
+        for table in level[idx:]:
+            if table.max_key < start:
+                continue
+            yield from self._table_cursor(table, max(start, table.min_key))
+
     def _filtered_seek(
         self,
-        candidates: list[SSTable],
+        candidates: list[SSTableBase],
         low: bytes,
         high: bytes | None,
         best: tuple[bytes, Any] | None,
     ) -> tuple[bytes, Any] | None:
         """The paper's SuRF seek (Section 4.2): obtain each table's
-        candidate *key prefix* from its filter (no I/O), find the global
-        minimum, and fetch exactly one block — plus extra fetches only
-        for ambiguous prefix ties or fp-flagged boundaries."""
-        prefixed: list[tuple[bytes, SSTable]] = []
+        candidate *key prefix* from its filter (no I/O) and resolve the
+        winner with as few block fetches as the prefixes allow.
+
+        A filter prefix is a *truncated lower bound* on the table's
+        first key >= ``low`` — truncation can make prefixes from
+        different tables conflate distinct keys, so prefix order alone
+        cannot pick the winner (an earlier version skipped tables whose
+        prefix was not string-prefix-related to the minimum, silently
+        dropping newer versions and tombstones of the winning key).
+        The only sound prefix deduction is pruning: ``prefix > k``
+        proves the table holds nothing in ``[low, k]``.  So every
+        candidate is consulted newest-first, and :meth:`_table_seek`'s
+        internal prefix prune skips the block fetch whenever the prefix
+        already exceeds the running winner."""
+        prefixed: list[tuple[bytes, SSTableBase]] = []
         for table in candidates:
             it, _fp = table.filter_seek(low)
             if not it.valid:
-                continue
+                continue  # sound: no stored entry (nor prefix) >= low
             prefixed.append((it.key(), table))
         if not prefixed:
             return None
         min_prefix = min(p for p, _ in prefixed)
         if high is not None and min_prefix > high:
             return None  # every candidate starts past the bound: no I/O
-        # Resolve the winner: any table whose prefix ties with or is a
-        # prefix-relative of the minimum needs its complete key.
+        # ``candidates`` arrive newest-first, so on a full-key tie the
+        # first (newest) table's entry — live or tombstone — wins.
         result: tuple[bytes, Any] | None = None
-        for prefix, table in prefixed:
-            ambiguous = (
-                prefix == min_prefix
-                or prefix.startswith(min_prefix)
-                or min_prefix.startswith(prefix)
-            )
-            if not ambiguous:
-                continue
+        for _prefix, table in prefixed:
             cand = self._table_seek(table, low, high, result or best)
             if cand is not None and (result is None or cand[0] < result[0]):
                 result = cand
         return result
 
-    def _seek_candidates(self, low: bytes) -> Iterator[SSTable]:
+    def _seek_candidates(self, low: bytes) -> Iterator[SSTableBase]:
         for table in self.levels[0]:
             if table.max_key >= low:
                 yield table
@@ -263,7 +585,7 @@ class LSMTree:
 
     def _table_seek(
         self,
-        table: SSTable,
+        table: SSTableBase,
         low: bytes,
         high: bytes | None,
         best: tuple[bytes, Any] | None,
@@ -286,7 +608,7 @@ class LSMTree:
             if idx < len(block):
                 return block[idx]
             block_idx += 1
-            if block_idx >= len(table.blocks):
+            if block_idx >= table.n_blocks:
                 return None
             block = self._read_block(table, block_idx)
             idx = 0
@@ -325,10 +647,10 @@ class LSMTree:
                     total += self._scan_count(table, low, high)
         return total
 
-    def _scan_count(self, table: SSTable, low: bytes, high: bytes) -> int:
+    def _scan_count(self, table: SSTableBase, low: bytes, high: bytes) -> int:
         count = 0
         block_idx = table.block_for(low)
-        while block_idx < len(table.blocks):
+        while block_idx < table.n_blocks:
             block = self._read_block(table, block_idx)
             for k, _ in block:
                 if k >= high:

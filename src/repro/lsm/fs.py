@@ -1,0 +1,123 @@
+"""Filesystem abstraction behind the durable LSM engine.
+
+Every byte the engine persists flows through this interface, which is
+what makes crash testing possible: the production backend
+(:class:`OsFileSystem`) maps straight onto POSIX files with real
+``fsync``, while the test backend (:class:`repro.testing.faultfs`)
+simulates a power failure at any durability point and replays the
+surviving bytes.
+
+Durability contract (the engine relies on exactly this):
+
+* ``WritableFile.append`` buffers; the data is guaranteed on stable
+  storage only after ``sync()`` returns.
+* ``rename`` is atomic (either the old or the new name exists, never a
+  mix) and durable once it returns — the classic commit point for
+  write-temp → sync → rename installs.
+* ``remove``/``mkdir`` are metadata operations with immediate effect.
+
+Paths are ``/``-joined strings; backends may interpret them however
+they like as long as the same string round-trips.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class WritableFile:
+    """An append-only file handle with an explicit durability barrier."""
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Block until everything appended so far is on stable storage."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class FileSystem:
+    """Minimal VFS used by :class:`repro.lsm.engine.LSMTree`."""
+
+    def mkdir(self, path: str) -> None:
+        raise NotImplementedError
+
+    def exists(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> list[str]:
+        raise NotImplementedError
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        raise NotImplementedError
+
+    def create(self, path: str) -> WritableFile:
+        """Create (or truncate) ``path`` for appending."""
+        raise NotImplementedError
+
+    def rename(self, src: str, dst: str) -> None:
+        raise NotImplementedError
+
+    def remove(self, path: str) -> None:
+        raise NotImplementedError
+
+
+def join(*parts: str) -> str:
+    return "/".join(p.rstrip("/") for p in parts if p)
+
+
+class _OsWritableFile(WritableFile):
+    def __init__(self, path: str) -> None:
+        self._f = open(path, "wb")
+
+    def append(self, data: bytes) -> None:
+        self._f.write(data)
+
+    def sync(self) -> None:
+        self._f.flush()
+        os.fsync(self._f.fileno())
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.flush()
+            self._f.close()
+
+
+class OsFileSystem(FileSystem):
+    """The real thing: POSIX files, ``os.fsync``, atomic ``os.replace``.
+
+    ``rename`` additionally fsyncs the containing directory so the new
+    directory entry itself survives power loss (the step naive
+    implementations forget)."""
+
+    def mkdir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        with open(path, "rb") as f:
+            if offset:
+                f.seek(offset)
+            return f.read() if length is None else f.read(length)
+
+    def create(self, path: str) -> WritableFile:
+        return _OsWritableFile(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+        dir_fd = os.open(os.path.dirname(dst) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)

@@ -1,0 +1,106 @@
+"""Versioned manifest: the atomic commit point for LSM state changes.
+
+A manifest is one CRC-framed snapshot of the engine's durable
+metadata — the level layout (table ids), the table-id allocator, the
+sequence-number floor, and the live WAL segment.  Installs follow the
+RocksDB discipline::
+
+    write MANIFEST-<v>.tmp  →  fsync  →  rename to MANIFEST-<v>
+    write CURRENT.tmp       →  fsync  →  rename to CURRENT
+
+``rename`` is the backing filesystem's atomic commit, so a crash at
+any point leaves either the old or the new version fully installed,
+never a mix.  Recovery reads CURRENT, loads the named manifest, and
+garbage-collects every file the manifest does not reference (orphan
+tables from an uninstalled flush, stale WALs, old manifests, tmps).
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+
+from .disk_format import FrameError
+from .fs import FileSystem, join
+
+MANIFEST_MAGIC = b"LSMM"
+CURRENT = "CURRENT"
+
+
+@dataclass
+class ManifestState:
+    """The durable metadata snapshot one manifest file encodes."""
+
+    version: int = 0
+    #: Next table id the engine may allocate (ids below are spoken for).
+    next_table_id: int = 0
+    #: Every write with seq <= last_seq is in an installed SSTable; the
+    #: live WAL may carry records above this floor.
+    last_seq: int = 0
+    #: File name of the live WAL segment (within the db directory).
+    wal_name: str = ""
+    #: Index of the live WAL segment (allocator for rotation).
+    wal_index: int = 0
+    #: Table ids per level; level 0 is newest-first.
+    levels: list[list[int]] = field(default_factory=lambda: [[]])
+
+    def encode(self) -> bytes:
+        doc = {
+            "version": self.version,
+            "next_table_id": self.next_table_id,
+            "last_seq": self.last_seq,
+            "wal_name": self.wal_name,
+            "wal_index": self.wal_index,
+            "levels": self.levels,
+        }
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(payload)
+        return MANIFEST_MAGIC + crc.to_bytes(4, "little") + payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ManifestState":
+        if data[:4] != MANIFEST_MAGIC:
+            raise FrameError("not a manifest (bad magic)")
+        crc = int.from_bytes(data[4:8], "little")
+        payload = data[8:]
+        if zlib.crc32(payload) != crc:
+            raise FrameError("manifest CRC mismatch")
+        doc = json.loads(payload.decode("utf-8"))
+        return cls(
+            version=doc["version"],
+            next_table_id=doc["next_table_id"],
+            last_seq=doc["last_seq"],
+            wal_name=doc["wal_name"],
+            wal_index=doc["wal_index"],
+            levels=[list(level) for level in doc["levels"]],
+        )
+
+
+def manifest_file_name(version: int) -> str:
+    return f"MANIFEST-{version:08d}"
+
+
+def _atomic_write(fs: FileSystem, root: str, name: str, data: bytes) -> None:
+    tmp = join(root, name + ".tmp")
+    f = fs.create(tmp)
+    f.append(data)
+    f.sync()
+    f.close()
+    fs.rename(tmp, join(root, name))
+
+
+def install(fs: FileSystem, root: str, state: ManifestState) -> None:
+    """Durably install ``state`` as the current version."""
+    name = manifest_file_name(state.version)
+    _atomic_write(fs, root, name, state.encode())
+    _atomic_write(fs, root, CURRENT, name.encode("utf-8") + b"\n")
+
+
+def load_current(fs: FileSystem, root: str) -> ManifestState | None:
+    """The installed manifest, or None for a fresh directory."""
+    current_path = join(root, CURRENT)
+    if not fs.exists(current_path):
+        return None
+    name = fs.read(current_path).decode("utf-8").strip()
+    return ManifestState.decode(fs.read(join(root, name)))

@@ -5,53 +5,70 @@ An SSTable holds sorted key-value pairs divided into fixed-size blocks
 (first key of each block) form the fence index kept in the table cache;
 an optional filter (Bloom or SuRF) guards the table (Section 4.2).
 
-Disk I/O is simulated: reading a block that is not cached costs one
-I/O, counted by the engine.
+Two concrete kinds share one interface (:class:`SSTableBase`):
+
+* :class:`SSTable` keeps its blocks in memory — the original simulated
+  engine, where reading an uncached block costs one *counted* I/O;
+* :class:`DiskSSTable` is backed by a file written by
+  :func:`write_sstable`; only the footer (fences, offsets, filter) is
+  resident, and ``read_block`` does a real positioned read with CRC
+  verification.
+
+On-disk layout (all units CRC-framed, see :mod:`.disk_format`)::
+
+    [block 0] [block 1] ... [block n-1] [filter frame] [footer frame]
+    <u32 footer_frame_len> <magic "LSMS">
+
+The footer is found from the fixed-size trailer at the end of the
+file, RocksDB-style, so a table is self-describing.
 """
 
 from __future__ import annotations
 
+import struct
 from bisect import bisect_right
 from typing import Any, Sequence
 
-#: Marker value for deletions (RocksDB tombstones).
-TOMBSTONE = object()
+from . import disk_format
+from .disk_format import TOMBSTONE, FrameError  # noqa: F401  (re-exported)
+from .fs import FileSystem
 
 DEFAULT_BLOCK_ENTRIES = 64
 
+TABLE_MAGIC = b"LSMS"
 
-class SSTable:
-    """One immutable sorted run."""
+#: Filter-blob tags in the table footer.
+_FILTER_NONE = 0
+_FILTER_SURF = 1
+_FILTER_BLOOM = 2
+_FILTER_REBUILD = 3  # unknown filter type: rebuild from keys on load
 
-    _next_id = 0
 
-    def __init__(
-        self,
-        pairs: Sequence[tuple[bytes, Any]],
-        block_entries: int = DEFAULT_BLOCK_ENTRIES,
-        filter_factory=None,
-    ) -> None:
-        """``pairs`` must be sorted by strictly increasing key."""
-        if not pairs:
-            raise ValueError("SSTable cannot be empty")
-        for i in range(len(pairs) - 1):
-            if pairs[i][0] >= pairs[i + 1][0]:
-                raise ValueError("SSTable pairs must be sorted and distinct")
-        self.table_id = SSTable._next_id
-        SSTable._next_id += 1
-        self.blocks: list[list[tuple[bytes, Any]]] = [
-            list(pairs[i : i + block_entries])
-            for i in range(0, len(pairs), block_entries)
-        ]
-        self.fences: list[bytes] = [block[0][0] for block in self.blocks]
-        self.min_key = pairs[0][0]
-        self.max_key = pairs[-1][0]
-        self.n_entries = len(pairs)
-        # Filters guard only live keys (tombstones would false-negative
-        # reads of older versions, so they are included as keys too).
-        self.filter = (
-            filter_factory([k for k, _ in pairs]) if filter_factory else None
-        )
+def table_file_name(table_id: int) -> str:
+    return f"sst-{table_id:08d}.sst"
+
+
+class SSTableBase:
+    """Interface both table kinds implement.
+
+    Concrete subclasses provide ``table_id``, ``fences``, ``min_key``,
+    ``max_key``, ``n_entries``, ``filter``, ``n_blocks`` and
+    ``read_block``.
+    """
+
+    table_id: int
+    fences: list[bytes]
+    min_key: bytes
+    max_key: bytes
+    n_entries: int
+    filter: Any
+
+    @property
+    def n_blocks(self) -> int:
+        raise NotImplementedError
+
+    def read_block(self, idx: int) -> list[tuple[bytes, Any]]:
+        raise NotImplementedError
 
     def block_for(self, key: bytes) -> int:
         """Index of the block that may contain ``key``."""
@@ -75,8 +92,201 @@ class SSTable:
         return self.filter.move_to_next(key)
 
     def items(self):
-        for block in self.blocks:
-            yield from block
+        for idx in range(self.n_blocks):
+            yield from self.read_block(idx)
 
     def filter_memory_bytes(self) -> int:
         return self.filter.memory_bytes() if self.filter is not None else 0
+
+
+class SSTable(SSTableBase):
+    """One immutable in-memory sorted run.
+
+    ``table_id`` should come from the owning engine's allocator so ids
+    are engine-scoped (and persistable); the module-level fallback
+    counter exists only for standalone construction in tests, where no
+    block cache is shared between engines.
+    """
+
+    _fallback_id = 0
+
+    def __init__(
+        self,
+        pairs: Sequence[tuple[bytes, Any]],
+        block_entries: int = DEFAULT_BLOCK_ENTRIES,
+        filter_factory=None,
+        table_id: int | None = None,
+    ) -> None:
+        """``pairs`` must be sorted by strictly increasing key."""
+        if not pairs:
+            raise ValueError("SSTable cannot be empty")
+        for i in range(len(pairs) - 1):
+            if pairs[i][0] >= pairs[i + 1][0]:
+                raise ValueError("SSTable pairs must be sorted and distinct")
+        if table_id is None:
+            table_id = SSTable._fallback_id
+            SSTable._fallback_id += 1
+        self.table_id = table_id
+        self.blocks: list[list[tuple[bytes, Any]]] = [
+            list(pairs[i : i + block_entries])
+            for i in range(0, len(pairs), block_entries)
+        ]
+        self.fences = [block[0][0] for block in self.blocks]
+        self.min_key = pairs[0][0]
+        self.max_key = pairs[-1][0]
+        self.n_entries = len(pairs)
+        # Filters guard only live keys (tombstones would false-negative
+        # reads of older versions, so they are included as keys too).
+        self.filter = (
+            filter_factory([k for k, _ in pairs]) if filter_factory else None
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def read_block(self, idx: int) -> list[tuple[bytes, Any]]:
+        return self.blocks[idx]
+
+
+# -- durable tables ----------------------------------------------------------
+
+
+def _encode_filter(flt: Any) -> tuple[int, bytes]:
+    if flt is None:
+        return _FILTER_NONE, b""
+    from ..fst.serialize import surf_to_bytes
+    from ..surf.surf import SuRF
+
+    if isinstance(flt, SuRF):
+        return _FILTER_SURF, surf_to_bytes(flt)
+    from ..filters.bloom import BloomFilter
+
+    if type(flt) is BloomFilter:
+        return _FILTER_BLOOM, flt.to_bytes()
+    return _FILTER_REBUILD, b""
+
+
+def _decode_filter(tag: int, blob: bytes, keys_loader, filter_factory) -> Any:
+    if tag == _FILTER_NONE:
+        return None
+    if tag == _FILTER_SURF:
+        from ..fst.serialize import surf_from_bytes
+
+        return surf_from_bytes(blob)
+    if tag == _FILTER_BLOOM:
+        from ..filters.bloom import BloomFilter
+
+        return BloomFilter.from_bytes(blob)
+    if tag == _FILTER_REBUILD:
+        # The filter type had no serializer: rebuild it from the table's
+        # keys (one full scan at load time — correct, if not cheap).
+        if filter_factory is None:
+            return None
+        return filter_factory(keys_loader())
+    raise FrameError(f"unknown filter tag {tag}")
+
+
+def write_sstable(
+    fs: FileSystem,
+    path: str,
+    pairs: Sequence[tuple[bytes, Any]],
+    table_id: int,
+    block_entries: int = DEFAULT_BLOCK_ENTRIES,
+    filter_factory=None,
+) -> None:
+    """Write one table file: blocks, filter, footer — then fsync.
+
+    The file is complete and durable when this returns; visibility is
+    the manifest's job (a crash before the manifest install leaves an
+    orphan file that recovery garbage-collects).
+    """
+    if not pairs:
+        raise ValueError("SSTable cannot be empty")
+    flt = filter_factory([k for k, _ in pairs]) if filter_factory else None
+    filter_tag, filter_blob = _encode_filter(flt)
+
+    f = fs.create(path)
+    offsets: list[tuple[int, int]] = []  # (offset, framed length) per block
+    fences: list[bytes] = []
+    pos = 0
+    for i in range(0, len(pairs), block_entries):
+        block = list(pairs[i : i + block_entries])
+        raw = disk_format.encode_block(block)
+        offsets.append((pos, len(raw)))
+        fences.append(block[0][0])
+        f.append(raw)
+        pos += len(raw)
+    filter_frame = disk_format.frame(bytes([filter_tag]) + filter_blob)
+    filter_offset = pos
+    f.append(filter_frame)
+    pos += len(filter_frame)
+
+    footer = bytearray()
+    footer += disk_format.pack_u64(table_id)
+    footer += disk_format.pack_u64(len(pairs))
+    footer += disk_format.pack_bytes(pairs[0][0])
+    footer += disk_format.pack_bytes(pairs[-1][0])
+    footer += disk_format.pack_u64(filter_offset)
+    footer += disk_format.pack_u64(len(filter_frame))
+    footer += disk_format.pack_u64(len(offsets))
+    for (off, length), fence in zip(offsets, fences):
+        footer += disk_format.pack_u64(off)
+        footer += disk_format.pack_u64(length)
+        footer += disk_format.pack_bytes(fence)
+    footer_frame = disk_format.frame(bytes(footer))
+    f.append(footer_frame)
+    f.append(struct.pack("<I", len(footer_frame)) + TABLE_MAGIC)
+    f.sync()
+    f.close()
+
+
+class DiskSSTable(SSTableBase):
+    """A file-backed table: resident footer, on-demand CRC-checked blocks."""
+
+    def __init__(self, fs: FileSystem, path: str, filter_factory=None) -> None:
+        self._fs = fs
+        self.path = path
+        data = fs.read(path)
+        if len(data) < 8 or data[-4:] != TABLE_MAGIC:
+            raise FrameError(f"{path}: not an SSTable (bad magic)")
+        (footer_len,) = struct.unpack("<I", data[-8:-4])
+        if footer_len + 8 > len(data):
+            raise FrameError(f"{path}: footer length out of range")
+        footer, _ = disk_format.read_frame(data[-8 - footer_len : -8])
+        off = 0
+        self.table_id, off = disk_format.unpack_u64(footer, off)
+        self.n_entries, off = disk_format.unpack_u64(footer, off)
+        self.min_key, off = disk_format.unpack_bytes(footer, off)
+        self.max_key, off = disk_format.unpack_bytes(footer, off)
+        filter_offset, off = disk_format.unpack_u64(footer, off)
+        filter_len, off = disk_format.unpack_u64(footer, off)
+        n_blocks, off = disk_format.unpack_u64(footer, off)
+        self._block_spans: list[tuple[int, int]] = []
+        self.fences = []
+        for _ in range(n_blocks):
+            boff, off = disk_format.unpack_u64(footer, off)
+            blen, off = disk_format.unpack_u64(footer, off)
+            fence, off = disk_format.unpack_bytes(footer, off)
+            self._block_spans.append((boff, blen))
+            self.fences.append(fence)
+        if off != len(footer):
+            raise FrameError(f"{path}: trailing bytes in footer")
+
+        filter_payload, _ = disk_format.read_frame(
+            fs.read(path, filter_offset, filter_len)
+        )
+        self.filter = _decode_filter(
+            filter_payload[0],
+            bytes(filter_payload[1:]),
+            keys_loader=lambda: [k for k, _ in self.items()],
+            filter_factory=filter_factory,
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._block_spans)
+
+    def read_block(self, idx: int) -> list[tuple[bytes, Any]]:
+        off, length = self._block_spans[idx]
+        return disk_format.decode_block(self._fs.read(self.path, off, length))

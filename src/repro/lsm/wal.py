@@ -1,0 +1,132 @@
+"""Write-ahead log: sequenced, CRC-framed put/delete records.
+
+Each record is one :mod:`.disk_format` frame whose payload is::
+
+    <u8 type> <u64 seq> <u32 keylen> <key> [<u32 vallen> <value>]
+
+Appends are buffered; :meth:`WalWriter.sync` is the durability barrier
+(group commit).  The writer auto-syncs every ``sync_every`` records, so
+an acknowledged write is one whose sequence number is <=
+``synced_seq``.  Replay reads records in order and stops at the first
+frame that fails its length or CRC check — a torn tail is by
+construction unacknowledged, so stopping there recovers exactly a
+prefix of the op sequence.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from . import disk_format
+from .disk_format import FrameError
+from .fs import FileSystem
+
+_PUT = 1
+_DELETE = 2
+
+_U32 = struct.Struct("<I")
+
+
+def wal_file_name(index: int) -> str:
+    return f"wal-{index:08d}.log"
+
+
+def encode_record(kind: int, seq: int, key: bytes, value: Any = None) -> bytes:
+    payload = bytearray()
+    payload.append(kind)
+    payload += disk_format.pack_u64(seq)
+    payload += _U32.pack(len(key))
+    payload += key
+    if kind == _PUT:
+        val = disk_format.encode_value(value)
+        payload += _U32.pack(len(val))
+        payload += val
+    return disk_format.frame(bytes(payload))
+
+
+class WalWriter:
+    """Appends records to one WAL segment with batched fsync."""
+
+    def __init__(self, fs: FileSystem, path: str, sync_every: int = 32) -> None:
+        if sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        self._file = fs.create(path)
+        self.path = path
+        self._sync_every = sync_every
+        self._unsynced = 0
+        self.last_seq = 0
+        self.synced_seq = 0
+        # An empty segment must itself be durable before the manifest
+        # can point at it.
+        self._file.sync()
+
+    def append_put(self, seq: int, key: bytes, value: Any) -> None:
+        self._append(encode_record(_PUT, seq, key, value), seq)
+
+    def append_delete(self, seq: int, key: bytes) -> None:
+        self._append(encode_record(_DELETE, seq, key), seq)
+
+    def _append(self, record: bytes, seq: int) -> None:
+        self._file.append(record)
+        self.last_seq = seq
+        self._unsynced += 1
+        if self._unsynced >= self._sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Group-commit barrier: every appended record becomes durable."""
+        if self._unsynced:
+            self._file.sync()
+            self._unsynced = 0
+        self.synced_seq = self.last_seq
+
+    def close(self) -> None:
+        self.sync()
+        self._file.close()
+
+    def abandon(self) -> None:
+        """Close without syncing: the segment is superseded (its records
+        are covered by an installed SSTable) and about to be deleted."""
+        self._file.close()
+
+
+def replay(fs: FileSystem, path: str) -> list[tuple[int, bytes, Any]]:
+    """Decode a WAL segment into (seq, key, value) records.
+
+    ``value`` is :data:`~repro.lsm.sstable.TOMBSTONE` for deletes.
+    Decoding stops silently at the first torn or corrupt frame: those
+    records were never acknowledged.  Non-monotonic sequence numbers
+    mean the log itself is inconsistent and raise.
+    """
+    data = fs.read(path)
+    records: list[tuple[int, bytes, Any]] = []
+    offset = 0
+    last_seq = 0
+    while offset < len(data):
+        try:
+            payload, offset = disk_format.read_frame(data, offset)
+        except FrameError:
+            break  # torn tail: everything after is unacknowledged
+        kind = payload[0]
+        seq, pos = disk_format.unpack_u64(payload, 1)
+        if seq <= last_seq:
+            raise FrameError(f"{path}: non-monotonic WAL sequence {seq}")
+        last_seq = seq
+        (klen,) = _U32.unpack_from(payload, pos)
+        pos += 4
+        key = payload[pos : pos + klen]
+        pos += klen
+        if kind == _PUT:
+            (vlen,) = _U32.unpack_from(payload, pos)
+            pos += 4
+            value = disk_format.decode_value(payload[pos : pos + vlen])
+            pos += vlen
+        elif kind == _DELETE:
+            value = disk_format.TOMBSTONE
+        else:
+            raise FrameError(f"{path}: unknown WAL record type {kind}")
+        if pos != len(payload):
+            raise FrameError(f"{path}: trailing bytes in WAL record")
+        records.append((seq, key, value))
+    return records

@@ -452,11 +452,107 @@ class HopeAdapter(Adapter):
         raise ValueError(f"unknown op {op.op!r}")
 
 
+class LsmAdapter(Adapter):
+    """The durable LSM engine under the common op vocabulary.
+
+    Runs against an in-memory fault-model filesystem (``MemFS``) with a
+    deliberately tiny memtable/level configuration so a fuzz sequence
+    of a few hundred ops crosses flushes, WAL rotations, and
+    compactions.  The engine keeps no live-key count (tombstones hide
+    it), so a ``_present`` set mirrors membership for the insert/
+    update/delete return contract and ``len``.  ``merge`` forces a
+    memtable flush; ``serialize`` closes the engine and recovers it
+    from the filesystem — every read after it runs against recovered
+    state, so a WAL/manifest/SSTable round-trip bug surfaces as a
+    differential failure.
+    """
+
+    def __init__(self, name: str = "lsm", filter_factory=None) -> None:
+        self._filter_factory = filter_factory
+        self._generation = 0
+        super().__init__(name)
+
+    def reset(self) -> None:
+        from ..lsm import LSMTree
+        from .faultfs import MemFS
+
+        self._fs = MemFS()
+        self._generation += 1
+        self._path = f"lsm-fuzz-{self._generation}"
+        self._config = dict(
+            memtable_entries=16,
+            sstable_entries=64,
+            block_entries=8,
+            level0_limit=2,
+            block_cache_blocks=32,
+            wal_sync_every=4,
+            filter_factory=self._filter_factory,
+        )
+        self.index = LSMTree.open(self._path, fs=self._fs, **self._config)
+        self._present: set[bytes] = set()
+
+    def apply(self, op: Op) -> Any:
+        db = self.index
+        if op.op == "insert":
+            if op.key in self._present:
+                return False
+            db.put(op.key, op.value)
+            self._present.add(op.key)
+            return True
+        if op.op == "update":
+            if op.key not in self._present:
+                return False
+            db.put(op.key, op.value)
+            return True
+        if op.op == "delete":
+            if op.key not in self._present:
+                return False
+            db.delete(op.key)
+            self._present.discard(op.key)
+            return True
+        if op.op == "get":
+            return db.get(op.key)
+        if op.op == "get_many":
+            return [db.get(k) for k in op.keys]
+        if op.op == "contains":
+            return db.get(op.key) is not None
+        if op.op == "lower_bound":
+            return db.scan(op.key, op.count)
+        if op.op == "scan":
+            return db.scan(op.key, op.count)
+        if op.op == "range":
+            first = db.seek(op.key)
+            return first is not None and first[0] < op.high
+        if op.op == "count":
+            hits = db.scan(op.key, COUNT_CLAMP)
+            return sum(1 for k, _ in hits if k < op.high)
+        if op.op == "len":
+            return len(self._present)
+        if op.op == "items":
+            return db.scan(b"", len(self._present) + 1)
+        if op.op == "merge":
+            db.flush_memtable()
+            return None
+        if op.op == "serialize":
+            from ..lsm import LSMTree
+
+            db.close()
+            self.index = LSMTree.open(self._path, fs=self._fs, **self._config)
+            return None
+        raise ValueError(f"unknown op {op.op!r}")
+
+
 # -- registry ----------------------------------------------------------------
 
 
 def _surf_builder(suffix_type: str, **kw) -> Callable[[list[bytes]], SuRF]:
     return lambda keys: SuRF(keys, suffix_type=suffix_type, **kw)
+
+
+def _lsm_surf_filter(keys: Sequence[bytes]) -> SuRF:
+    """Per-SSTable SuRF for the ``lsm_surf`` adapter (real-bit suffixes
+    exercise the truncated-prefix seek path)."""
+    return SuRF(sorted(keys), suffix_type="real", real_bits=4)
 
 
 def all_structures() -> dict[str, Callable[[], Adapter]]:
@@ -514,6 +610,12 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         # HOPE-wrapped trees
         "hope_btree": lambda: HopeAdapter("hope_btree", BPlusTree),
         "hope_art": lambda: HopeAdapter("hope_art", ART, scheme="single"),
+        # durable LSM engine (WAL + manifest + on-disk SSTables on MemFS)
+        "lsm": lambda: LsmAdapter("lsm"),
+        "lsm_surf": lambda: LsmAdapter(
+            "lsm_surf",
+            filter_factory=lambda keys: _lsm_surf_filter(keys),
+        ),
     }
 
 

@@ -259,3 +259,85 @@ class TestLsmProperties:
         for raw in range(51):
             key = encode_u64(raw)
             assert lsm.get(key) == model.get(key)
+
+
+class TestRegressions:
+    """Regressions for the three LSM correctness bugs fixed alongside
+    the durable engine work."""
+
+    def test_seek_over_100k_tombstones_no_recursion(self):
+        """``seek`` used to recurse once per tombstone, so a run of a
+        few thousand contiguous tombstones blew the stack.  It must now
+        skip the run iteratively, reading each block at most once."""
+        lsm = LSMTree(
+            memtable_entries=4096,
+            sstable_entries=16384,
+            block_entries=1024,
+            level0_limit=50,  # keep tombstones alive: no bottom-level drop
+        )
+        n = 100_000
+        for i in range(n):
+            lsm.put(encode_u64(i), i)
+        for i in range(n):
+            lsm.delete(encode_u64(i))
+        live_key = encode_u64(n + 5)
+        lsm.put(live_key, 777)
+        lsm.flush_memtable()
+        lsm.io.reset()
+        assert lsm.seek(encode_u64(0)) == (live_key, 777)
+        # Bounded I/O: at most one read per block along the skip (each
+        # key exists twice across runs: its put and its tombstone) plus
+        # a heap-fill read per table — not one seek restart per
+        # tombstone, which would be O(n) reads.
+        max_blocks = 3 * (n // 1024) + 60
+        assert lsm.io.block_reads + lsm.io.cache_hits <= max_blocks
+        # And the bounded variant returns None without scanning past high.
+        assert lsm.seek(encode_u64(0), encode_u64(n // 2)) is None
+
+    def test_seek_tombstone_run_with_interleaved_levels(self):
+        """Tombstones in newer runs must shadow live keys in older runs
+        throughout the iterative skip."""
+        lsm = LSMTree(memtable_entries=8, sstable_entries=32, level0_limit=2)
+        for i in range(200):
+            lsm.put(encode_u64(i), i)
+        for i in range(150):
+            lsm.delete(encode_u64(i))
+        lsm.flush_memtable()
+        assert lsm.seek(encode_u64(0)) == (encode_u64(150), 150)
+
+    def test_compaction_evicts_dead_tables_from_block_cache(self):
+        """Compaction replaces tables; their cached blocks used to squat
+        in the CLOCK cache under dead (table_id, block) keys until the
+        hand happened to pass.  They must be evicted eagerly."""
+        lsm = LSMTree(
+            memtable_entries=8,
+            sstable_entries=32,
+            block_entries=4,
+            level0_limit=2,
+            block_cache_blocks=256,
+        )
+        for i in range(400):
+            lsm.put(encode_u64(i % 60), i)
+            # Touch reads so blocks of current tables enter the cache.
+            if i % 7 == 0:
+                lsm.get(encode_u64(i % 60))
+        live_ids = {t.table_id for level in lsm.levels for t in level}
+        cached_ids = {key[0] for key in lsm._block_cache._values}
+        assert cached_ids <= live_ids, (
+            f"dead tables still cached: {sorted(cached_ids - live_ids)}"
+        )
+
+    def test_table_ids_engine_scoped(self):
+        """Table ids used to come from a process-global class counter:
+        two engines interleaving flushes would skip ids and (worse) a
+        recovered engine could collide with them.  Each engine now
+        allocates its own dense id sequence."""
+        a = LSMTree(memtable_entries=4)
+        b = LSMTree(memtable_entries=4)
+        for i in range(12):
+            a.put(encode_u64(i), i)
+            b.put(encode_u64(1000 + i), i)
+        a_ids = sorted(t.table_id for level in a.levels for t in level)
+        b_ids = sorted(t.table_id for level in b.levels for t in level)
+        assert a_ids == list(range(len(a_ids)))
+        assert b_ids == list(range(len(b_ids)))
