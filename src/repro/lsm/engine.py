@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left, bisect_right
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from ..compact.node_cache import ClockNodeCache
 from . import manifest as manifest_mod
@@ -57,17 +57,21 @@ from .sstable import (
 
 
 class IoStats:
-    """Simulated I/O counters."""
+    """Simulated I/O and filter-probe counters."""
 
-    __slots__ = ("block_reads", "cache_hits")
+    __slots__ = ("block_reads", "cache_hits", "filter_probes", "filter_negatives")
 
     def __init__(self) -> None:
-        self.block_reads = 0
-        self.cache_hits = 0
+        self.reset()
 
     def reset(self) -> None:
         self.block_reads = 0
         self.cache_hits = 0
+        #: Point-read probes against a per-table filter, and how many
+        #: proved the table could not hold the key (I/O avoided) — the
+        #: serving layer reports these as the filter hit rate.
+        self.filter_probes = 0
+        self.filter_negatives = 0
 
 
 class LSMTree:
@@ -246,10 +250,22 @@ class LSMTree:
             self._wal.sync()
 
     def close(self) -> None:
-        """Sync and release the WAL; the engine must not be used after."""
-        if self._wal is not None and not self._closed:
-            self._wal.close()
+        """Sync and release the WAL; the engine must not be used after.
+
+        Idempotent: a second ``close()`` is a no-op, which the server's
+        drain path relies on (a shard may be closed by the worker and
+        again by the shutdown sweep)."""
+        if self._closed:
+            return
         self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "LSMTree":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- write path --------------------------------------------------------------
 
@@ -268,6 +284,44 @@ class LSMTree:
         self._memtable[key] = TOMBSTONE
         if len(self._memtable) >= self._memtable_entries:
             self.flush_memtable()
+
+    def write_batch(self, entries: Sequence[tuple[bytes, Any]]) -> None:
+        """Apply a mixed put/delete batch as one acknowledgement unit.
+
+        ``entries`` are ``(key, value)`` pairs applied in order, with
+        ``value is TOMBSTONE`` marking a delete.  In durable mode every
+        record rides a *single* WAL group commit — one fsync covers the
+        whole batch, so when this returns the batch is fully
+        acknowledged (``last_acked_seq`` covers its final sequence
+        number) and a crash can never split it from the caller's point
+        of view.  The memtable is updated in one pass and the flush
+        check runs once, after the batch.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        records = []
+        seq = self._seq
+        for key, value in entries:
+            seq += 1
+            records.append((seq, key, value))
+        if self._wal is not None:
+            # append_batch encodes everything before appending, so a
+            # TypeError from the value codec leaves WAL and seq intact.
+            self._wal.append_batch(records)
+        self._seq = seq
+        for _, key, value in records:
+            self._memtable[key] = value
+        if len(self._memtable) >= self._memtable_entries:
+            self.flush_memtable()
+
+    def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
+        """Batch :meth:`put`: one WAL group commit, one flush check."""
+        self.write_batch(pairs)
+
+    def delete_many(self, keys: Sequence[bytes]) -> None:
+        """Batch :meth:`delete`: one WAL group commit, one flush check."""
+        self.write_batch([(key, TOMBSTONE) for key in keys])
 
     def flush_memtable(self) -> None:
         if not self._memtable:
@@ -407,7 +461,12 @@ class LSMTree:
             value = self._memtable[key]
             return None if value is TOMBSTONE else value
         for table in self._candidates_for(key):
-            if not table.may_contain(key):
+            if table.filter is not None:
+                self.io.filter_probes += 1
+                if not table.may_contain(key):
+                    self.io.filter_negatives += 1
+                    continue
+            elif not table.may_contain(key):
                 continue
             block = self._read_block(table, table.block_for(key))
             idx = bisect_left(block, (key,))
@@ -415,6 +474,92 @@ class LSMTree:
                 value = block[idx][1]
                 return None if value is TOMBSTONE else value
         return None
+
+    def get_many(self, keys: Sequence[bytes]) -> list[Any]:
+        """Batch point reads matching element-wise scalar :meth:`get`.
+
+        The batch walks the LSM hierarchy level-synchronously: per
+        table, every still-unresolved key in the table's range is
+        probed through the filter's vectorized ``lookup_many`` (PR 3
+        batch kernels) in one call, and the survivors are grouped by
+        block so each block is fetched and decoded once no matter how
+        many keys land in it.  A key resolved by a newer table (value
+        *or* tombstone) never touches older tables, preserving
+        newest-wins semantics exactly.
+        """
+        keys = list(keys)
+        out: list[Any] = [None] * len(keys)
+        pending: list[int] = []
+        for i, key in enumerate(keys):
+            if key in self._memtable:
+                value = self._memtable[key]
+                out[i] = None if value is TOMBSTONE else value
+            else:
+                pending.append(i)
+        for table in self.levels[0]:
+            if not pending:
+                return out
+            pending = self._table_get_many(table, keys, out, pending)
+        for level in self.levels[1:]:
+            if not pending:
+                return out
+            # Disjoint level: each key has at most one candidate table.
+            min_keys = [t.min_key for t in level]
+            by_table: dict[int, list[int]] = {}
+            next_pending: list[int] = []
+            for i in pending:
+                ti = bisect_right(min_keys, keys[i]) - 1
+                if ti >= 0 and keys[i] <= level[ti].max_key:
+                    by_table.setdefault(ti, []).append(i)
+                else:
+                    next_pending.append(i)
+            for ti, members in sorted(by_table.items()):
+                next_pending.extend(
+                    self._table_get_many(level[ti], keys, out, members)
+                )
+            pending = next_pending
+        return out
+
+    def _table_get_many(
+        self, table: SSTableBase, keys: list[bytes], out: list[Any], idxs: list[int]
+    ) -> list[int]:
+        """Resolve what ``table`` holds of ``keys[idxs]``; return the
+        indexes still unresolved (filter negatives, false positives,
+        and keys outside the table's range)."""
+        in_range = [i for i in idxs if table.min_key <= keys[i] <= table.max_key]
+        if not in_range:
+            return idxs
+        if table.filter is not None:
+            flt = table.filter
+            probe = getattr(flt, "lookup_many", None) or getattr(
+                flt, "may_contain_many", None
+            )
+            if probe is not None:
+                mask = probe([keys[i] for i in in_range])
+            else:
+                mask = [table.may_contain(keys[i]) for i in in_range]
+            self.io.filter_probes += len(in_range)
+            passed = [i for i, hit in zip(in_range, mask) if hit]
+            self.io.filter_negatives += len(in_range) - len(passed)
+        else:
+            passed = in_range
+        if not passed:
+            return idxs
+        by_block: dict[int, list[int]] = {}
+        for i in passed:
+            by_block.setdefault(table.block_for(keys[i]), []).append(i)
+        resolved: set[int] = set()
+        for block_idx in sorted(by_block):
+            block = self._read_block(table, block_idx)
+            for i in by_block[block_idx]:
+                j = bisect_left(block, (keys[i],))
+                if j < len(block) and block[j][0] == keys[i]:
+                    value = block[j][1]
+                    out[i] = None if value is TOMBSTONE else value
+                    resolved.add(i)
+        if not resolved:
+            return idxs
+        return [i for i in idxs if i not in resolved]
 
     def _candidates_for(self, key: bytes) -> Iterator[SSTableBase]:
         for table in self.levels[0]:

@@ -67,6 +67,30 @@ class WalWriter:
     def append_delete(self, seq: int, key: bytes) -> None:
         self._append(encode_record(_DELETE, seq, key), seq)
 
+    def append_batch(self, records: list[tuple[int, bytes, Any]]) -> None:
+        """Append a whole write batch and fsync once (one group commit).
+
+        ``records`` are ``(seq, key, value)`` with
+        :data:`~repro.lsm.disk_format.TOMBSTONE` marking deletes.  The
+        batch is encoded in full before any byte reaches the segment,
+        so an unstorable value aborts with the log unchanged, and the
+        single trailing :meth:`sync` acknowledges every record at once
+        — the server's write workers rely on exactly this to turn a
+        queue drain into one durability barrier.
+        """
+        if not records:
+            return
+        buf = bytearray()
+        for seq, key, value in records:
+            if value is disk_format.TOMBSTONE:
+                buf += encode_record(_DELETE, seq, key)
+            else:
+                buf += encode_record(_PUT, seq, key, value)
+        self._file.append(bytes(buf))
+        self.last_seq = records[-1][0]
+        self._unsynced += len(records)
+        self.sync()
+
     def _append(self, record: bytes, seq: int) -> None:
         self._file.append(record)
         self.last_seq = seq

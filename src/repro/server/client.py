@@ -1,0 +1,321 @@
+"""Clients for the sharded key-value server.
+
+Two flavours share the wire codec from :mod:`repro.server.protocol`:
+
+* :class:`KVClient` — blocking, one request in flight at a time.  The
+  simplest correct client; also the *non-pipelined baseline* for the
+  serving benchmarks.
+* :class:`AsyncKVClient` — asyncio, fully pipelined: every call
+  returns as soon as the frame is written and a reader task resolves
+  futures in arrival order (the server guarantees in-order responses).
+  Many coroutines sharing one connection keep dozens of requests in
+  flight, which is exactly what feeds the server's GET-coalescing and
+  write group commit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Sequence
+
+from . import protocol
+
+
+class ServerError(Exception):
+    """Non-OK response status from the server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(
+            f"{protocol.STATUS_NAMES.get(status, status)}: {message}"
+        )
+        self.status = status
+
+
+class ServerOverloadedError(ServerError):
+    """Backpressure: a bounded shard queue was full.  Retry later."""
+
+
+class ServerShuttingDownError(ServerError):
+    """The server is draining; no new work is accepted."""
+
+
+def _raise_for(status: int, body: bytes) -> None:
+    message = body.decode("utf-8", "replace")
+    if status == protocol.OVERLOADED:
+        raise ServerOverloadedError(status, message)
+    if status == protocol.SHUTTING_DOWN:
+        raise ServerShuttingDownError(status, message)
+    raise ServerError(status, message)
+
+
+class KVClient:
+    """Blocking client: send one frame, read one frame."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "KVClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, opcode: int, body: bytes = b"") -> tuple[int, bytes]:
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        request_id = self._next_id
+        self._sock.sendall(protocol.frame(request_id, opcode, body))
+        prefix = self._file.read(4)
+        if len(prefix) < 4:
+            raise ConnectionError("server closed the connection")
+        length = protocol.parse_length(prefix)
+        payload = self._file.read(length)
+        if len(payload) < length:
+            raise ConnectionError("truncated response")
+        echoed, status, rbody = protocol.parse_payload(payload)
+        if echoed != request_id:
+            raise protocol.ProtocolError(
+                f"response id {echoed} does not match request id {request_id}"
+            )
+        return status, rbody
+
+    # -- operations --------------------------------------------------------
+
+    def get(self, key: bytes) -> Any | None:
+        status, body = self._call(protocol.GET, protocol.encode_key(key))
+        if status == protocol.NOT_FOUND:
+            return None
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_value_body(body)
+
+    def put(self, key: bytes, value: Any) -> None:
+        status, body = self._call(
+            protocol.PUT, protocol.encode_key_value(key, value)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def delete(self, key: bytes) -> None:
+        status, body = self._call(protocol.DELETE, protocol.encode_key(key))
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def get_many(self, keys: Sequence[bytes], missing: Any = None) -> list[Any]:
+        status, body = self._call(protocol.BATCH_GET, protocol.encode_keys(keys))
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_maybe_values(body, missing=missing)
+
+    def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        status, body = self._call(
+            protocol.SCAN, protocol.encode_scan(low, count)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_pairs(body)
+
+    def count(self, low: bytes, high: bytes) -> int:
+        status, body = self._call(protocol.COUNT, protocol.encode_range(low, high))
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_u64_body(body)
+
+    def sync(self) -> None:
+        status, body = self._call(protocol.SYNC)
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def stats(self) -> dict:
+        status, body = self._call(protocol.STATS)
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return json.loads(body.decode())
+
+    def shutdown_server(self) -> None:
+        status, body = self._call(protocol.SHUTDOWN)
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+
+class AsyncKVClient:
+    """Pipelined asyncio client over one connection.
+
+    Safe for many coroutines on the same event loop: frame writes are
+    atomic (single ``write`` call) and the reader task resolves pending
+    futures strictly in send order, matching the server's in-order
+    response guarantee.
+    """
+
+    def __init__(self) -> None:
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: asyncio.Queue = asyncio.Queue()
+        self._reader_task: asyncio.Task | None = None
+        self._next_id = 0
+        self._conn_error: BaseException | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncKVClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        sock = client._writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        client._reader_task = asyncio.create_task(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        # Bulk-read + buffer parse: under pipelining the server packs
+        # trains of responses per segment; resolve them all per wakeup.
+        buf = bytearray()
+        try:
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    raise ConnectionError("server closed the connection")
+                buf += data
+                off = 0
+                while len(buf) - off >= 4:
+                    length = protocol.parse_length(bytes(buf[off : off + 4]))
+                    if len(buf) - off - 4 < length:
+                        break
+                    payload = bytes(buf[off + 4 : off + 4 + length])
+                    off += 4 + length
+                    expected_id, future = self._pending.get_nowait()
+                    if future.cancelled():
+                        continue
+                    echoed, status, body = protocol.parse_payload(payload)
+                    if echoed != expected_id:
+                        future.set_exception(
+                            protocol.ProtocolError(
+                                f"response id {echoed} != expected {expected_id}"
+                            )
+                        )
+                        continue
+                    future.set_result((status, body))
+                if off:
+                    del buf[:off]
+        except (asyncio.CancelledError, GeneratorExit):
+            self._fail_pending(ConnectionError("client closed"))
+            raise
+        except BaseException as exc:
+            self._conn_error = exc
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        while True:
+            try:
+                _, future = self._pending.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"connection lost: {exc}")
+                )
+
+    async def _call(self, opcode: int, body: bytes = b"") -> tuple[int, bytes]:
+        if self._writer is None:
+            raise ConnectionError("client is closed")
+        if self._conn_error is not None:
+            raise ConnectionError(f"connection lost: {self._conn_error}")
+        self._next_id = (self._next_id + 1) & 0xFFFFFFFF
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Enqueue before writing so the reader can never see a response
+        # for a request it does not know about.
+        self._pending.put_nowait((request_id, future))
+        self._writer.write(protocol.frame(request_id, opcode, body))
+        await self._writer.drain()
+        return await future
+
+    # -- operations --------------------------------------------------------
+
+    async def get(self, key: bytes) -> Any | None:
+        status, body = await self._call(protocol.GET, protocol.encode_key(key))
+        if status == protocol.NOT_FOUND:
+            return None
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_value_body(body)
+
+    async def put(self, key: bytes, value: Any) -> None:
+        status, body = await self._call(
+            protocol.PUT, protocol.encode_key_value(key, value)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    async def delete(self, key: bytes) -> None:
+        status, body = await self._call(protocol.DELETE, protocol.encode_key(key))
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    async def get_many(
+        self, keys: Sequence[bytes], missing: Any = None
+    ) -> list[Any]:
+        status, body = await self._call(
+            protocol.BATCH_GET, protocol.encode_keys(keys)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_maybe_values(body, missing=missing)
+
+    async def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        status, body = await self._call(
+            protocol.SCAN, protocol.encode_scan(low, count)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_pairs(body)
+
+    async def count(self, low: bytes, high: bytes) -> int:
+        status, body = await self._call(
+            protocol.COUNT, protocol.encode_range(low, high)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_u64_body(body)
+
+    async def sync(self) -> None:
+        status, body = await self._call(protocol.SYNC)
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    async def stats(self) -> dict:
+        status, body = await self._call(protocol.STATS)
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return json.loads(body.decode())
+
+    async def shutdown_server(self) -> None:
+        status, body = await self._call(protocol.SHUTDOWN)
+        if status != protocol.OK:
+            _raise_for(status, body)

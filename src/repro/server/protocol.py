@@ -1,0 +1,270 @@
+"""Wire protocol of the sharded key-value server.
+
+Every message — request or response — is one length-prefixed frame::
+
+    <u32 payload_len> <payload>
+
+    request payload:  <u32 request_id> <u8 opcode> <body>
+    response payload: <u32 request_id> <u8 status> <body>
+
+The request id is chosen by the client and echoed verbatim; the server
+answers each connection's requests *in arrival order*, so a pipelined
+client may keep any number of requests in flight and match responses
+positionally (the echoed id is a cheap integrity check).
+
+Bodies reuse the storage codecs from :mod:`repro.lsm.disk_format`
+(length-prefixed byte strings and the typed value codec), so anything
+the engine can store travels the wire unchanged:
+
+========== ============================== ===============================
+opcode     request body                   OK response body
+========== ============================== ===============================
+GET        key                            value (NOT_FOUND if absent)
+PUT        key value                      —
+DELETE     key                            —
+SCAN       low u32(count)                 u32(n) n*(key value)
+COUNT      low high                       u64(count)  (approximate)
+BATCH_GET  u32(n) n*key                   u32(n) n*(u8 present [value])
+SYNC       —                              —
+STATS      —                              UTF-8 JSON blob
+SHUTDOWN   —                              — (server drains and exits)
+========== ============================== ===============================
+
+Non-OK statuses carry a UTF-8 message body.  ``OVERLOADED`` is the
+explicit backpressure answer (a bounded shard queue was full);
+``SHUTTING_DOWN`` answers requests that arrive during the drain.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from ..lsm import disk_format
+
+# -- opcodes -----------------------------------------------------------------
+
+GET = 1
+PUT = 2
+DELETE = 3
+SCAN = 4
+COUNT = 5
+BATCH_GET = 6
+SYNC = 7
+STATS = 8
+SHUTDOWN = 9
+
+OP_NAMES = {
+    GET: "get",
+    PUT: "put",
+    DELETE: "delete",
+    SCAN: "scan",
+    COUNT: "count",
+    BATCH_GET: "batch_get",
+    SYNC: "sync",
+    STATS: "stats",
+    SHUTDOWN: "shutdown",
+}
+
+# -- response statuses -------------------------------------------------------
+
+OK = 0
+NOT_FOUND = 1
+OVERLOADED = 2
+BAD_REQUEST = 3
+SHUTTING_DOWN = 4
+ERROR = 5
+
+STATUS_NAMES = {
+    OK: "ok",
+    NOT_FOUND: "not_found",
+    OVERLOADED: "overloaded",
+    BAD_REQUEST: "bad_request",
+    SHUTTING_DOWN: "shutting_down",
+    ERROR: "error",
+}
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_HEADER = struct.Struct("<IB")  # request_id, opcode/status
+
+#: Upper bound on a single frame; a peer announcing more is corrupt or
+#: hostile and the connection is dropped rather than the buffer grown.
+MAX_FRAME_BYTES = 64 << 20
+
+
+class ProtocolError(ValueError):
+    """A malformed frame, body, or oversized length prefix."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def frame(request_id: int, code: int, body: bytes = b"") -> bytes:
+    """One wire frame (works for requests and responses alike)."""
+    payload_len = _HEADER.size + len(body)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {payload_len} bytes exceeds MAX_FRAME_BYTES")
+    return _U32.pack(payload_len) + _HEADER.pack(request_id, code) + body
+
+
+def parse_payload(payload: bytes) -> tuple[int, int, bytes]:
+    """Split a frame payload into (request_id, opcode/status, body)."""
+    if len(payload) < _HEADER.size:
+        raise ProtocolError("truncated frame payload")
+    request_id, code = _HEADER.unpack_from(payload)
+    return request_id, code, payload[_HEADER.size :]
+
+
+def parse_length(prefix: bytes) -> int:
+    """Decode and bound-check the 4-byte length prefix."""
+    (length,) = _U32.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"announced frame of {length} bytes rejected")
+    if length < _HEADER.size:
+        raise ProtocolError("frame shorter than its header")
+    return length
+
+
+# -- request bodies ----------------------------------------------------------
+
+
+def encode_key(key: bytes) -> bytes:
+    return disk_format.pack_bytes(key)
+
+
+def decode_key(body: bytes) -> bytes:
+    key, off = disk_format.unpack_bytes(body, 0)
+    if off != len(body):
+        raise ProtocolError("trailing bytes after key")
+    return key
+
+
+def encode_key_value(key: bytes, value: Any) -> bytes:
+    return disk_format.pack_bytes(key) + disk_format.pack_bytes(
+        disk_format.encode_value(value)
+    )
+
+
+def decode_key_value(body: bytes) -> tuple[bytes, Any]:
+    key, off = disk_format.unpack_bytes(body, 0)
+    raw, off = disk_format.unpack_bytes(body, off)
+    if off != len(body):
+        raise ProtocolError("trailing bytes after value")
+    return key, disk_format.decode_value(raw)
+
+
+def encode_scan(low: bytes, count: int) -> bytes:
+    return disk_format.pack_bytes(low) + _U32.pack(count)
+
+
+def decode_scan(body: bytes) -> tuple[bytes, int]:
+    low, off = disk_format.unpack_bytes(body, 0)
+    if off + 4 != len(body):
+        raise ProtocolError("bad scan body")
+    (count,) = _U32.unpack_from(body, off)
+    return low, count
+
+
+def encode_range(low: bytes, high: bytes) -> bytes:
+    return disk_format.pack_bytes(low) + disk_format.pack_bytes(high)
+
+
+def decode_range(body: bytes) -> tuple[bytes, bytes]:
+    low, off = disk_format.unpack_bytes(body, 0)
+    high, off = disk_format.unpack_bytes(body, off)
+    if off != len(body):
+        raise ProtocolError("trailing bytes after range")
+    return low, high
+
+
+def encode_keys(keys: Sequence[bytes]) -> bytes:
+    out = bytearray(_U32.pack(len(keys)))
+    for key in keys:
+        out += disk_format.pack_bytes(key)
+    return bytes(out)
+
+
+def decode_keys(body: bytes) -> list[bytes]:
+    if len(body) < 4:
+        raise ProtocolError("truncated key batch")
+    (n,) = _U32.unpack_from(body, 0)
+    off = 4
+    keys = []
+    for _ in range(n):
+        key, off = disk_format.unpack_bytes(body, off)
+        keys.append(key)
+    if off != len(body):
+        raise ProtocolError("trailing bytes after key batch")
+    return keys
+
+
+# -- response bodies ---------------------------------------------------------
+
+
+def encode_value_body(value: Any) -> bytes:
+    return disk_format.encode_value(value)
+
+
+def decode_value_body(body: bytes) -> Any:
+    return disk_format.decode_value(body)
+
+
+def encode_pairs(pairs: Sequence[tuple[bytes, Any]]) -> bytes:
+    out = bytearray(_U32.pack(len(pairs)))
+    for key, value in pairs:
+        out += disk_format.pack_bytes(key)
+        out += disk_format.pack_bytes(disk_format.encode_value(value))
+    return bytes(out)
+
+
+def decode_pairs(body: bytes) -> list[tuple[bytes, Any]]:
+    (n,) = _U32.unpack_from(body, 0)
+    off = 4
+    pairs = []
+    for _ in range(n):
+        key, off = disk_format.unpack_bytes(body, off)
+        raw, off = disk_format.unpack_bytes(body, off)
+        pairs.append((key, disk_format.decode_value(raw)))
+    if off != len(body):
+        raise ProtocolError("trailing bytes after pairs")
+    return pairs
+
+
+def encode_u64_body(n: int) -> bytes:
+    return _U64.pack(n)
+
+
+def decode_u64_body(body: bytes) -> int:
+    if len(body) != 8:
+        raise ProtocolError("bad u64 body")
+    return _U64.unpack(body)[0]
+
+
+def encode_maybe_values(values: Sequence[Any], missing: object) -> bytes:
+    """BATCH_GET response: a presence flag plus the value when present."""
+    out = bytearray(_U32.pack(len(values)))
+    for value in values:
+        if value is missing:
+            out += b"\x00"
+        else:
+            out += b"\x01"
+            out += disk_format.pack_bytes(disk_format.encode_value(value))
+    return bytes(out)
+
+
+def decode_maybe_values(body: bytes, missing: Any = None) -> list[Any]:
+    (n,) = _U32.unpack_from(body, 0)
+    off = 4
+    values: list[Any] = []
+    for _ in range(n):
+        flag = body[off]
+        off += 1
+        if flag == 0:
+            values.append(missing)
+        else:
+            raw, off = disk_format.unpack_bytes(body, off)
+            values.append(disk_format.decode_value(raw))
+    if off != len(body):
+        raise ProtocolError("trailing bytes after value batch")
+    return values

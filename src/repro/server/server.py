@@ -1,0 +1,476 @@
+"""Sharded asyncio TCP front-end over N durable LSM engines.
+
+``KVServer`` hash-shards keys (CRC32 modulo shard count) across
+independent :class:`~repro.lsm.engine.LSMTree` engines living under one
+root directory (``<root>/shard-00``, ``shard-01``, ...).  The network
+side is a single asyncio event loop: each connection's requests are
+read sequentially, dispatched as tasks, and answered **in arrival
+order**, so clients may pipeline arbitrarily many requests.  Engine
+work happens on the per-shard worker threads
+(:mod:`repro.server.shard`), which coalesce concurrent GETs into batch
+reads and adjacent writes into single group commits.
+
+Ordering guarantees: per connection, per shard — a request observes
+every earlier same-connection request routed to the same shard.
+Cross-shard requests (SCAN/COUNT/BATCH_GET spanning shards) fan out
+concurrently and merge.
+
+Shutdown drains: stop accepting, mark the server closing (new requests
+get ``SHUTTING_DOWN``), let every queued request complete, then sync
+and close each engine.  A client-acknowledged write therefore always
+survives, even through ``python -m repro.server serve`` receiving
+SIGTERM mid-load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import threading
+import time
+import zlib
+from struct import error as struct_error
+from typing import Any, Callable
+
+from ..lsm import LSMTree
+from ..lsm.fs import FileSystem, join
+from . import protocol
+from .shard import ShardRequest, ShardWorker, TOMBSTONE
+from .stats import ServerStats
+
+#: Cap on one SCAN response, whatever the client asked for.
+MAX_SCAN_COUNT = 10_000
+
+
+class _Overloaded(Exception):
+    """Internal: a bounded shard queue refused the request."""
+
+
+def shard_of(key: bytes, n_shards: int) -> int:
+    """Stable hash sharding; CRC32 so any client can compute it."""
+    return zlib.crc32(key) % n_shards
+
+
+class KVServer:
+    """The serving subsystem: N shards, one event loop, one port."""
+
+    def __init__(
+        self,
+        path: str,
+        n_shards: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fs: FileSystem | Callable[[int], FileSystem] | None = None,
+        queue_limit: int = 1024,
+        filter_factory: Callable | None = None,
+        engine_config: dict | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.path = path
+        self.n_shards = n_shards
+        self.host = host
+        self.port = port  # replaced by the bound port after start()
+        self._fs = fs
+        self._queue_limit = queue_limit
+        self._filter_factory = filter_factory
+        self._engine_config = dict(engine_config or {})
+        self.stats = ServerStats()
+        self.shards: list[ShardWorker] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._shutdown_requested: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def _fs_for(self, shard_id: int) -> FileSystem | None:
+        if callable(self._fs) and not isinstance(self._fs, FileSystem):
+            return self._fs(shard_id)
+        return self._fs
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "KVServer":
+        """Open (recovering) every shard engine, start the workers, bind."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_requested = asyncio.Event()
+        try:
+            for i in range(self.n_shards):
+                engine = LSMTree.open(
+                    join(self.path, f"shard-{i:02d}"),
+                    fs=self._fs_for(i),
+                    filter_factory=self._filter_factory,
+                    **self._engine_config,
+                )
+                worker = ShardWorker(
+                    i, engine, self.stats, queue_limit=self._queue_limit
+                )
+                worker.start()
+                self.shards.append(worker)
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except BaseException:
+            await self._stop_workers()
+            raise
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`request_shutdown` (or the SHUTDOWN opcode),
+        then drain gracefully."""
+        assert self._shutdown_requested is not None, "call start() first"
+        await self._shutdown_requested.wait()
+        # Give in-flight response writes one tick to flush before the
+        # listener goes away (the SHUTDOWN OK must reach its client).
+        await asyncio.sleep(0.05)
+        await self.shutdown()
+
+    def request_shutdown(self) -> None:
+        self._closing = True
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish queued work, sync and
+        close every engine.  Idempotent."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._stop_workers()
+
+    async def _stop_workers(self) -> None:
+        workers, self.shards = self.shards, []
+        for worker in workers:
+            worker.stop()
+
+        def _join() -> None:
+            for worker in workers:
+                worker.join(timeout=60)
+
+        if workers:
+            await asyncio.get_running_loop().run_in_executor(None, _join)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.record_connection(opened=True)
+        responses: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_responses(responses, writer))
+        # Bulk-read + buffer parse: a pipelined client packs whole
+        # trains of requests into each TCP segment, so one read() wakes
+        # us for many frames — dispatching them all in one pass is a
+        # large win over two readexactly() awaits per request.
+        buf = bytearray()
+        try:
+            while True:
+                try:
+                    data = await reader.read(1 << 16)
+                except (ConnectionResetError, OSError):
+                    break
+                if not data:
+                    break
+                buf += data
+                off = 0
+                try:
+                    while len(buf) - off >= 4:
+                        length = protocol.parse_length(bytes(buf[off : off + 4]))
+                        if len(buf) - off - 4 < length:
+                            break
+                        request_id, opcode, body = protocol.parse_payload(
+                            bytes(buf[off + 4 : off + 4 + length])
+                        )
+                        off += 4 + length
+                        responses.put_nowait(
+                            self._dispatch(request_id, opcode, body)
+                        )
+                except protocol.ProtocolError:
+                    break  # unframeable stream: drop the connection
+                if off:
+                    del buf[:off]
+        finally:
+            responses.put_nowait(None)
+            try:
+                await writer_task
+            except Exception:
+                pass
+            self._drain_queue(responses)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+            self.stats.record_connection(opened=False)
+
+    @staticmethod
+    def _drain_queue(responses: asyncio.Queue) -> None:
+        """Close formatter coroutines the writer never reached."""
+        while True:
+            try:
+                item = responses.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if item is not None and not isinstance(item, (bytes, bytearray)):
+                item.close()
+
+    async def _write_responses(
+        self, responses: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Write responses in request-arrival order.  Items are either
+        finished frames (bytes) or formatter coroutines awaiting shard
+        futures — the shard work itself was already submitted by the
+        reader, so awaiting here never delays later requests' engine
+        work, only their response bytes (which must queue anyway)."""
+        while True:
+            item = await responses.get()
+            if item is None:
+                return
+            if not isinstance(item, (bytes, bytearray)):
+                item = await item
+            writer.write(item)
+            if responses.empty():
+                await writer.drain()
+
+    # -- request dispatch --------------------------------------------------
+    #
+    # The reader thread of control decodes each request and performs
+    # every shard submit *inline*, so per-connection arrival order is
+    # exactly per-shard queue order — no per-request Task, no reordering
+    # window.  What goes on the response queue is either final bytes or
+    # a small coroutine that formats the shard's answer.
+
+    def _dispatch(self, request_id: int, opcode: int, body: bytes):
+        started = time.perf_counter()
+        op_name = protocol.OP_NAMES.get(opcode, f"op{opcode}")
+        try:
+            if self._closing and opcode != protocol.STATS:
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.SHUTTING_DOWN, b"server is draining",
+                )
+
+            if opcode == protocol.GET:
+                key = protocol.decode_key(body)
+                fut = self._submit(
+                    self.shards[shard_of(key, self.n_shards)], "get", [key]
+                )
+                return self._finish(request_id, op_name, started, self._fmt_get(fut))
+
+            if opcode == protocol.PUT:
+                key, value = protocol.decode_key_value(body)
+                if value is TOMBSTONE:
+                    raise protocol.ProtocolError("cannot PUT a tombstone")
+                fut = self._submit(
+                    self.shards[shard_of(key, self.n_shards)],
+                    "write", [(key, value)],
+                )
+                return self._finish(request_id, op_name, started, self._fmt_ack(fut))
+
+            if opcode == protocol.DELETE:
+                key = protocol.decode_key(body)
+                fut = self._submit(
+                    self.shards[shard_of(key, self.n_shards)],
+                    "write", [(key, TOMBSTONE)],
+                )
+                return self._finish(request_id, op_name, started, self._fmt_ack(fut))
+
+            if opcode == protocol.BATCH_GET:
+                keys = protocol.decode_keys(body)
+                by_shard: dict[int, list[int]] = {}
+                for i, key in enumerate(keys):
+                    by_shard.setdefault(shard_of(key, self.n_shards), []).append(i)
+                futs = [
+                    (idxs, self._submit(self.shards[sid], "get",
+                                        [keys[i] for i in idxs]))
+                    for sid, idxs in by_shard.items()
+                ]
+                return self._finish(
+                    request_id, op_name, started,
+                    self._fmt_batch_get(len(keys), futs),
+                )
+
+            if opcode == protocol.SCAN:
+                low, count = protocol.decode_scan(body)
+                count = min(count, MAX_SCAN_COUNT)
+                futs = [self._submit(s, "scan", (low, count)) for s in self.shards]
+                return self._finish(
+                    request_id, op_name, started, self._fmt_scan(count, futs)
+                )
+
+            if opcode == protocol.COUNT:
+                low, high = protocol.decode_range(body)
+                futs = [self._submit(s, "count", (low, high)) for s in self.shards]
+                return self._finish(
+                    request_id, op_name, started, self._fmt_count(futs)
+                )
+
+            if opcode == protocol.SYNC:
+                futs = [self._submit(s, "sync", None) for s in self.shards]
+                return self._finish(
+                    request_id, op_name, started, self._fmt_sync(futs)
+                )
+
+            if opcode == protocol.STATS:
+                snapshot = self.stats.snapshot(self.shards or None)
+                snapshot["n_shards"] = self.n_shards
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.OK, json.dumps(snapshot).encode(),
+                )
+
+            if opcode == protocol.SHUTDOWN:
+                self.request_shutdown()
+                return self._immediate(
+                    request_id, op_name, started, protocol.OK, b""
+                )
+
+            raise protocol.ProtocolError(f"unknown opcode {opcode}")
+        except _Overloaded:
+            self.stats.record_overload()
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.OVERLOADED, b"shard queue full",
+            )
+        except (protocol.ProtocolError, KeyError, IndexError, struct_error) as exc:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, str(exc).encode(),
+            )
+
+    def _immediate(
+        self, request_id: int, op_name: str, started: float,
+        status: int, body: bytes,
+    ) -> bytes:
+        self.stats.record_op(op_name, time.perf_counter() - started)
+        return protocol.frame(request_id, status, body)
+
+    async def _finish(
+        self, request_id: int, op_name: str, started: float, formatter
+    ) -> bytes:
+        try:
+            status, body = await formatter
+        except Exception as exc:
+            self.stats.record_error()
+            status, body = protocol.ERROR, str(exc).encode()
+        self.stats.record_op(op_name, time.perf_counter() - started)
+        return protocol.frame(request_id, status, body)
+
+    # -- shard fan-out ------------------------------------------------------
+
+    def _submit(self, shard: ShardWorker, op: str, args: Any) -> asyncio.Future:
+        loop = self._loop
+        future = loop.create_future()
+        if not shard.submit(ShardRequest(op, args, future, loop)):
+            raise _Overloaded()
+        return future
+
+    @staticmethod
+    async def _fmt_get(fut: asyncio.Future) -> tuple[int, bytes]:
+        values = await fut
+        if values[0] is None:
+            return protocol.NOT_FOUND, b""
+        return protocol.OK, protocol.encode_value_body(values[0])
+
+    @staticmethod
+    async def _fmt_ack(fut: asyncio.Future) -> tuple[int, bytes]:
+        await fut
+        return protocol.OK, b""
+
+    @staticmethod
+    async def _fmt_batch_get(n_keys, futs) -> tuple[int, bytes]:
+        out: list[Any] = [None] * n_keys
+        for idxs, fut in futs:
+            values = await fut
+            for i, value in zip(idxs, values):
+                out[i] = value
+        return protocol.OK, protocol.encode_maybe_values(out, missing=None)
+
+    @staticmethod
+    async def _fmt_scan(count, futs) -> tuple[int, bytes]:
+        """Merge per-shard scans by key (shards are disjoint by hash,
+        so the heap merge needs no newest-wins logic)."""
+        per_shard = await asyncio.gather(*futs)
+        merged = heapq.merge(*per_shard, key=lambda kv: kv[0])
+        out = []
+        for pair in merged:
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return protocol.OK, protocol.encode_pairs(out)
+
+    @staticmethod
+    async def _fmt_count(futs) -> tuple[int, bytes]:
+        counts = await asyncio.gather(*futs)
+        return protocol.OK, protocol.encode_u64_body(sum(counts))
+
+    @staticmethod
+    async def _fmt_sync(futs) -> tuple[int, bytes]:
+        await asyncio.gather(*futs)
+        return protocol.OK, b""
+
+
+class ServerThread:
+    """Run a :class:`KVServer` on a private event loop in a daemon
+    thread — the bridge that lets synchronous harnesses (tests, the
+    differential fuzzer, the sync client benchmarks) drive the asyncio
+    server in-process."""
+
+    def __init__(self, server: KVServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="kv-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            self._thread.join(timeout=10)
+            raise self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+        finally:
+            self._ready.set()
+            try:
+                loop.close()
+            except Exception:
+                pass
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Graceful drain from the calling thread; idempotent."""
+        loop, thread = self._loop, self._thread
+        if thread is None or loop is None or not thread.is_alive():
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), loop
+            ).result(timeout=timeout)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=timeout)

@@ -542,6 +542,114 @@ class LsmAdapter(Adapter):
         raise ValueError(f"unknown op {op.op!r}")
 
 
+class ServerAdapter(Adapter):
+    """The sharded KV server driven over a loopback client/server pair.
+
+    Every op crosses the real stack: wire protocol framing, the asyncio
+    front-end, hash sharding, the per-shard worker queues, and finally
+    the durable engines (each shard on its own ``MemFS``).  ``merge``
+    maps to a SYNC request (flush/commit is the server's concern);
+    ``serialize`` is a full graceful drain — stop the server, restart
+    it over the *same* in-memory filesystems, reconnect — so recovery
+    of every shard plus the rebind handshake is exercised mid-sequence.
+    ``get_many`` travels as one BATCH_GET, covering the scatter/gather
+    and reassembly path.
+    """
+
+    def __init__(self, name: str = "server", n_shards: int = 2) -> None:
+        self._n_shards = n_shards
+        self._runner = None
+        self._client = None
+        super().__init__(name)
+
+    def _teardown(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+        if self._runner is not None:
+            self._runner.stop()
+            self._runner = None
+
+    def _start(self) -> None:
+        from ..server import KVClient, KVServer, ServerThread
+
+        shard_fss = self._fss
+        server = KVServer(
+            "server-fuzz",
+            n_shards=self._n_shards,
+            fs=lambda i: shard_fss[i],
+            engine_config=self._config,
+        )
+        self._runner = ServerThread(server).start()
+        self._client = KVClient(server.host, server.port)
+
+    def reset(self) -> None:
+        from .faultfs import MemFS
+
+        self._teardown()
+        self._fss = [MemFS() for _ in range(self._n_shards)]
+        self._config = dict(
+            memtable_entries=16,
+            sstable_entries=64,
+            block_entries=8,
+            level0_limit=2,
+            block_cache_blocks=32,
+            wal_sync_every=4,
+        )
+        self._start()
+        self._present: set[bytes] = set()
+
+    def apply(self, op: Op) -> Any:
+        client = self._client
+        if op.op == "insert":
+            if op.key in self._present:
+                return False
+            client.put(op.key, op.value)
+            self._present.add(op.key)
+            return True
+        if op.op == "update":
+            if op.key not in self._present:
+                return False
+            client.put(op.key, op.value)
+            return True
+        if op.op == "delete":
+            if op.key not in self._present:
+                return False
+            client.delete(op.key)
+            self._present.discard(op.key)
+            return True
+        if op.op == "get":
+            return client.get(op.key)
+        if op.op == "get_many":
+            return client.get_many(op.keys)
+        if op.op == "contains":
+            return client.get(op.key) is not None
+        if op.op in ("lower_bound", "scan"):
+            return client.scan(op.key, op.count)
+        if op.op == "range":
+            hits = client.scan(op.key, 1)
+            return bool(hits) and hits[0][0] < op.high
+        if op.op == "count":
+            hits = client.scan(op.key, COUNT_CLAMP)
+            return sum(1 for k, _ in hits if k < op.high)
+        if op.op == "len":
+            return len(self._present)
+        if op.op == "items":
+            return client.scan(b"", len(self._present) + 1)
+        if op.op == "merge":
+            client.sync()
+            return None
+        if op.op == "serialize":
+            # Graceful drain, then recover every shard from its MemFS.
+            self._teardown()
+            self._start()
+            return None
+        raise ValueError(f"unknown op {op.op!r}")
+
+
 # -- registry ----------------------------------------------------------------
 
 
@@ -616,6 +724,8 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
             "lsm_surf",
             filter_factory=lambda keys: _lsm_surf_filter(keys),
         ),
+        # the sharded KV server, loopback TCP through the real protocol
+        "server": lambda: ServerAdapter("server"),
     }
 
 

@@ -16,6 +16,7 @@ from .ycsb import (
     WORKLOAD_MIXES,
     YcsbWorkload,
     generate,
+    partition,
     point_query_keys,
 )
 from .zipf import (
@@ -39,6 +40,7 @@ __all__ = [
     "WORKLOAD_MIXES",
     "YcsbWorkload",
     "generate",
+    "partition",
     "point_query_keys",
     "ScrambledZipfianGenerator",
     "UniformGenerator",

@@ -341,3 +341,81 @@ class TestRegressions:
         b_ids = sorted(t.table_id for level in b.levels for t in level)
         assert a_ids == list(range(len(a_ids)))
         assert b_ids == list(range(len(b_ids)))
+
+
+class TestBatchOps:
+    """Native batch point reads and writes (the serving-layer feed)."""
+
+    def _loaded(self, filter_factory=None, n=400):
+        lsm = LSMTree(
+            memtable_entries=32,
+            sstable_entries=128,
+            block_entries=16,
+            level0_limit=2,
+            filter_factory=filter_factory,
+        )
+        for i in range(n):
+            lsm.put(encode_u64(i), i)
+        for i in range(0, n, 7):
+            lsm.delete(encode_u64(i))
+        return lsm
+
+    @pytest.mark.parametrize("factory", [None, bloom_factory, surf_factory])
+    def test_get_many_matches_scalar(self, factory):
+        lsm = self._loaded(filter_factory=factory)
+        keys = [encode_u64(i) for i in range(0, 500, 3)]
+        assert lsm.get_many(keys) == [lsm.get(k) for k in keys]
+
+    def test_get_many_duplicates_and_order(self):
+        lsm = self._loaded()
+        keys = [encode_u64(1), encode_u64(999), encode_u64(1), encode_u64(7)]
+        assert lsm.get_many(keys) == [1, None, 1, None]  # 7 was deleted
+
+    def test_get_many_empty(self):
+        assert LSMTree().get_many([]) == []
+
+    def test_get_many_newest_wins_across_levels(self):
+        lsm = LSMTree(memtable_entries=4, sstable_entries=8, level0_limit=2)
+        for round_ in range(5):
+            for i in range(8):
+                lsm.put(encode_u64(i), round_ * 100 + i)
+        keys = [encode_u64(i) for i in range(8)]
+        assert lsm.get_many(keys) == [400 + i for i in range(8)]
+
+    def test_get_many_uses_batch_filter_probes(self):
+        """With a Bloom filter, a batch of absent keys should be
+        answered almost entirely by vectorized filter probes."""
+        lsm = self._loaded(filter_factory=bloom_factory)
+        lsm.flush_memtable()
+        lsm.io.reset()
+        # In-range but never stored (between stored keys), so tables
+        # can only be ruled out by their filters, not by key range.
+        absent = [encode_u64(i) + b"\x01" for i in range(64)]
+        assert lsm.get_many(absent) == [None] * 64
+        assert lsm.io.filter_probes > 0
+        assert lsm.io.block_reads <= 8  # filters deflect nearly all I/O
+
+    def test_put_many_delete_many(self):
+        lsm = LSMTree(memtable_entries=16)
+        lsm.put_many([(encode_u64(i), i) for i in range(50)])
+        assert lsm.get_many([encode_u64(i) for i in range(50)]) == list(range(50))
+        lsm.delete_many([encode_u64(i) for i in range(0, 50, 2)])
+        assert lsm.get(encode_u64(2)) is None
+        assert lsm.get(encode_u64(3)) == 3
+        assert lsm.last_seq == 75  # 50 puts + 25 deletes, one seq each
+
+    def test_write_batch_triggers_flush(self):
+        lsm = LSMTree(memtable_entries=8, sstable_entries=32)
+        lsm.write_batch([(encode_u64(i), i) for i in range(20)])
+        assert sum(len(level) for level in lsm.levels) > 0
+        assert lsm.get(encode_u64(19)) == 19
+
+    def test_context_manager_and_idempotent_close(self):
+        from repro.testing.faultfs import MemFS
+
+        fs = MemFS()
+        with LSMTree.open("db", fs=fs, memtable_entries=8) as lsm:
+            lsm.put(b"k", 1)
+        lsm.close()  # second close: no error, no double WAL close
+        with LSMTree.open("db", fs=fs, memtable_entries=8) as again:
+            assert again.get(b"k") == 1

@@ -509,3 +509,72 @@ class TestKillAtEverySyncPoint:
             _assert_state_matches(final, expected)
             if not crashed:
                 break
+
+
+# -- batched writes (group commit) -------------------------------------------
+
+
+class TestWriteBatch:
+    def test_batch_is_one_group_commit(self):
+        """A write_batch of any size costs exactly one WAL fsync and
+        acknowledges every record in it at once."""
+        fs = FaultFS()
+        db = LSMTree.open("db", fs=fs, memtable_entries=64, wal_sync_every=32)
+        base = fs.sync_points
+        db.write_batch([(encode_u64(i), i) for i in range(20)])
+        assert fs.sync_points == base + 1
+        assert db.last_acked_seq == 20
+
+    def test_batch_with_tombstones_recovers(self):
+        fs = MemFS()
+        db = LSMTree.open("db", fs=fs, **CONFIG)
+        db.write_batch([(encode_u64(i), i) for i in range(10)])
+        db.write_batch(
+            [(encode_u64(3), TOMBSTONE), (encode_u64(10), 100), (encode_u64(4), TOMBSTONE)]
+        )
+        db.close()
+        db2 = LSMTree.open("db", fs=fs, **CONFIG)
+        assert db2.get(encode_u64(3)) is None
+        assert db2.get(encode_u64(4)) is None
+        assert db2.get(encode_u64(5)) == 5
+        assert db2.get(encode_u64(10)) == 100
+        assert db2.last_seq == 13
+
+    def test_unstorable_value_aborts_batch_unchanged(self):
+        """Encoding happens before any byte reaches the WAL: a bad
+        value must leave the log, the seq counter, and the memtable
+        exactly as they were."""
+        fs = MemFS()
+        db = LSMTree.open("db", fs=fs, **CONFIG)
+        db.put(b"before", 1)
+        seq = db.last_seq
+        with pytest.raises(TypeError):
+            db.write_batch([(b"good", 2), (b"bad", 1.5)])
+        assert db.last_seq == seq
+        assert db.get(b"good") is None
+        db.close()
+        db2 = LSMTree.open("db", fs=fs, **CONFIG)
+        assert db2.get(b"good") is None
+        assert db2.get(b"before") == 1
+        assert db2.last_seq == seq
+
+    def test_crash_right_after_batch_keeps_whole_batch(self):
+        fs = FaultFS(fail_at=None)
+        db = LSMTree.open("db", fs=fs, **CONFIG)
+        db.write_batch([(encode_u64(i), i) for i in range(6)])
+        acked = db.last_acked_seq
+        assert acked == 6
+        for mode in CRASH_MODES:
+            view = fs.crashed_view(mode)
+            recovered = LSMTree.open("db", fs=view, **CONFIG)
+            assert recovered.last_seq >= acked
+            for i in range(6):
+                assert recovered.get(encode_u64(i)) == i
+            recovered.close()
+
+    def test_empty_batch_is_free(self):
+        fs = FaultFS()
+        db = LSMTree.open("db", fs=fs, **CONFIG)
+        base = fs.sync_points
+        db.write_batch([])
+        assert fs.sync_points == base and db.last_seq == 0

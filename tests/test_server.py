@@ -1,0 +1,518 @@
+"""The sharded KV server: protocol, end-to-end ops, coalescing,
+backpressure, graceful shutdown, and crash durability through the
+network stack.
+
+The crash centerpiece mirrors the engine-level kill matrix
+(``test_lsm_durability.py``) but acknowledges through the *server*: a
+client counts OK write responses against a FaultFS-backed shard, power
+fails at every sync/rename point in turn, and recovery under all four
+torn-write models must contain every client-acknowledged write.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.lsm import LSMTree, TOMBSTONE
+from repro.server import (
+    AsyncKVClient,
+    KVClient,
+    KVServer,
+    ServerError,
+    ServerShuttingDownError,
+    ServerThread,
+    shard_of,
+)
+from repro.server import protocol
+from repro.server.shard import ShardRequest, ShardWorker
+from repro.server.stats import LatencyHistogram, ServerStats
+from repro.testing.faultfs import CRASH_MODES, FaultFS, MemFS, PowerFailure
+from repro.workloads.keys import encode_u64
+
+TINY_CONFIG = dict(
+    memtable_entries=16,
+    sstable_entries=64,
+    block_entries=8,
+    level0_limit=2,
+    block_cache_blocks=32,
+    wal_sync_every=4,
+)
+
+
+def start_server(n_shards=2, **kw):
+    """In-process server over per-shard MemFS; returns (server, runner, fss)."""
+    fss = [MemFS() for _ in range(n_shards)]
+    server = KVServer(
+        "kv",
+        n_shards=n_shards,
+        fs=lambda i: fss[i],
+        engine_config=kw.pop("engine_config", TINY_CONFIG),
+        **kw,
+    )
+    runner = ServerThread(server).start()
+    return server, runner, fss
+
+
+# -- wire protocol -----------------------------------------------------------
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        blob = protocol.frame(7, protocol.GET, b"body")
+        length = protocol.parse_length(blob[:4])
+        assert length == len(blob) - 4
+        request_id, code, body = protocol.parse_payload(blob[4:])
+        assert (request_id, code, body) == (7, protocol.GET, b"body")
+
+    def test_length_bounds(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_length((protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "little"))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_length((2).to_bytes(4, "little"))  # < header
+        with pytest.raises(protocol.ProtocolError):
+            protocol.frame(1, protocol.PUT, b"x" * protocol.MAX_FRAME_BYTES)
+
+    def test_key_value_codecs(self):
+        for value in (0, -5, 2**62, b"", b"\x00\xff", "héllo"):
+            body = protocol.encode_key_value(b"key", value)
+            assert protocol.decode_key_value(body) == (b"key", value)
+        assert protocol.decode_key(protocol.encode_key(b"k")) == b"k"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_key(protocol.encode_key(b"k") + b"junk")
+
+    def test_batch_codecs(self):
+        keys = [b"a", b"", b"long" * 10]
+        assert protocol.decode_keys(protocol.encode_keys(keys)) == keys
+        pairs = [(b"a", 1), (b"b", b"raw"), (b"c", "s")]
+        assert protocol.decode_pairs(protocol.encode_pairs(pairs)) == pairs
+        values = [1, None, b"x", None, "y"]
+        body = protocol.encode_maybe_values(values, missing=None)
+        assert protocol.decode_maybe_values(body) == values
+
+    def test_scan_range_u64_codecs(self):
+        assert protocol.decode_scan(protocol.encode_scan(b"lo", 9)) == (b"lo", 9)
+        assert protocol.decode_range(protocol.encode_range(b"a", b"b")) == (b"a", b"b")
+        assert protocol.decode_u64_body(protocol.encode_u64_body(2**40)) == 2**40
+
+
+class TestLatencyHistogram:
+    def test_buckets_and_quantiles(self):
+        h = LatencyHistogram()
+        for us in (1, 2, 4, 1000, 1000, 1000):
+            h.record(us / 1e6)
+        d = h.to_dict()
+        assert d["count"] == 6
+        assert d["p50_us"] <= d["p99_us"]
+        assert h.quantile_us(0.99) >= 1000
+
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.quantile_us(0.5) == 0.0
+        assert h.to_dict()["mean_us"] == 0.0
+
+
+# -- end-to-end over loopback TCP -------------------------------------------
+
+
+class TestServerOps:
+    def test_point_ops_and_types(self):
+        server, runner, _ = start_server(n_shards=3)
+        try:
+            with KVClient(server.host, server.port) as c:
+                c.put(b"a", b"bytes")
+                c.put(b"b", -17)
+                c.put(b"c", "text")
+                assert c.get(b"a") == b"bytes"
+                assert c.get(b"b") == -17
+                assert c.get(b"c") == "text"
+                assert c.get(b"missing") is None
+                c.delete(b"b")
+                assert c.get(b"b") is None
+        finally:
+            runner.stop()
+
+    def test_batch_get_spans_shards(self):
+        server, runner, _ = start_server(n_shards=3)
+        try:
+            keys = [encode_u64(i) for i in range(60)]
+            # Sanity: the keys actually land on every shard.
+            assert len({shard_of(k, 3) for k in keys}) == 3
+            with KVClient(server.host, server.port) as c:
+                for i, k in enumerate(keys):
+                    c.put(k, i)
+                got = c.get_many(keys + [b"absent"])
+                assert got == list(range(60)) + [None]
+        finally:
+            runner.stop()
+
+    def test_scan_merges_shards_in_order(self):
+        server, runner, _ = start_server(n_shards=3)
+        try:
+            keys = [b"k%04d" % i for i in range(80)]
+            with KVClient(server.host, server.port) as c:
+                for i, k in enumerate(keys):
+                    c.put(k, i)
+                pairs = c.scan(b"k0010", 25)
+                assert [k for k, _ in pairs] == keys[10:35]
+                assert [v for _, v in pairs] == list(range(10, 35))
+                assert c.scan(b"zzz", 5) == []
+                assert c.count(b"k0000", b"k0080") > 0
+        finally:
+            runner.stop()
+
+    def test_put_tombstone_is_bad_request(self):
+        server, runner, _ = start_server()
+        try:
+            with KVClient(server.host, server.port) as c:
+                with pytest.raises(ServerError) as err:
+                    c.put(b"k", TOMBSTONE)
+                assert err.value.status == protocol.BAD_REQUEST
+        finally:
+            runner.stop()
+
+    def test_unknown_opcode_is_bad_request(self):
+        server, runner, _ = start_server()
+        try:
+            with KVClient(server.host, server.port) as c:
+                status, _ = c._call(200, b"")
+                assert status == protocol.BAD_REQUEST
+        finally:
+            runner.stop()
+
+    def test_stats_reports_shards_and_ops(self):
+        server, runner, _ = start_server(n_shards=2)
+        try:
+            with KVClient(server.host, server.port) as c:
+                for i in range(10):
+                    c.put(encode_u64(i), i)
+                    c.get(encode_u64(i))
+                st = c.stats()
+            assert st["n_shards"] == 2 and len(st["shards"]) == 2
+            assert st["ops"]["put"] == 10 and st["ops"]["get"] == 10
+            assert st["latency"]["get"]["count"] == 10
+            assert sum(s["entries"] for s in st["shards"]) == 10
+        finally:
+            runner.stop()
+
+    def test_pipelined_async_client(self):
+        server, runner, _ = start_server(n_shards=2)
+        try:
+
+            async def drive():
+                c = await AsyncKVClient.connect(server.host, server.port)
+                try:
+                    await asyncio.gather(
+                        *(c.put(encode_u64(i), i) for i in range(150))
+                    )
+                    values = await asyncio.gather(
+                        *(c.get(encode_u64(i)) for i in range(150))
+                    )
+                    assert values == list(range(150))
+                    assert await c.get_many(
+                        [encode_u64(0), b"absent", encode_u64(149)]
+                    ) == [0, None, 149]
+                    return await c.stats()
+                finally:
+                    await c.close()
+
+            stats = asyncio.run(drive())
+            # Concurrency through one pipelined connection must have
+            # produced at least one multi-key coalesced engine read.
+            assert stats["coalesced_gets"]["max"] > 1
+        finally:
+            runner.stop()
+
+    def test_per_connection_order_write_then_read(self):
+        """A pipelined GET issued after a PUT of the same key sees it."""
+        server, runner, _ = start_server(n_shards=1)
+        try:
+
+            async def drive():
+                c = await AsyncKVClient.connect(server.host, server.port)
+                try:
+                    results = []
+                    for i in range(30):
+                        put = asyncio.ensure_future(c.put(b"hot", i))
+                        get = asyncio.ensure_future(c.get(b"hot"))
+                        await asyncio.gather(put, get)
+                        results.append(get.result())
+                    return results
+                finally:
+                    await c.close()
+
+            assert asyncio.run(drive()) == list(range(30))
+        finally:
+            runner.stop()
+
+
+# -- coalescing and backpressure ---------------------------------------------
+
+
+class TestCoalescing:
+    def _worker(self, n_shards_cfg=TINY_CONFIG, queue_limit=64):
+        engine = LSMTree.open("db", fs=MemFS(), **n_shards_cfg)
+        return ShardWorker(0, engine, ServerStats(), queue_limit=queue_limit)
+
+    def test_queued_gets_coalesce_into_one_batch(self):
+        """Requests queued before the worker starts drain as ONE burst:
+        a deterministic reproduction of what concurrency produces."""
+        worker = self._worker()
+        for i in range(20):
+            worker.engine.put(encode_u64(i), i)
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            futures = []
+            for i in range(20):
+                fut = loop.create_future()
+                assert worker.submit(
+                    ShardRequest("get", [encode_u64(i)], fut, loop)
+                )
+                futures.append(fut)
+            worker.start()
+            return await asyncio.gather(*futures)
+
+        values = asyncio.run(drive())
+        assert [v[0] for v in values] == list(range(20))
+        stat = worker.stats.coalesced_gets
+        assert stat.calls == 1 and stat.items == 20 and stat.max_size == 20
+        worker.stop()
+        worker.join(timeout=10)
+
+    def test_queued_writes_group_commit(self):
+        worker = self._worker()
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            futures = []
+            for i in range(15):
+                fut = loop.create_future()
+                worker.submit(
+                    ShardRequest("write", [(encode_u64(i), i)], fut, loop)
+                )
+                futures.append(fut)
+            worker.start()
+            await asyncio.gather(*futures)
+
+        asyncio.run(drive())
+        stat = worker.stats.coalesced_writes
+        assert stat.calls == 1 and stat.items == 15
+        assert worker.engine.get(encode_u64(7)) == 7
+        worker.stop()
+        worker.join(timeout=10)
+
+    def test_mixed_burst_preserves_order(self):
+        """PUT(k)=2 between GETs must split the GET coalescing."""
+        worker = self._worker()
+        worker.engine.put(b"k", 1)
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            f1, f2, f3 = (loop.create_future() for _ in range(3))
+            worker.submit(ShardRequest("get", [b"k"], f1, loop))
+            worker.submit(ShardRequest("write", [(b"k", 2)], f2, loop))
+            worker.submit(ShardRequest("get", [b"k"], f3, loop))
+            worker.start()
+            return await asyncio.gather(f1, f2, f3)
+
+        before, _, after = asyncio.run(drive())
+        assert before == [1] and after == [2]
+        assert worker.stats.coalesced_gets.calls == 2
+        worker.stop()
+        worker.join(timeout=10)
+
+    def test_bounded_queue_refuses_when_full(self):
+        worker = self._worker(queue_limit=4)  # never started: queue only fills
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            accepted = [
+                worker.submit(ShardRequest("get", [b"k"], loop.create_future(), loop))
+                for _ in range(8)
+            ]
+            return accepted
+
+        accepted = asyncio.run(drive())
+        assert accepted == [True] * 4 + [False] * 4
+        worker.engine.close()
+
+    def test_server_maps_backpressure_to_overloaded(self, monkeypatch):
+        server, runner, _ = start_server(n_shards=1)
+        try:
+            monkeypatch.setattr(server.shards[0], "submit", lambda req: False)
+            from repro.server import ServerOverloadedError
+
+            with KVClient(server.host, server.port) as c:
+                with pytest.raises(ServerOverloadedError):
+                    c.get(b"k")
+                st = c.stats()
+                assert st["overloads"] == 1
+        finally:
+            monkeypatch.undo()
+            runner.stop()
+
+
+# -- shutdown ----------------------------------------------------------------
+
+
+class TestShutdown:
+    def test_graceful_drain_persists_acked_writes(self):
+        fss = None
+        server, runner, fss = start_server(n_shards=2)
+        with KVClient(server.host, server.port) as c:
+            for i in range(120):
+                c.put(encode_u64(i), i)
+            c.delete(encode_u64(60))
+        runner.stop()
+
+        server2 = KVServer(
+            "kv", n_shards=2, fs=lambda i: fss[i], engine_config=TINY_CONFIG
+        )
+        runner2 = ServerThread(server2).start()
+        try:
+            with KVClient(server2.host, server2.port) as c:
+                for i in range(120):
+                    assert c.get(encode_u64(i)) == (None if i == 60 else i)
+        finally:
+            runner2.stop()
+
+    def test_closing_server_refuses_new_work(self):
+        server, runner, _ = start_server()
+        try:
+            with KVClient(server.host, server.port) as c:
+                c.put(b"k", 1)
+                c.shutdown_server()  # SHUTDOWN answers OK, then drains
+                with pytest.raises(ServerShuttingDownError):
+                    c.get(b"k")
+        finally:
+            runner.stop()
+
+    def test_stop_is_idempotent(self):
+        server, runner, _ = start_server()
+        runner.stop()
+        runner.stop()
+
+    def test_startup_failure_propagates(self):
+        fs = FaultFS(fail_at=1)  # dies creating the very first shard
+        server = KVServer("kv", n_shards=1, fs=fs, engine_config=TINY_CONFIG)
+        with pytest.raises(PowerFailure):
+            ServerThread(server).start()
+
+
+# -- crash durability through the network stack ------------------------------
+
+CRASH_CONFIG = dict(
+    memtable_entries=8,
+    sstable_entries=32,
+    block_entries=4,
+    level0_limit=2,
+    block_cache_blocks=16,
+    wal_sync_every=3,
+)
+
+
+def _crash_workload(n_ops=40, seed=21, key_space=12):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n_ops):
+        key = encode_u64(rng.randrange(key_space))
+        if rng.random() < 0.3:
+            ops.append(("delete", key, None))
+        else:
+            ops.append(("put", key, i))
+    return ops
+
+
+def _model_after(ops, k):
+    model = {}
+    for op, key, value in ops[:k]:
+        if op == "put":
+            model[key] = value
+        else:
+            model.pop(key, None)
+    return model
+
+
+class TestServerCrashDurability:
+    """Kill at every sync/rename point; every server-acked write survives."""
+
+    def _server_run(self, ops, fail_at):
+        """Drive ops through a 1-shard server on FaultFS(fail_at).
+
+        Returns (fs, acked): ``acked`` counts writes whose OK response
+        reached the client before the power failure.
+        """
+        fs = FaultFS(fail_at=fail_at)
+        server = KVServer("db", n_shards=1, fs=fs, engine_config=CRASH_CONFIG)
+        try:
+            runner = ServerThread(server).start()
+        except PowerFailure:
+            return fs, 0
+        acked = 0
+        try:
+            client = KVClient(server.host, server.port)
+            try:
+                for op, key, value in ops:
+                    try:
+                        if op == "put":
+                            client.put(key, value)
+                        else:
+                            client.delete(key)
+                    except (ServerError, ConnectionError, OSError):
+                        break
+                    acked += 1
+            finally:
+                client.close()
+        finally:
+            runner.stop()
+        return fs, acked
+
+    def _count_sync_points(self, ops):
+        fs, acked = self._server_run(ops, fail_at=None)
+        assert acked == len(ops)
+        return fs.sync_points
+
+    def test_kill_at_every_sync_point(self):
+        ops = _crash_workload()
+        total = self._count_sync_points(ops)
+        assert total > 20  # workload must cross flushes and commits
+        shard_path = "db/shard-00"
+        for point in range(1, total + 1):
+            fs, acked = self._server_run(ops, fail_at=point)
+            if not fs.crashed:
+                assert acked == len(ops)
+            for mode in CRASH_MODES:
+                view = fs.crashed_view(mode)
+                recovered = LSMTree.open(shard_path, fs=view, **CRASH_CONFIG)
+                k = recovered.last_seq
+                assert acked <= k <= len(ops), (
+                    f"point {point} mode {mode} ({fs.crash_label}): "
+                    f"recovered seq {k}, client-acked {acked}"
+                )
+                expected = _model_after(ops, k)
+                for key in {key for _, key, _ in ops}:
+                    assert recovered.get(key) == expected.get(key), (
+                        f"point {point} mode {mode}: key {key!r} diverged"
+                    )
+                recovered.close()
+
+
+# -- differential fuzz through the server ------------------------------------
+
+
+class TestServerFuzz:
+    def test_differential_fuzz_clean(self):
+        from repro.testing.adapters import make_adapter
+        from repro.testing.differential import run_sequence
+        from repro.testing.ops import generate_ops
+
+        adapter = make_adapter("server")
+        try:
+            failure, stats = run_sequence(adapter, generate_ops(3, 300))
+            assert failure is None, failure
+            assert stats["applied"] == 300
+        finally:
+            adapter._teardown()
