@@ -54,8 +54,9 @@ class BloomFilter:
         self._words = np.zeros((n_bits + 63) // 64, dtype=np.uint64)
         # Python-int mirror of the words: scalar probes read this to
         # avoid boxing a numpy scalar per probe (the batch path gathers
-        # from the numpy array directly).
-        self._word_ints: list[int] = self._words.tolist()
+        # from the numpy array directly).  Built lazily on view-backed
+        # filters (:meth:`from_bytes` with ``copy=False``).
+        self._word_ints: list[int] | None = self._words.tolist()
         for key in keys:
             self._set(key)
 
@@ -66,12 +67,24 @@ class BloomFilter:
             yield ((h1 + i * h2) & _MASK64) % self.n_bits
 
     def _set(self, key: bytes) -> None:
+        if not self._words.flags.writeable:
+            # A view-backed filter (from_bytes(copy=False)) aliases a
+            # caller-owned read-only buffer — typically an mmap'd
+            # SSTable.  Mutating it would either raise a cryptic numpy
+            # error or silently corrupt the shared file; refuse loudly.
+            raise ValueError(
+                "cannot insert into a read-only BloomFilter deserialized "
+                "with copy=False; reload with copy=True to mutate"
+            )
         for bit in self._probes(key):
             self._words[bit >> 6] |= np.uint64(1 << (bit & 63))
-            self._word_ints[bit >> 6] |= 1 << (bit & 63)
+            if self._word_ints is not None:
+                self._word_ints[bit >> 6] |= 1 << (bit & 63)
 
     def may_contain(self, key: bytes) -> bool:
         words = self._word_ints
+        if words is None:
+            words = self._word_ints = self._words.tolist()
         for bit in self._probes(key):
             if not (words[bit >> 6] >> (bit & 63)) & 1:
                 return False
@@ -129,7 +142,17 @@ class BloomFilter:
         return header + self._words.tobytes()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "BloomFilter":
+    def from_bytes(cls, data, copy: bool = True) -> "BloomFilter":
+        """Deserialize from :meth:`to_bytes` output (any bytes-like).
+
+        ``copy=True`` (default): the word array is an owned copy —
+        safe to mutate, independent of ``data``'s lifetime.
+
+        ``copy=False``: the word array is an ``np.frombuffer`` *view*
+        aliasing ``data`` — zero-copy, read-only (:meth:`_set`
+        refuses), and alive only as long as the caller keeps the
+        backing buffer alive.  This is the mmap'd-SSTable path.
+        """
         import struct
 
         header_size = struct.calcsize("<4sQQdI")
@@ -138,7 +161,9 @@ class BloomFilter:
         )
         if magic != b"BLM1":
             raise ValueError("not a BloomFilter blob (bad magic)")
-        words = np.frombuffer(data[header_size:], dtype=np.uint64).copy()
+        words = np.frombuffer(data[header_size:], dtype=np.uint64)
+        if copy:
+            words = words.copy()
         if len(words) != (n_bits + 63) // 64:
             raise ValueError("corrupt BloomFilter blob: word count mismatch")
         flt = cls.__new__(cls)
@@ -147,5 +172,7 @@ class BloomFilter:
         flt.n_bits = n_bits
         flt.k = k
         flt._words = words
-        flt._word_ints = words.tolist()
+        # Deferred: scalar probes build the int mirror on first use, so
+        # deserializing N filters costs no per-word Python loop.
+        flt._word_ints = None
         return flt

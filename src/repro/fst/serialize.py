@@ -30,13 +30,20 @@ def _pack_bitvector(bv: BitVector) -> bytes:
     return struct.pack("<QQ", len(bv), len(words)) + words
 
 
-def _unpack_bitvector(buf: memoryview, offset: int) -> tuple[BitVector, int]:
+def _unpack_bitvector(
+    buf: memoryview, offset: int, copy: bool = True
+) -> tuple[BitVector, int]:
     n_bits, n_bytes = struct.unpack_from("<QQ", buf, offset)
     offset += 16
     raw = buf[offset : offset + n_bytes]
     if len(raw) != n_bytes or n_bytes % 8:
         raise ValueError("corrupt FST blob: truncated or misaligned bit vector")
-    words = np.frombuffer(raw, dtype=np.uint64).copy()
+    # copy=False keeps an np.frombuffer view over the caller's buffer:
+    # read-only (so is the BitVector — it never mutates its words after
+    # construction) and aliasing the buffer's lifetime.
+    words = np.frombuffer(raw, dtype=np.uint64)
+    if copy:
+        words = words.copy()
     # BitVector.__init__ rejects nonzero padding, so a tampered buffer
     # fails loudly here instead of silently corrupting rank/select.
     try:
@@ -54,8 +61,20 @@ def _pack_u64_list(values) -> bytes:
 def _unpack_u64_list(buf: memoryview, offset: int) -> tuple[list[int], int]:
     (n,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
+    # Deliberately a *copy* (python ints): these land in FST fields that
+    # are indexed scalar-by-scalar on the hot path, where boxed numpy
+    # scalars from a view would be slower, not faster.
     arr = np.frombuffer(buf[offset : offset + 8 * n], dtype=np.uint64)
     return [int(v) for v in arr], offset + 8 * n
+
+
+def _unpack_u64_array(buf: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    """View-path variant of :func:`_unpack_u64_list`: a zero-copy
+    ``np.frombuffer`` view (read-only when the buffer is)."""
+    (n,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    arr = np.frombuffer(buf[offset : offset + 8 * n], dtype=np.uint64)
+    return arr, offset + 8 * n
 
 
 def fst_to_bytes(fst: FST) -> bytes:
@@ -87,11 +106,19 @@ def fst_to_bytes(fst: FST) -> bytes:
     return b"".join(parts)
 
 
-def fst_from_bytes(data: bytes) -> FST:
-    """Reconstruct an FST; rank/select supports are rebuilt."""
-    if data[:4] != MAGIC:
-        raise ValueError("not an FST blob (bad magic)")
+def fst_from_bytes(data, copy: bool = True) -> FST:
+    """Reconstruct an FST; rank/select supports are rebuilt.
+
+    ``copy=False`` is the zero-copy path: the bit-vector words, sparse
+    labels, and value arrays are ``np.frombuffer`` views aliasing
+    ``data`` (read-only when ``data`` is, e.g. over an mmap'd SSTable).
+    The caller owns the buffer's lifetime; the FST never mutates these
+    arrays, so sharing is safe.  Rank/select supports are still built
+    fresh — they are derived, engine-private, and small.
+    """
     buf = memoryview(data)
+    if bytes(buf[:4]) != MAGIC:
+        raise ValueError("not an FST blob (bad magic)")
     offset = 4
     (
         n_keys,
@@ -117,19 +144,21 @@ def fst_from_bytes(data: bytes) -> FST:
     fst._sparse_rank_block_override = 512
     fst._select_sample_override = 64
 
-    fst.d_labels, offset = _unpack_bitvector(buf, offset)
-    fst.d_haschild, offset = _unpack_bitvector(buf, offset)
-    fst.d_isprefix, offset = _unpack_bitvector(buf, offset)
-    fst.d_values, offset = _unpack_u64_list(buf, offset)
+    unpack_values = _unpack_u64_list if copy else _unpack_u64_array
+    fst.d_labels, offset = _unpack_bitvector(buf, offset, copy)
+    fst.d_haschild, offset = _unpack_bitvector(buf, offset, copy)
+    fst.d_isprefix, offset = _unpack_bitvector(buf, offset, copy)
+    fst.d_values, offset = unpack_values(buf, offset)
     (n_labels,) = struct.unpack_from("<Q", buf, offset)
     offset += 8
-    fst.s_labels = np.frombuffer(
-        buf[offset : offset + 2 * n_labels], dtype=np.int16
-    ).copy()
+    s_labels = np.frombuffer(buf[offset : offset + 2 * n_labels], dtype=np.int16)
+    fst.s_labels = s_labels.copy() if copy else s_labels
     offset += 2 * n_labels
-    fst.s_haschild, offset = _unpack_bitvector(buf, offset)
-    fst.s_louds, offset = _unpack_bitvector(buf, offset)
-    fst.s_values, offset = _unpack_u64_list(buf, offset)
+    fst.s_haschild, offset = _unpack_bitvector(buf, offset, copy)
+    fst.s_louds, offset = _unpack_bitvector(buf, offset, copy)
+    fst.s_values, offset = unpack_values(buf, offset)
+    # Level-start tables are a handful of entries, indexed per lookup:
+    # always materialize to python ints.
     fst._dense_level_node_start, offset = _unpack_u64_list(buf, offset)
     fst._sparse_level_start, offset = _unpack_u64_list(buf, offset)
 
@@ -171,22 +200,32 @@ def surf_to_bytes(surf) -> bytes:
     )
 
 
-def surf_from_bytes(data: bytes):
-    """Reconstruct a SuRF from :func:`surf_to_bytes` output."""
+def surf_from_bytes(data, copy: bool = True):
+    """Reconstruct a SuRF from :func:`surf_to_bytes` output.
+
+    ``copy=False`` threads the zero-copy contract through to
+    :func:`fst_from_bytes` and the suffix arrays; the caller keeps the
+    backing buffer alive.  Tombstones are *always* copied into an owned
+    ``bytearray``: they are the one mutable piece of a SuRF
+    (``delete()`` sets bits in place), so a view would violate the
+    read-only contract of an mmap'd source.
+    """
     from ..surf.surf import SuRF
 
-    if data[:4] != SURF_MAGIC:
-        raise ValueError("not a SuRF blob (bad magic)")
     buf = memoryview(data)
+    if bytes(buf[:4]) != SURF_MAGIC:
+        raise ValueError("not a SuRF blob (bad magic)")
     offset = 4
     hash_bits, real_bits, fst_len, tomb_len = struct.unpack_from("<BBQQ", buf, offset)
     offset += struct.calcsize("<BBQQ")
-    fst = fst_from_bytes(bytes(buf[offset : offset + fst_len]))
+    fst_blob = buf[offset : offset + fst_len]
+    fst = fst_from_bytes(bytes(fst_blob) if copy else fst_blob, copy=copy)
     offset += fst_len
     tombstones = bytearray(buf[offset : offset + tomb_len]) if tomb_len else None
     offset += tomb_len
-    hash_suffixes, offset = _unpack_u64_list(buf, offset)
-    real_suffixes, offset = _unpack_u64_list(buf, offset)
+    unpack_values = _unpack_u64_list if copy else _unpack_u64_array
+    hash_suffixes, offset = unpack_values(buf, offset)
+    real_suffixes, offset = unpack_values(buf, offset)
 
     surf = SuRF.__new__(SuRF)
     if hash_bits and real_bits:

@@ -123,8 +123,15 @@ def encode_block(pairs: list[tuple[bytes, Any]]) -> bytes:
 
 
 def decode_block(data: bytes) -> list[tuple[bytes, Any]]:
-    """Inverse of :func:`encode_block` over one framed block."""
+    """Inverse of :func:`encode_block` over one framed block.
+
+    Accepts any bytes-like input (including a ``memoryview`` slice of
+    an mmap'd table file); the decoded entries are always materialized
+    ``bytes`` objects so they never alias the caller's buffer.
+    """
     payload, _ = read_frame(data)
+    if not isinstance(payload, bytes):
+        payload = bytes(payload)
     (count,) = _U32.unpack_from(payload, 0)
     offset = 4
     pairs: list[tuple[bytes, Any]] = []

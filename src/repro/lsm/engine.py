@@ -175,10 +175,14 @@ class LSMTree:
         self._seq = self._flushed_seq = self._acked_floor = state.last_seq
         self.levels = [
             [
+                # Passing the manifest's table id makes construction
+                # zero-I/O: the footer and filter load lazily on first
+                # access, so open time is O(1) per table.
                 DiskSSTable(
                     fs,
                     join(path, table_file_name(tid)),
                     filter_factory=self._filter_factory,
+                    table_id=tid,
                 )
                 for tid in level
             ]
@@ -260,6 +264,9 @@ class LSMTree:
         self._closed = True
         if self._wal is not None:
             self._wal.close()
+        for level in self.levels:
+            for table in level:
+                table.close()
 
     def __enter__(self) -> "LSMTree":
         return self
@@ -372,7 +379,9 @@ class LSMTree:
             block_entries=self._block_entries,
             filter_factory=self._filter_factory,
         )
-        return DiskSSTable(self._fs, file_path, filter_factory=self._filter_factory)
+        return DiskSSTable(
+            self._fs, file_path, filter_factory=self._filter_factory, table_id=tid
+        )
 
     # -- compaction -----------------------------------------------------------------
 
@@ -423,6 +432,10 @@ class LSMTree:
             self._block_cache.evict((table.table_id, idx))
         if self.durable:
             self._fs.remove(table.path)
+        # Release the mapping after the unlink.  Outstanding views (a
+        # filter someone still holds, a block mid-decode) keep the
+        # pages alive on POSIX; close() tolerates them.
+        table.close()
 
     def _merge_tables(
         self, newer: list[SSTableBase], older: list[SSTableBase], drop_tombstones: bool
@@ -817,3 +830,20 @@ class LSMTree:
 
     def table_count(self) -> int:
         return sum(len(level) for level in self.levels)
+
+    def info(self) -> dict[str, Any]:
+        """JSON-ready engine counters (the per-shard STATS payload)."""
+        io = self.io
+        reads, hits = io.block_reads, io.cache_hits
+        probes, negatives = io.filter_probes, io.filter_negatives
+        return {
+            "entries": self.total_entries(),
+            "tables": self.table_count(),
+            "last_seq": self.last_seq,
+            "block_reads": reads,
+            "cache_hits": hits,
+            "cache_hit_rate": hits / (reads + hits) if reads + hits else 0.0,
+            "filter_probes": probes,
+            "filter_negatives": negatives,
+            "filter_hit_rate": negatives / probes if probes else 0.0,
+        }

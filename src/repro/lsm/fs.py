@@ -22,7 +22,51 @@ they like as long as the same string round-trips.
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
+
+
+class MappedFile:
+    """A read-only, zero-copy view of one whole file.
+
+    ``view`` is a :class:`memoryview` over the file's bytes; slices of
+    it alias the mapping without copying, which is what lets every
+    shard process share one page-cache copy of each SSTable.
+
+    Ownership rule (see DESIGN.md "Buffer ownership"): any object built
+    over a slice of ``view`` — a block payload, a filter's
+    ``np.frombuffer`` arrays — keeps the underlying buffer alive via
+    the normal buffer protocol.  ``close()`` is therefore best-effort:
+    it drops this wrapper's references and *tolerates* outstanding
+    exports (``mmap.close`` raises :class:`BufferError` while views are
+    exported; on POSIX an unlinked-but-mapped file stays readable, so
+    the pages are simply reclaimed when the last view dies).
+    """
+
+    def __init__(self, buf) -> None:
+        self._buf = buf
+        self.view: memoryview = memoryview(buf)
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self.view) if self.view is not None else 0
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        view, self.view = self.view, None
+        if view is not None:
+            view.release()
+        close = getattr(self._buf, "close", None)
+        if close is not None:
+            try:
+                close()
+            except BufferError:
+                # Outstanding views alias the mapping; the pages stay
+                # valid and are released when the last view is GC'd.
+                pass
+        self._buf = None
 
 
 class WritableFile:
@@ -53,6 +97,17 @@ class FileSystem:
 
     def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
         raise NotImplementedError
+
+    def open_mmap(self, path: str) -> MappedFile:
+        """Map ``path`` read-only for zero-copy access.
+
+        The default implementation snapshots the file into one
+        immutable ``bytes`` object — correct for any backend (and what
+        MemFS/FaultFS rely on, since SSTable files are immutable once
+        written), just not page-shared.  :class:`OsFileSystem`
+        overrides with a real ``mmap``.
+        """
+        return MappedFile(self.read(path))
 
     def create(self, path: str) -> WritableFile:
         """Create (or truncate) ``path`` for appending."""
@@ -107,6 +162,16 @@ class OsFileSystem(FileSystem):
             if offset:
                 f.seek(offset)
             return f.read() if length is None else f.read(length)
+
+    def open_mmap(self, path: str) -> MappedFile:
+        with open(path, "rb") as f:
+            size = os.fstat(f.fileno()).st_size
+            if size == 0:
+                # Zero-length files cannot be mmap'd; an empty snapshot
+                # is equivalent.
+                return MappedFile(b"")
+            m = _mmap.mmap(f.fileno(), 0, access=_mmap.ACCESS_READ)
+        return MappedFile(m)
 
     def create(self, path: str) -> WritableFile:
         return _OsWritableFile(path)

@@ -98,6 +98,9 @@ class SSTableBase:
     def filter_memory_bytes(self) -> int:
         return self.filter.memory_bytes() if self.filter is not None else 0
 
+    def close(self) -> None:
+        """Release any backing resources (no-op for in-memory tables)."""
+
 
 class SSTable(SSTableBase):
     """One immutable in-memory sorted run.
@@ -167,17 +170,25 @@ def _encode_filter(flt: Any) -> tuple[int, bytes]:
     return _FILTER_REBUILD, b""
 
 
-def _decode_filter(tag: int, blob: bytes, keys_loader, filter_factory) -> Any:
+def _decode_filter(tag: int, blob, keys_loader, filter_factory, copy: bool = True) -> Any:
+    """Decode a filter blob.
+
+    With ``copy=False`` the filter's internal arrays are
+    ``np.frombuffer`` *views* over ``blob`` (the zero-copy mmap path);
+    the caller must keep the backing buffer alive for the filter's
+    lifetime — which :class:`DiskSSTable` does by holding its
+    :class:`~repro.lsm.fs.MappedFile` open.
+    """
     if tag == _FILTER_NONE:
         return None
     if tag == _FILTER_SURF:
         from ..fst.serialize import surf_from_bytes
 
-        return surf_from_bytes(blob)
+        return surf_from_bytes(blob, copy=copy)
     if tag == _FILTER_BLOOM:
         from ..filters.bloom import BloomFilter
 
-        return BloomFilter.from_bytes(blob)
+        return BloomFilter.from_bytes(blob, copy=copy)
     if tag == _FILTER_REBUILD:
         # The filter type had no serializer: rebuild it from the table's
         # keys (one full scan at load time — correct, if not cheap).
@@ -242,51 +253,152 @@ def write_sstable(
 
 
 class DiskSSTable(SSTableBase):
-    """A file-backed table: resident footer, on-demand CRC-checked blocks."""
+    """A file-backed table reader over one ``mmap`` of the table file.
 
-    def __init__(self, fs: FileSystem, path: str, filter_factory=None) -> None:
+    Everything is lazy: constructing with a known ``table_id`` (the
+    manifest records it) does **zero** I/O, so ``LSMTree.open`` is O(1)
+    per table regardless of table sizes.  The first real access maps
+    the file once and parses the footer; the filter blob is decoded
+    on the first probe — and decoded *as views*: its ``np.frombuffer``
+    arrays alias the mapping directly (see :func:`_decode_filter`),
+    so N shard processes share one page-cache copy of every filter.
+
+    ``read_block`` serves each block frame as a ``memoryview`` slice of
+    the mapping; :func:`~repro.lsm.disk_format.decode_block`
+    materializes the entries so nothing returned to callers aliases
+    the map.  ``close()`` is safe with views outstanding (see
+    :class:`~repro.lsm.fs.MappedFile`).
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        path: str,
+        filter_factory=None,
+        table_id: int | None = None,
+    ) -> None:
         self._fs = fs
         self.path = path
-        data = fs.read(path)
-        if len(data) < 8 or data[-4:] != TABLE_MAGIC:
+        self._filter_factory = filter_factory
+        self._map = None
+        self._footer_loaded = False
+        self._filter_loaded = False
+        self._filter: Any = None
+        self._table_id = table_id
+        self._filter_span: tuple[int, int] = (0, 0)
+        if table_id is None:
+            self._ensure_footer()
+
+    # -- lazy loading ------------------------------------------------------
+
+    def _ensure_map(self):
+        if self._map is None or self._map.closed:
+            self._map = self._fs.open_mmap(self.path)
+        return self._map
+
+    def _ensure_footer(self) -> None:
+        if self._footer_loaded:
+            return
+        data = self._ensure_map().view
+        path = self.path
+        if len(data) < 8 or bytes(data[-4:]) != TABLE_MAGIC:
             raise FrameError(f"{path}: not an SSTable (bad magic)")
         (footer_len,) = struct.unpack("<I", data[-8:-4])
         if footer_len + 8 > len(data):
             raise FrameError(f"{path}: footer length out of range")
-        footer, _ = disk_format.read_frame(data[-8 - footer_len : -8])
+        # The footer is small and long-lived: materialize it so fences
+        # and min/max keys are real bytes, not views of the map.
+        footer, _ = disk_format.read_frame(bytes(data[-8 - footer_len : -8]))
         off = 0
-        self.table_id, off = disk_format.unpack_u64(footer, off)
-        self.n_entries, off = disk_format.unpack_u64(footer, off)
-        self.min_key, off = disk_format.unpack_bytes(footer, off)
-        self.max_key, off = disk_format.unpack_bytes(footer, off)
+        footer_tid, off = disk_format.unpack_u64(footer, off)
+        if self._table_id is not None and footer_tid != self._table_id:
+            raise FrameError(
+                f"{path}: footer table id {footer_tid} != manifest id {self._table_id}"
+            )
+        self._table_id = footer_tid
+        self._n_entries, off = disk_format.unpack_u64(footer, off)
+        self._min_key, off = disk_format.unpack_bytes(footer, off)
+        self._max_key, off = disk_format.unpack_bytes(footer, off)
         filter_offset, off = disk_format.unpack_u64(footer, off)
         filter_len, off = disk_format.unpack_u64(footer, off)
         n_blocks, off = disk_format.unpack_u64(footer, off)
         self._block_spans: list[tuple[int, int]] = []
-        self.fences = []
+        self._fences: list[bytes] = []
         for _ in range(n_blocks):
             boff, off = disk_format.unpack_u64(footer, off)
             blen, off = disk_format.unpack_u64(footer, off)
             fence, off = disk_format.unpack_bytes(footer, off)
             self._block_spans.append((boff, blen))
-            self.fences.append(fence)
+            self._fences.append(fence)
         if off != len(footer):
             raise FrameError(f"{path}: trailing bytes in footer")
+        self._filter_span = (filter_offset, filter_len)
+        self._footer_loaded = True
 
-        filter_payload, _ = disk_format.read_frame(
-            fs.read(path, filter_offset, filter_len)
-        )
-        self.filter = _decode_filter(
-            filter_payload[0],
-            bytes(filter_payload[1:]),
+    def _ensure_filter(self) -> Any:
+        if self._filter_loaded:
+            return self._filter
+        self._ensure_footer()
+        foff, flen = self._filter_span
+        payload, _ = disk_format.read_frame(self._ensure_map().view[foff : foff + flen])
+        self._filter = _decode_filter(
+            payload[0],
+            payload[1:],  # memoryview slice: the filter aliases the map
             keys_loader=lambda: [k for k, _ in self.items()],
-            filter_factory=filter_factory,
+            filter_factory=self._filter_factory,
+            copy=False,
         )
+        self._filter_loaded = True
+        return self._filter
+
+    # -- SSTableBase surface (all lazy) ------------------------------------
+
+    @property
+    def table_id(self) -> int:
+        if self._table_id is None:
+            self._ensure_footer()
+        return self._table_id
+
+    @property
+    def fences(self) -> list[bytes]:
+        self._ensure_footer()
+        return self._fences
+
+    @property
+    def min_key(self) -> bytes:
+        self._ensure_footer()
+        return self._min_key
+
+    @property
+    def max_key(self) -> bytes:
+        self._ensure_footer()
+        return self._max_key
+
+    @property
+    def n_entries(self) -> int:
+        self._ensure_footer()
+        return self._n_entries
+
+    @property
+    def filter(self) -> Any:
+        return self._ensure_filter()
 
     @property
     def n_blocks(self) -> int:
+        self._ensure_footer()
         return len(self._block_spans)
 
     def read_block(self, idx: int) -> list[tuple[bytes, Any]]:
+        self._ensure_footer()
         off, length = self._block_spans[idx]
-        return disk_format.decode_block(self._fs.read(self.path, off, length))
+        return disk_format.decode_block(self._ensure_map().view[off : off + length])
+
+    def close(self) -> None:
+        """Release the mapping (tolerates outstanding views)."""
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+
+
+#: The name the paper-facing docs use for the zero-copy reader.
+SSTableReader = DiskSSTable

@@ -23,7 +23,9 @@ from .client import (
     ServerOverloadedError,
     ServerShuttingDownError,
 )
+from .procshard import ProcessShard
 from .server import KVServer, ServerThread, shard_of
+from .shard import ShardDown, ShardWorker
 from .stats import LatencyHistogram, ServerStats
 
 __all__ = [
@@ -31,10 +33,13 @@ __all__ = [
     "KVClient",
     "KVServer",
     "LatencyHistogram",
+    "ProcessShard",
     "ServerError",
     "ServerOverloadedError",
     "ServerShuttingDownError",
     "ServerStats",
     "ServerThread",
+    "ShardDown",
+    "ShardWorker",
     "shard_of",
 ]

@@ -33,6 +33,7 @@ async def _serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         queue_limit=args.queue_limit,
+        shard_mode=args.shard_mode,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -40,19 +41,36 @@ async def _serve(args: argparse.Namespace) -> int:
         try:
             loop.add_signal_handler(sig, server.request_shutdown)
         except NotImplementedError:  # pragma: no cover - non-POSIX
-            pass
+            # Fallback: a plain signal handler runs between bytecodes on
+            # the main thread, where this loop lives, so requesting the
+            # drain directly is safe.
+            signal.signal(sig, lambda *_: server.request_shutdown())
     print(
-        f"serving {args.shards} shard(s) at {args.path} "
+        f"serving {args.shards} {args.shard_mode} shard(s) at {args.path} "
         f"on {server.host}:{server.port}",
         flush=True,
     )
-    await server.serve_forever()
-    print("drained and closed", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        # Signal-safe shutdown: whatever interrupted the wait — a
+        # KeyboardInterrupt that raced the handler installation, an
+        # exception mid-serve — the drain-and-sync path runs before the
+        # loop is torn down (shutdown() is idempotent, and with process
+        # shards it also reaps every child).
+        await server.shutdown()
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    return asyncio.run(_serve(args))
+    try:
+        code = asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        # The drain already ran in _serve's finally; the interrupt
+        # simply unwound the loop afterwards.
+        code = 0
+    print("drained and closed", flush=True)
+    return code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -74,6 +92,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             pipelined=not args.no_pipeline,
             duration=args.duration,
             seed=args.seed,
+            shard_mode=args.shard_mode,
         )
     finally:
         if tmp is not None:
@@ -99,6 +118,9 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=4440)
     serve.add_argument("--queue-limit", type=int, default=1024)
+    serve.add_argument("--shard-mode", choices=("thread", "process"),
+                       default="thread",
+                       help="worker threads (GIL-bound) or one process per shard")
     serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="YCSB benchmark against a fresh server")
@@ -114,6 +136,9 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--no-pipeline", action="store_true",
                        help="blocking client, one request in flight per connection")
     bench.add_argument("--stats-out", default=None, help="write JSON summary here")
+    bench.add_argument("--shard-mode", choices=("thread", "process"),
+                       default="thread",
+                       help="worker threads (GIL-bound) or one process per shard")
     bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)

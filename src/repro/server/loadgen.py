@@ -46,6 +46,7 @@ class LoadResult:
     elapsed: float
     overloads: int = 0
     server_stats: dict = field(default_factory=dict)
+    shard_mode: str = "thread"
 
     @property
     def throughput(self) -> float:
@@ -55,6 +56,7 @@ class LoadResult:
         return {
             "workload": self.workload,
             "mode": self.mode,
+            "shard_mode": self.shard_mode,
             "n_connections": self.n_connections,
             "pipeline_depth": self.pipeline_depth,
             "ops_done": self.ops_done,
@@ -231,6 +233,7 @@ def run_benchmark(
     seed: int = 42,
     engine_config: dict | None = None,
     fs: Any = None,
+    shard_mode: str = "thread",
 ) -> LoadResult:
     """Full serving experiment: start a server at ``path``, bulk-load,
     run the YCSB mix, snapshot stats, drain gracefully.
@@ -248,6 +251,7 @@ def run_benchmark(
         n_shards=n_shards,
         fs=fs,
         engine_config=engine_config or {},
+        shard_mode=shard_mode,
     )
     runner = ServerThread(server).start()
     try:
@@ -287,4 +291,5 @@ def run_benchmark(
         elapsed=elapsed,
         overloads=overloads,
         server_stats=stats,
+        shard_mode=shard_mode,
     )

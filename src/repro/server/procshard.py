@@ -1,0 +1,347 @@
+"""Process shards: one LSM engine per worker *process*.
+
+Thread shards (:class:`~repro.server.shard.ShardWorker`) coalesce
+beautifully but execute every engine operation under one GIL — N
+shards add zero CPU parallelism.  A :class:`ProcessShard` keeps the
+exact same queueing/coalescing front (it *is* a ``ShardWorker``), but
+its "engine" is a :class:`RemoteEngine` proxy: each coalesced batch is
+one length-prefixed RPC over a pipe to a spawned child process that
+owns the real :class:`~repro.lsm.engine.LSMTree`.  Frames reuse
+:mod:`repro.server.protocol` (``<u32 len><u32 request_id><u8 op>``)
+with a private opcode range and the same body codecs, so the wire
+discipline is identical inside and outside the process.
+
+The zero-copy read path is what makes this profitable: every child
+maps each SSTable once (``FileSystem.open_mmap``) and builds filters
+as ``np.frombuffer`` views, so N processes share one page-cache copy
+of all static structures instead of N heap copies.
+
+Spawn-safety and test support:
+
+* the child entry point is a module-level function; the ``spawn``
+  start method is used unconditionally (forking a threaded asyncio
+  parent is unsafe);
+* ``fs`` may be any *picklable* FileSystem (MemFS / FaultFS) — the
+  child runs against its own copy and ships the final filesystem state
+  back in the STOP reply (or alongside a startup error), which the
+  parent merges into the original object in place.  That round-trip is
+  what lets the kill-at-every-sync-point matrix and the wire fuzzer
+  drive ``--shard-mode=process`` unchanged;
+* the child ignores SIGINT (a terminal ^C reaches the whole process
+  group and must not kill a shard mid-commit) but treats SIGTERM as
+  sync-and-exit — ``Process.terminate`` and Python's exit-time cleanup
+  of daemon children rely on it; shutdown is normally coordinated by
+  the parent's drain (STOP), and a vanished parent is detected as EOF
+  on the pipe, so children never outlive the server.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pickle
+import signal
+from typing import Any, Callable
+
+from ..lsm.fs import FileSystem
+from . import protocol
+from .shard import MAX_BURST, ShardWorker, WorkerCrash
+from .stats import ServerStats
+
+#: Shard-RPC opcodes (disjoint from the client-facing 1..9 range).
+OP_GET_MANY = 32
+OP_WRITE_BATCH = 33
+OP_SCAN = 34
+OP_COUNT = 35
+OP_SYNC = 36
+OP_INFO = 37
+OP_STOP = 38
+
+#: Seconds the parent waits for a child to finish its drain on STOP.
+STOP_TIMEOUT = 60.0
+
+
+def _pickle_error(exc: BaseException, fs: FileSystem | None) -> bytes:
+    """Error reply body: the exception (and fs state, for startup
+    failures) — degraded to a picklable stand-in when needed."""
+    try:
+        return pickle.dumps((exc, fs))
+    except Exception:
+        return pickle.dumps((RuntimeError(repr(exc)), None))
+
+
+def _shard_child_main(
+    conn,
+    path: str,
+    engine_config: dict,
+    fs: FileSystem | None,
+    filter_factory: Callable | None,
+) -> None:
+    """Entry point of one shard process (module-level: spawn-picklable)."""
+    # The parent's drain is the normal shutdown authority; a ^C on the
+    # server's terminal goes to the whole process group and must not
+    # kill a child mid-commit, so SIGINT is ignored.  SIGTERM is the
+    # forceful path (``Process.terminate``, and multiprocessing's
+    # exit-time cleanup of leaked daemon children uses terminate-then-
+    # ``join()`` with no timeout): it must always work, so it syncs the
+    # engine and exits instead of being ignored — otherwise one leaked
+    # shard would hang the parent interpreter's shutdown forever.
+    def _graceful_term(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, _graceful_term)
+
+    from ..lsm.engine import LSMTree
+
+    try:
+        engine = LSMTree.open(
+            path, fs=fs, filter_factory=filter_factory, **engine_config
+        )
+    except BaseException as exc:
+        try:
+            conn.send_bytes(protocol.frame(0, protocol.ERROR, _pickle_error(exc, fs)))
+        finally:
+            conn.close()
+        return
+    conn.send_bytes(protocol.frame(0, protocol.OK, b""))
+
+    def close_engine() -> None:
+        try:
+            engine.sync()
+        except Exception:
+            pass
+        try:
+            engine.close()
+        except Exception:
+            pass
+
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                # Parent vanished: sync what we can and exit.
+                close_engine()
+                return
+            length = protocol.parse_length(raw[:4])
+            request_id, op, body = protocol.parse_payload(raw[4 : 4 + length])
+            if op == OP_STOP:
+                close_engine()
+                state = pickle.dumps(fs) if fs is not None else b""
+                conn.send_bytes(protocol.frame(request_id, protocol.OK, state))
+                return
+            try:
+                if op == OP_GET_MANY:
+                    values = engine.get_many(protocol.decode_keys(body))
+                    reply = protocol.encode_maybe_values(values, missing=None)
+                elif op == OP_WRITE_BATCH:
+                    engine.write_batch(protocol.decode_pairs(body))
+                    reply = b""
+                elif op == OP_SCAN:
+                    low, count = protocol.decode_scan(body)
+                    reply = protocol.encode_pairs(engine.scan(low, count))
+                elif op == OP_COUNT:
+                    low, high = protocol.decode_range(body)
+                    reply = protocol.encode_u64_body(engine.count(low, high))
+                elif op == OP_SYNC:
+                    engine.sync()
+                    reply = b""
+                elif op == OP_INFO:
+                    reply = json.dumps(engine.info()).encode()
+                else:
+                    raise protocol.ProtocolError(f"unknown shard-RPC op {op}")
+            except Exception as exc:
+                conn.send_bytes(
+                    protocol.frame(request_id, protocol.ERROR, _pickle_error(exc, None))
+                )
+            else:
+                conn.send_bytes(protocol.frame(request_id, protocol.OK, reply))
+    except SystemExit:
+        # SIGTERM (terminate / exit-time cleanup): sync what we can
+        # and leave — acked writes are already WAL-durable.
+        close_engine()
+        return
+    finally:
+        conn.close()
+
+
+class RemoteEngine:
+    """Engine-shaped RPC proxy over one shard process.
+
+    Exposes exactly the surface :class:`ShardWorker` drives —
+    ``get_many`` / ``write_batch`` / ``scan`` / ``count`` / ``sync`` /
+    ``info`` / ``close`` — so the coalescing worker needs no knowledge
+    of where the engine lives.  Calls are strictly request/reply on one
+    pipe; a broken pipe raises :class:`WorkerCrash` so the worker loop
+    marks the shard dead instead of hanging clients.
+    """
+
+    def __init__(self, conn, process, fs: FileSystem | None) -> None:
+        self._conn = conn
+        self._process = process
+        self._fs = fs
+        self._next_id = 1
+        self._ready = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until the child's engine opened (or re-raise its error)."""
+        if self._ready:
+            return
+        if not self._conn.poll(timeout):
+            self._reap(force=True)
+            raise TimeoutError("shard process did not come up")
+        try:
+            raw = self._conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            self._reap(force=True)
+            raise WorkerCrash(f"shard process died during startup: {exc!r}")
+        _, status, body = protocol.parse_payload(raw[4:])
+        if status != protocol.OK:
+            exc, fs_state = pickle.loads(body)
+            self._merge_fs(fs_state)
+            self._reap(force=False)
+            raise exc
+        self._ready = True
+
+    def close(self) -> None:
+        """STOP the child (it drains, syncs, replies with final fs
+        state), merge that state back, and reap the process."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.send_bytes(protocol.frame(self._next_id, OP_STOP, b""))
+            if self._conn.poll(STOP_TIMEOUT):
+                raw = self._conn.recv_bytes()
+                _, status, body = protocol.parse_payload(raw[4:])
+                if status == protocol.OK and body:
+                    self._merge_fs(pickle.loads(body))
+        except (EOFError, OSError, ValueError):
+            pass
+        finally:
+            try:
+                self._conn.close()
+            except Exception:
+                pass
+            self._reap(force=False)
+
+    def _merge_fs(self, state: FileSystem | None) -> None:
+        """Fold the child's final filesystem state into the parent's
+        object *in place*, preserving identity for callers (tests) that
+        hold a reference to it."""
+        if state is None or self._fs is None:
+            return
+        self._fs.__dict__.clear()
+        self._fs.__dict__.update(state.__dict__)
+
+    def _reap(self, force: bool) -> None:
+        proc = self._process
+        if proc is None:
+            return
+        proc.join(timeout=5 if force else STOP_TIMEOUT)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(timeout=5)
+        self._process = None
+
+    # -- RPC plumbing ------------------------------------------------------
+
+    def _call(self, op: int, body: bytes = b"") -> bytes:
+        if self._closed:
+            raise WorkerCrash("shard process already stopped")
+        self._next_id += 1
+        try:
+            self._conn.send_bytes(protocol.frame(self._next_id, op, body))
+            raw = self._conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrash(f"shard process died: {exc!r}")
+        request_id, status, reply = protocol.parse_payload(raw[4:])
+        if request_id != self._next_id:
+            raise WorkerCrash(f"shard-RPC id mismatch ({request_id} != {self._next_id})")
+        if status != protocol.OK:
+            exc, _ = pickle.loads(reply)
+            raise exc
+        return reply
+
+    # -- the engine surface ShardWorker drives -----------------------------
+
+    def get_many(self, keys: list[bytes]) -> list[Any]:
+        reply = self._call(OP_GET_MANY, protocol.encode_keys(keys))
+        return protocol.decode_maybe_values(reply, missing=None)
+
+    def write_batch(self, entries: list[tuple[bytes, Any]]) -> None:
+        self._call(OP_WRITE_BATCH, protocol.encode_pairs(entries))
+
+    def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        return protocol.decode_pairs(self._call(OP_SCAN, protocol.encode_scan(low, count)))
+
+    def count(self, low: bytes, high: bytes) -> int:
+        return protocol.decode_u64_body(self._call(OP_COUNT, protocol.encode_range(low, high)))
+
+    def sync(self) -> None:
+        self._call(OP_SYNC)
+
+    def info(self) -> dict[str, Any]:
+        return json.loads(self._call(OP_INFO).decode())
+
+
+class ProcessShard(ShardWorker):
+    """A ShardWorker whose engine lives in a spawned child process."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        path: str,
+        stats: ServerStats,
+        queue_limit: int = 1024,
+        engine_config: dict | None = None,
+        fs: FileSystem | None = None,
+        filter_factory: Callable | None = None,
+        max_burst: int = MAX_BURST,
+    ) -> None:
+        try:
+            pickle.dumps((fs, filter_factory))
+        except Exception as exc:
+            raise ValueError(
+                "process shards need picklable fs and filter_factory "
+                f"(spawned child must reconstruct them): {exc!r}"
+            ) from None
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_shard_child_main,
+            args=(child_conn, path, dict(engine_config or {}), fs, filter_factory),
+            name=f"shard-proc-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        super().__init__(
+            shard_id,
+            RemoteEngine(parent_conn, process, fs),
+            stats,
+            queue_limit=queue_limit,
+            max_burst=max_burst,
+        )
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until the child opened its engine (raises its startup
+        error, e.g. an injected PowerFailure, verbatim)."""
+        self.engine.wait_ready(timeout)
+
+    def stop(self) -> None:
+        if not self.is_alive() and not self.dead:
+            # The worker thread never ran (startup failure before
+            # start()): reap the child directly.
+            self.stopping = True
+            self.engine.close()
+            self.closed.set()
+            return
+        super().stop()

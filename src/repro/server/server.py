@@ -36,7 +36,8 @@ from typing import Any, Callable
 from ..lsm import LSMTree
 from ..lsm.fs import FileSystem, join
 from . import protocol
-from .shard import ShardRequest, ShardWorker, TOMBSTONE
+from .procshard import ProcessShard
+from .shard import ShardDown, ShardRequest, ShardWorker, TOMBSTONE
 from .stats import ServerStats
 
 #: Cap on one SCAN response, whatever the client asked for.
@@ -65,13 +66,17 @@ class KVServer:
         queue_limit: int = 1024,
         filter_factory: Callable | None = None,
         engine_config: dict | None = None,
+        shard_mode: str = "thread",
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if shard_mode not in ("thread", "process"):
+            raise ValueError("shard_mode must be 'thread' or 'process'")
         self.path = path
         self.n_shards = n_shards
         self.host = host
         self.port = port  # replaced by the bound port after start()
+        self.shard_mode = shard_mode
         self._fs = fs
         self._queue_limit = queue_limit
         self._filter_factory = filter_factory
@@ -95,18 +100,38 @@ class KVServer:
         self._loop = asyncio.get_running_loop()
         self._shutdown_requested = asyncio.Event()
         try:
-            for i in range(self.n_shards):
-                engine = LSMTree.open(
-                    join(self.path, f"shard-{i:02d}"),
-                    fs=self._fs_for(i),
-                    filter_factory=self._filter_factory,
-                    **self._engine_config,
-                )
-                worker = ShardWorker(
-                    i, engine, self.stats, queue_limit=self._queue_limit
-                )
-                worker.start()
-                self.shards.append(worker)
+            if self.shard_mode == "process":
+                # Launch every child first (spawn + engine recovery run
+                # concurrently across shards), then wait for each.
+                for i in range(self.n_shards):
+                    self.shards.append(
+                        ProcessShard(
+                            i,
+                            join(self.path, f"shard-{i:02d}"),
+                            self.stats,
+                            queue_limit=self._queue_limit,
+                            engine_config=self._engine_config,
+                            fs=self._fs_for(i),
+                            filter_factory=self._filter_factory,
+                        )
+                    )
+                for worker in self.shards:
+                    worker.wait_ready()
+                for worker in self.shards:
+                    worker.start()
+            else:
+                for i in range(self.n_shards):
+                    engine = LSMTree.open(
+                        join(self.path, f"shard-{i:02d}"),
+                        fs=self._fs_for(i),
+                        filter_factory=self._filter_factory,
+                        **self._engine_config,
+                    )
+                    worker = ShardWorker(
+                        i, engine, self.stats, queue_limit=self._queue_limit
+                    )
+                    worker.start()
+                    self.shards.append(worker)
             self._server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
             )
@@ -148,7 +173,8 @@ class KVServer:
 
         def _join() -> None:
             for worker in workers:
-                worker.join(timeout=60)
+                if worker.is_alive():
+                    worker.join(timeout=60)
 
         if workers:
             await asyncio.get_running_loop().run_in_executor(None, _join)
@@ -315,11 +341,27 @@ class KVServer:
                 )
 
             if opcode == protocol.STATS:
-                snapshot = self.stats.snapshot(self.shards or None)
-                snapshot["n_shards"] = self.n_shards
-                return self._immediate(
-                    request_id, op_name, started,
-                    protocol.OK, json.dumps(snapshot).encode(),
+                if not self.shards:
+                    snapshot = self.stats.snapshot(None)
+                    snapshot["n_shards"] = self.n_shards
+                    return self._immediate(
+                        request_id, op_name, started,
+                        protocol.OK, json.dumps(snapshot).encode(),
+                    )
+                # Engine detail is collected via each worker's "info"
+                # op (on the worker thread / over the shard-RPC pipe);
+                # dead or draining shards answer with liveness only.
+                futs = []
+                for shard in self.shards:
+                    fut = None
+                    if not (shard.dead or shard.stopping or shard.closed.is_set()):
+                        try:
+                            fut = self._submit(shard, "info", None)
+                        except (_Overloaded, ShardDown):
+                            fut = None
+                    futs.append((shard, fut))
+                return self._finish(
+                    request_id, op_name, started, self._fmt_stats(futs)
                 )
 
             if opcode == protocol.SHUTDOWN:
@@ -334,6 +376,13 @@ class KVServer:
             return self._immediate(
                 request_id, op_name, started,
                 protocol.OVERLOADED, b"shard queue full",
+            )
+        except ShardDown as exc:
+            # A dead worker must answer, not hang: the client gets an
+            # immediate error instead of a request nobody will drain.
+            self.stats.record_error()
+            return self._immediate(
+                request_id, op_name, started, protocol.ERROR, str(exc).encode()
             )
         except (protocol.ProtocolError, KeyError, IndexError, struct_error) as exc:
             return self._immediate(
@@ -411,6 +460,20 @@ class KVServer:
     async def _fmt_sync(futs) -> tuple[int, bytes]:
         await asyncio.gather(*futs)
         return protocol.OK, b""
+
+    async def _fmt_stats(self, futs) -> tuple[int, bytes]:
+        per_shard = []
+        for shard, fut in futs:
+            info = None
+            if fut is not None:
+                try:
+                    info = await fut
+                except Exception:
+                    info = None  # worker died/drained mid-request
+            per_shard.append(info if info is not None else shard.snapshot_info())
+        snapshot = self.stats.snapshot(per_shard)
+        snapshot["n_shards"] = self.n_shards
+        return protocol.OK, json.dumps(snapshot).encode()
 
 
 class ServerThread:

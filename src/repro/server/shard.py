@@ -39,6 +39,21 @@ MAX_BURST = 256
 _SHUTDOWN = object()
 
 
+class ShardDown(RuntimeError):
+    """The shard's worker (thread or process) is dead; the request was
+    refused immediately instead of queueing forever."""
+
+
+class WorkerCrash(BaseException):
+    """Internal: the shard's backing *process* died (broken pipe).
+
+    Deliberately a :class:`BaseException`: per-request ``except
+    Exception`` handlers must not swallow it — it has to escape to the
+    worker loop's defensive handler, which marks the shard dead and
+    fails everything queued.  It never reaches request futures (they
+    get :class:`ShardDown`)."""
+
+
 class ShardRequest:
     """One queued engine operation plus its completion plumbing.
 
@@ -80,27 +95,55 @@ class ShardWorker(threading.Thread):
         #: Exception (if any) that killed the worker loop itself;
         #: per-request engine errors are delivered to their futures.
         self.worker_error: BaseException | None = None
+        #: Set when the worker loop died abnormally.  A dead shard
+        #: refuses new submissions with :class:`ShardDown` instead of
+        #: accepting enqueues nothing will ever drain.
+        self.dead = False
+        #: Set by stop(): the drain sentinel is (about to be) queued,
+        #: so new submissions may never be served — the STATS path
+        #: falls back to basic liveness info instead of submitting.
+        self.stopping = False
 
     # -- producer side (event-loop thread) ---------------------------------
 
     def submit(self, request: ShardRequest) -> bool:
-        """Enqueue; False means the bounded queue is full (backpressure)."""
+        """Enqueue; False means the bounded queue is full (backpressure).
+
+        Raises :class:`ShardDown` when the worker has died — the caller
+        answers with an error reply immediately rather than leaving the
+        client waiting on a queue no worker drains.
+        """
+        if self.dead:
+            raise ShardDown(self._down_message())
         try:
             self.queue.put_nowait(request)
         except queue.Full:
             return False
+        if self.dead:
+            # The worker died between the check above and the enqueue;
+            # its death-drain may already have passed our request by.
+            # Sweep again — failing an already-failed future is a no-op.
+            self._drain_dead()
+            raise ShardDown(self._down_message())
         self.stats.record_queue_depth(self.shard_id, self.queue.qsize())
         return True
+
+    def _down_message(self) -> str:
+        return f"shard {self.shard_id} is down: {self.worker_error!r}"
 
     def stop(self) -> None:
         """Ask the worker to drain everything queued so far, sync the
         engine, close it, and exit.  Blocking put: the worker is still
         consuming, so space always frees up."""
+        self.stopping = True
+        if self.dead:
+            return  # death path already drained and cleaned up
         self.queue.put(_SHUTDOWN)
 
     # -- consumer side (this thread) ---------------------------------------
 
     def run(self) -> None:
+        burst: list[Any] = []
         try:
             while True:
                 burst = [self.queue.get()]
@@ -111,9 +154,31 @@ class ShardWorker(threading.Thread):
                         break
                 if self._process_burst(burst):
                     return
-        except BaseException as exc:  # pragma: no cover - defensive
+                burst = []
+        except BaseException as exc:  # defensive: loop must never leak silently
             self.worker_error = exc
+            self.dead = True
+            # Fail whatever was mid-burst (already-completed futures
+            # ignore a second delivery) and everything still queued,
+            # then keep refusing in submit() — clients get an error
+            # reply instead of hanging forever.
+            down = ShardDown(self._down_message())
+            for item in burst:
+                if item is not _SHUTDOWN:
+                    self._fail(item, down)
+            self._drain_dead()
             self._cleanup()
+
+    def _drain_dead(self) -> None:
+        """Fail everything queued on a dead shard (idempotent)."""
+        down = ShardDown(self._down_message())
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _SHUTDOWN:
+                self._fail(item, down)
 
     def _process_burst(self, burst: list[Any]) -> bool:
         """Handle one drained burst; True when shutdown was reached."""
@@ -185,6 +250,11 @@ class ShardWorker(threading.Thread):
             elif item.op == "sync":
                 self.engine.sync()
                 result = None
+            elif item.op == "info":
+                # Engine detail for STATS, answered on the worker thread
+                # so it never races the engine (or, for process shards,
+                # the RPC pipe).
+                result = self.snapshot_info(engine=True)
             else:
                 raise ValueError(f"unknown shard op {item.op!r}")
         except Exception as exc:
@@ -194,16 +264,35 @@ class ShardWorker(threading.Thread):
 
     def _cleanup(self) -> None:
         """Final sync + close; engine errors (e.g. an injected power
-        failure froze the filesystem) must not block the drain."""
+        failure froze the filesystem, or a dead shard process raising
+        WorkerCrash) must not block the drain."""
         try:
             self.engine.sync()
-        except Exception:
+        except (Exception, WorkerCrash):
             pass
         try:
             self.engine.close()
-        except Exception:
+        except (Exception, WorkerCrash):
             pass
         self.closed.set()
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot_info(self, engine: bool = False) -> dict[str, Any]:
+        """Per-shard STATS entry.  ``engine=True`` adds engine counters
+        and must only run on the worker thread (via the ``info`` op)."""
+        info: dict[str, Any] = {
+            "shard": self.shard_id,
+            "alive": self.is_alive() and not self.dead,
+            "worker_error": repr(self.worker_error) if self.worker_error else None,
+            "queue_depth": self.queue.qsize(),
+        }
+        if engine:
+            try:
+                info.update(self.engine.info())
+            except Exception as exc:
+                info["engine_error"] = repr(exc)
+        return info
 
     # -- completion plumbing ----------------------------------------------
 

@@ -137,8 +137,14 @@ class ServerStats:
 
     # -- snapshot ----------------------------------------------------------
 
-    def snapshot(self, shards: list[Any] | None = None) -> dict[str, Any]:
-        """One JSON-ready view of the serving layer and its engines."""
+    def snapshot(self, per_shard: list[dict[str, Any]] | None = None) -> dict[str, Any]:
+        """One JSON-ready view of the serving layer and its engines.
+
+        ``per_shard`` carries the shard entries collected via each
+        worker's ``info`` op (see ``ShardWorker.snapshot_info``) — the
+        stats object no longer reaches into engines directly, which is
+        what lets process shards answer STATS over their RPC pipe.
+        """
         with self._lock:
             out: dict[str, Any] = {
                 "ops": dict(self.ops),
@@ -154,26 +160,6 @@ class ServerStats:
                     "closed": self.connections_closed,
                 },
             }
-        if shards is not None:
-            per_shard = []
-            for shard in shards:
-                io = shard.engine.io
-                probes, negatives = io.filter_probes, io.filter_negatives
-                reads, hits = io.block_reads, io.cache_hits
-                per_shard.append(
-                    {
-                        "shard": shard.shard_id,
-                        "entries": shard.engine.total_entries(),
-                        "tables": shard.engine.table_count(),
-                        "last_seq": shard.engine.last_seq,
-                        "queue_depth": shard.queue.qsize(),
-                        "block_reads": reads,
-                        "cache_hits": hits,
-                        "cache_hit_rate": hits / (reads + hits) if reads + hits else 0.0,
-                        "filter_probes": probes,
-                        "filter_negatives": negatives,
-                        "filter_hit_rate": negatives / probes if probes else 0.0,
-                    }
-                )
+        if per_shard is not None:
             out["shards"] = per_shard
         return out

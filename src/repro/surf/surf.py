@@ -129,7 +129,12 @@ class SuRF:
         )
         ok = np.ones(len(hits), dtype=bool)
         if self._tombstones is not None:
-            tomb = np.frombuffer(bytes(self._tombstones), dtype=np.uint8)
+            # View, not copy: the bytearray is allocated full-size on the
+            # first delete and never resized, so exporting its buffer for
+            # the duration of this call is safe (only a *resize* would
+            # raise BufferError); bit-sets via delete() cannot run
+            # concurrently with a lookup on a single-threaded shard.
+            tomb = np.frombuffer(self._tombstones, dtype=np.uint8)
             ok &= (tomb[kidx >> 3] >> (kidx & 7).astype(np.uint8)) & 1 == 0
         if self.hash_bits:
             mask = (1 << self.hash_bits) - 1

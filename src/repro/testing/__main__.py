@@ -42,7 +42,12 @@ def _cmd_list() -> int:
     width = max(len(n) for n in registry)
     for name in sorted(registry):
         adapter = registry[name]()
-        print(f"{name.ljust(width)}  kind={adapter.kind}  compare={adapter.compare}")
+        try:
+            print(f"{name.ljust(width)}  kind={adapter.kind}  compare={adapter.compare}")
+        finally:
+            # Server adapters boot real worker threads/processes at
+            # construction; a listing must not leave them running.
+            adapter.close()
     print(f"\n{len(registry)} structures")
     return 0
 

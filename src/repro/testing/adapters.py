@@ -83,6 +83,15 @@ class Adapter:
     def apply(self, op: Op) -> Any:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release external resources (processes, sockets, threads).
+
+        Most adapters are plain in-memory objects and need nothing; the
+        server adapters override this to drain their shard workers —
+        a leaked shard *process* would otherwise hang interpreter
+        shutdown on multiprocessing's exit-time join.  Idempotent.
+        """
+
 
 def _bounded_pairs(iterator, count: int) -> list[tuple[bytes, Any]]:
     return list(islice(iterator, count))
@@ -491,6 +500,9 @@ class LsmAdapter(Adapter):
         self.index = LSMTree.open(self._path, fs=self._fs, **self._config)
         self._present: set[bytes] = set()
 
+    def close(self) -> None:
+        self.index.close()
+
     def apply(self, op: Op) -> Any:
         db = self.index
         if op.op == "insert":
@@ -554,10 +566,17 @@ class ServerAdapter(Adapter):
     of every shard plus the rebind handshake is exercised mid-sequence.
     ``get_many`` travels as one BATCH_GET, covering the scatter/gather
     and reassembly path.
+
+    With ``shard_mode="process"`` every shard engine lives in a worker
+    process; its MemFS is pickled to the child and merged back into the
+    parent's object on drain, so the same restart-over-surviving-bytes
+    ``serialize`` step exercises the full fs round-trip.
     """
 
-    def __init__(self, name: str = "server", n_shards: int = 2) -> None:
+    def __init__(self, name: str = "server", n_shards: int = 2,
+                 shard_mode: str = "thread") -> None:
         self._n_shards = n_shards
+        self._shard_mode = shard_mode
         self._runner = None
         self._client = None
         super().__init__(name)
@@ -573,6 +592,8 @@ class ServerAdapter(Adapter):
             self._runner.stop()
             self._runner = None
 
+    close = _teardown
+
     def _start(self) -> None:
         from ..server import KVClient, KVServer, ServerThread
 
@@ -582,6 +603,7 @@ class ServerAdapter(Adapter):
             n_shards=self._n_shards,
             fs=lambda i: shard_fss[i],
             engine_config=self._config,
+            shard_mode=self._shard_mode,
         )
         self._runner = ServerThread(server).start()
         self._client = KVClient(server.host, server.port)
@@ -726,6 +748,9 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         ),
         # the sharded KV server, loopback TCP through the real protocol
         "server": lambda: ServerAdapter("server"),
+        "server_proc": lambda: ServerAdapter(
+            "server_proc", shard_mode="process"
+        ),
     }
 
 

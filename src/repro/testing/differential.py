@@ -102,8 +102,20 @@ def run_sequence(
     """Run ``ops`` through ``adapter`` and the oracle; diff op-by-op.
 
     Returns the first :class:`Failure` (or None) plus run statistics.
-    The adapter is reset first, so a fresh run is always deterministic.
+    The adapter is reset first, so a fresh run is always deterministic,
+    and closed afterwards — server adapters own real worker threads
+    and processes, and every caller (fuzz, shrink, replay, CLI) funnels
+    through here, so this is where leaks are made impossible.
     """
+    try:
+        return _diff_sequence(adapter, ops)
+    finally:
+        adapter.close()
+
+
+def _diff_sequence(
+    adapter: Adapter, ops: Sequence[Op]
+) -> tuple[Failure | None, dict[str, Any]]:
     adapter.reset()
     oracle = SortedOracle()
     filter_oracle = FilterOracle(oracle) if adapter.kind == "filter" else None

@@ -1,0 +1,28 @@
+"""Shared test hooks.
+
+One cross-cutting invariant: no test may leak a live child process
+(a process-mode shard worker, say).  Python's exit-time multiprocessing
+cleanup ``terminate()``s leaked daemon children and then ``join()``s
+them with *no timeout*, so a single leaked worker once hung the entire
+pytest run at interpreter shutdown.  Fail the offending test by name
+instead, and reap the stragglers so one leak can't cascade.
+"""
+
+import multiprocessing
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_child_processes():
+    yield
+    leaked = multiprocessing.active_children()
+    for proc in leaked:
+        proc.terminate()
+        proc.join(timeout=10)
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(timeout=10)
+    assert not leaked, (
+        "test leaked live child processes: " + ", ".join(p.name for p in leaked)
+    )

@@ -1,0 +1,419 @@
+"""Process shards, dead-shard semantics, and signal-safe serving.
+
+Process mode moves each shard's engine into a spawned worker process
+(`--shard-mode=process`), talking shard-RPC over a pipe; these tests
+drive the identical client-visible surface through that path, replay
+the kill-at-every-sync-point matrix against it (sampled — each point
+costs a process spawn), and pin down the failure-handling contracts:
+
+* a shard whose worker dies (thread loop killed by a ``BaseException``,
+  or the child process killed outright) answers every queued and future
+  request with an immediate error — never a hang — and reports
+  ``alive: false`` in STATS;
+* ``python -m repro.server serve`` under SIGINT/SIGTERM drains (every
+  acknowledged write durable), reaps its children, and exits 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.lsm import LSMTree
+from repro.server import (
+    KVClient,
+    KVServer,
+    ProcessShard,
+    ServerError,
+    ServerThread,
+    ShardDown,
+)
+from repro.server.shard import ShardRequest, ShardWorker
+from repro.server.stats import ServerStats
+from repro.testing.faultfs import CRASH_MODES, FaultFS, MemFS, PowerFailure
+from repro.workloads.keys import encode_u64
+
+TINY_CONFIG = dict(
+    memtable_entries=16,
+    sstable_entries=64,
+    block_entries=8,
+    level0_limit=2,
+    block_cache_blocks=32,
+    wal_sync_every=4,
+)
+
+
+def start_server(n_shards=2, shard_mode="process", **kw):
+    fss = [MemFS() for _ in range(n_shards)]
+    server = KVServer(
+        "kv",
+        n_shards=n_shards,
+        fs=lambda i: fss[i],
+        engine_config=kw.pop("engine_config", TINY_CONFIG),
+        shard_mode=shard_mode,
+        **kw,
+    )
+    runner = ServerThread(server).start()
+    return server, runner, fss
+
+
+# -- end-to-end over process shards ------------------------------------------
+
+
+class TestProcessMode:
+    def test_point_ops_scan_count(self):
+        server, runner, _ = start_server(n_shards=2)
+        try:
+            with KVClient(server.host, server.port) as c:
+                keys = [b"k%04d" % i for i in range(64)]
+                for i, k in enumerate(keys):
+                    c.put(k, i)
+                assert c.get(keys[7]) == 7
+                assert c.get(b"absent") is None
+                c.delete(keys[7])
+                assert c.get(keys[7]) is None
+                got = c.get_many(keys[:10] + [b"absent"])
+                assert got == [0, 1, 2, 3, 4, 5, 6, None, 8, 9, None]
+                pairs = c.scan(b"k0010", 5)
+                assert [k for k, _ in pairs] == keys[10:15]
+                # count is the engine's approximate range count: it may
+                # overcount shadowed versions across levels, never under.
+                assert c.count(b"k0000", b"k9999") >= 63
+        finally:
+            runner.stop()
+
+    def test_stats_carries_engine_info_per_process(self):
+        server, runner, _ = start_server(n_shards=2)
+        try:
+            with KVClient(server.host, server.port) as c:
+                for i in range(40):
+                    c.put(encode_u64(i), i)
+                for i in range(40):
+                    c.get(encode_u64(i))
+                st = c.stats()
+            assert st["n_shards"] == 2 and len(st["shards"]) == 2
+            assert all(s["alive"] for s in st["shards"])
+            # Engine counters crossed the RPC pipe from each child.
+            assert sum(s["entries"] for s in st["shards"]) == 40
+        finally:
+            runner.stop()
+
+    def test_drain_merges_child_fs_and_recovers(self):
+        """STOP ships each child's MemFS state back; a second server
+        over the *same* fs objects recovers every acked write."""
+        server, runner, fss = start_server(n_shards=2)
+        with KVClient(server.host, server.port) as c:
+            for i in range(120):
+                c.put(encode_u64(i), i)
+            c.delete(encode_u64(60))
+        runner.stop()
+        assert all(fs.exists("kv/shard-%02d" % i) for i, fs in enumerate(fss))
+
+        server2 = KVServer(
+            "kv", n_shards=2, fs=lambda i: fss[i],
+            engine_config=TINY_CONFIG, shard_mode="process",
+        )
+        runner2 = ServerThread(server2).start()
+        try:
+            with KVClient(server2.host, server2.port) as c:
+                for i in range(120):
+                    assert c.get(encode_u64(i)) == (None if i == 60 else i)
+        finally:
+            runner2.stop()
+
+    def test_startup_failure_propagates_from_child(self):
+        fs = FaultFS(fail_at=1)
+        server = KVServer(
+            "kv", n_shards=1, fs=fs,
+            engine_config=TINY_CONFIG, shard_mode="process",
+        )
+        with pytest.raises(PowerFailure):
+            ServerThread(server).start()
+
+    def test_unpicklable_fs_is_rejected_up_front(self):
+        class Unpicklable(MemFS):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        with pytest.raises(ValueError, match="picklable"):
+            ProcessShard(0, "kv/shard-00", ServerStats(), fs=Unpicklable())
+
+
+# -- dead-shard semantics -----------------------------------------------------
+
+
+class TestDeadShard:
+    def test_worker_death_fails_queued_and_future_requests(self):
+        """A BaseException escaping the worker loop must not leave any
+        client hanging: queued futures fail, later submits are refused."""
+
+        class BombEngine:
+            def get_many(self, keys):
+                raise SystemExit("injected worker death")
+
+            def sync(self):
+                pass
+
+            def close(self):
+                pass
+
+        import asyncio
+
+        worker = ShardWorker(0, BombEngine(), ServerStats(), queue_limit=16)
+
+        async def drive():
+            loop = asyncio.get_running_loop()
+            futs = [loop.create_future() for _ in range(5)]
+            for fut in futs:
+                assert worker.submit(ShardRequest("get", [b"k"], fut, loop))
+            worker.start()
+            results = await asyncio.gather(*futs, return_exceptions=True)
+            return results
+
+        results = asyncio.run(drive())
+        assert all(isinstance(r, ShardDown) for r in results)
+        worker.join(timeout=10)
+        assert worker.dead and worker.closed.is_set()
+        info = worker.snapshot_info()
+        assert info["alive"] is False
+        assert "SystemExit" in info["worker_error"]
+        # Submissions after death are refused immediately.
+        with pytest.raises(ShardDown):
+            worker.submit(ShardRequest("get", [b"k"], None, None))
+        worker.stop()  # idempotent on a dead shard
+
+    def test_server_answers_errors_not_hangs_on_dead_shard(self, monkeypatch):
+        server, runner, _ = start_server(n_shards=1, shard_mode="thread")
+        try:
+            with KVClient(server.host, server.port) as c:
+                c.put(b"k", 1)
+                monkeypatch.setattr(
+                    server.shards[0].engine, "get_many",
+                    lambda keys: (_ for _ in ()).throw(SystemExit("boom")),
+                )
+                with pytest.raises((ServerError, ConnectionError)):
+                    c.get(b"k")
+            # New connections get immediate errors, and STATS reports
+            # the shard down instead of hanging on a dead queue.
+            with KVClient(server.host, server.port) as c:
+                with pytest.raises(ServerError):
+                    c.get(b"k")
+                st = c.stats()
+                assert st["shards"][0]["alive"] is False
+                assert "SystemExit" in st["shards"][0]["worker_error"]
+        finally:
+            runner.stop()  # must return promptly, not hang
+
+    def test_sigterm_terminates_child_promptly(self):
+        """``Process.terminate()`` must always work — multiprocessing's
+        exit-time cleanup of leaked daemon children is terminate-then-
+        ``join()`` with no timeout, so a SIGTERM-ignoring child would
+        hang interpreter shutdown.  The child syncs and exits 0."""
+        server, runner, _ = start_server(n_shards=1, shard_mode="process")
+        try:
+            with KVClient(server.host, server.port) as c:
+                c.put(b"k", 1)
+            proc = server.shards[0].engine._process
+            proc.terminate()
+            proc.join(timeout=10)
+            assert proc.exitcode == 0
+        finally:
+            runner.stop()
+
+    def test_killed_child_process_marks_shard_dead(self):
+        server, runner, _ = start_server(n_shards=1, shard_mode="process")
+        try:
+            with KVClient(server.host, server.port) as c:
+                c.put(b"k", 1)
+                assert c.get(b"k") == 1
+                proc = server.shards[0].engine._process
+                proc.kill()
+                proc.join(timeout=10)
+                with pytest.raises((ServerError, ConnectionError)):
+                    c.get(b"k")
+            with KVClient(server.host, server.port) as c:
+                with pytest.raises(ServerError) as err:
+                    c.get(b"k")
+                assert "down" in str(err.value)
+                st = c.stats()
+                assert st["shards"][0]["alive"] is False
+        finally:
+            runner.stop()
+
+
+# -- kill matrix through process shards --------------------------------------
+
+CRASH_CONFIG = dict(
+    memtable_entries=8,
+    sstable_entries=32,
+    block_entries=4,
+    level0_limit=2,
+    block_cache_blocks=16,
+    wal_sync_every=3,
+)
+
+
+def _crash_workload(n_ops=40, seed=21, key_space=12):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n_ops):
+        key = encode_u64(rng.randrange(key_space))
+        if rng.random() < 0.3:
+            ops.append(("delete", key, None))
+        else:
+            ops.append(("put", key, i))
+    return ops
+
+
+def _model_after(ops, k):
+    model = {}
+    for op, key, value in ops[:k]:
+        if op == "put":
+            model[key] = value
+        else:
+            model.pop(key, None)
+    return model
+
+
+class TestProcessCrashDurability:
+    """The server-level kill matrix with the engine in a child process.
+
+    The child's FaultFS copy injects the power failure; its final state
+    (which bytes survived) is pickled back to the parent, so the same
+    torn-write recovery checks run unchanged.  Sampled every few sync
+    points: each point costs a full process spawn.
+    """
+
+    def _server_run(self, ops, fail_at):
+        fs = FaultFS(fail_at=fail_at)
+        server = KVServer(
+            "db", n_shards=1, fs=fs,
+            engine_config=CRASH_CONFIG, shard_mode="process",
+        )
+        try:
+            runner = ServerThread(server).start()
+        except PowerFailure:
+            return fs, 0
+        acked = 0
+        try:
+            client = KVClient(server.host, server.port)
+            try:
+                for op, key, value in ops:
+                    try:
+                        if op == "put":
+                            client.put(key, value)
+                        else:
+                            client.delete(key)
+                    except (ServerError, ConnectionError, OSError):
+                        break
+                    acked += 1
+            finally:
+                client.close()
+        finally:
+            runner.stop()
+        return fs, acked
+
+    def test_kill_matrix_sampled(self):
+        ops = _crash_workload()
+        fs, acked = self._server_run(ops, fail_at=None)
+        assert acked == len(ops)
+        total = fs.sync_points
+        assert total > 20
+
+        stride = max(1, total // 5)
+        points = sorted(set(range(1, total + 1, stride)) | {1, total})
+        shard_path = "db/shard-00"
+        for point in points:
+            fs, acked = self._server_run(ops, fail_at=point)
+            if not fs.crashed:
+                assert acked == len(ops)
+            for mode in CRASH_MODES:
+                view = fs.crashed_view(mode)
+                recovered = LSMTree.open(shard_path, fs=view, **CRASH_CONFIG)
+                k = recovered.last_seq
+                assert acked <= k <= len(ops), (
+                    f"point {point} mode {mode} ({fs.crash_label}): "
+                    f"recovered seq {k}, client-acked {acked}"
+                )
+                expected = _model_after(ops, k)
+                for key in {key for _, key, _ in ops}:
+                    assert recovered.get(key) == expected.get(key), (
+                        f"point {point} mode {mode}: key {key!r} diverged"
+                    )
+                recovered.close()
+
+
+# -- differential fuzz through process shards --------------------------------
+
+
+class TestProcessFuzz:
+    def test_differential_fuzz_clean(self):
+        from repro.testing.adapters import make_adapter
+        from repro.testing.differential import run_sequence
+        from repro.testing.ops import generate_ops
+
+        adapter = make_adapter("server_proc")
+        try:
+            failure, stats = run_sequence(adapter, generate_ops(5, 120))
+            assert failure is None, failure
+            assert stats["applied"] == 120
+        finally:
+            adapter.close()
+
+
+# -- signal-safe CLI serving --------------------------------------------------
+
+
+class TestServeSignals:
+    @pytest.mark.parametrize(
+        "sig,shard_mode",
+        [(signal.SIGINT, "thread"), (signal.SIGTERM, "process")],
+    )
+    def test_serve_drains_on_signal(self, sig, shard_mode, tmp_path):
+        """serve + live writes + signal → exit 0, 'drained and closed',
+        every acknowledged write recoverable, no orphan children."""
+        path = str(tmp_path / "kv")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.server", "serve",
+                "--path", path, "--shards", "2", "--port", "0",
+                "--shard-mode", shard_mode,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd="/root/repo",
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving" in banner, banner
+            port = int(banner.rsplit(":", 1)[1])
+            acked = 0
+            with KVClient("127.0.0.1", port) as c:
+                for i in range(50):
+                    c.put(encode_u64(i), i)
+                    acked += 1
+            proc.send_signal(sig)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0, out
+            assert "drained and closed" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # Every acknowledged write survived the drain.
+        db0 = LSMTree.open(os.path.join(path, "shard-00"))
+        db1 = LSMTree.open(os.path.join(path, "shard-01"))
+        try:
+            for i in range(acked):
+                k = encode_u64(i)
+                assert (db0.get(k) if db0.get(k) is not None else db1.get(k)) == i
+        finally:
+            db0.close()
+            db1.close()
