@@ -1,0 +1,141 @@
+"""Write availability under compaction: background vs inline lifecycle.
+
+The old engine compacted on the writer path: when L0 overflowed,
+``flush_memtable`` merged levels *inside* ``put``, so a YCSB-A client
+occasionally ate an entire multi-table merge as one request's latency
+— an unbounded, unannounced stall.  The background lifecycle (freeze →
+background flush → background compaction, with bounded slowdown/stall
+backpressure) moves that work off the writer; the paid price becomes a
+counted, bounded gate instead of a surprise merge.
+
+This benchmark drives the real server (loopback TCP, pipelined
+connections, WAL group commit) with YCSB-A over a deliberately tiny
+memtable so compaction churns continuously, and compares:
+
+* sustained throughput of the 50/50 mix;
+* server-side PUT p99 — the acceptance bar is **p99 < 100 ms while
+  compaction runs** for the background engine;
+* the engine's own accounting: flushes, compactions, write stalls and
+  slowdowns per shard.
+
+The inline row is the control: same workload, same geometry,
+``background=False`` — its PUT tail carries the merges.
+"""
+
+from repro.bench.harness import report, scaled
+from repro.server.loadgen import run_benchmark
+
+#: Tiny engine geometry: at benchmark scale every few hundred puts
+#: cross a flush, and L0 pressure keeps the compactor busy end to end.
+ENGINE = dict(
+    memtable_entries=128,
+    sstable_entries=512,
+    block_entries=32,
+    level0_limit=2,
+    wal_sync_every=8,
+)
+
+MODES = [
+    ("background", True),
+    ("inline", False),
+]
+
+
+def _max_bucket_ms(hist: dict) -> float:
+    """Upper edge (ms) of the slowest non-empty latency bucket — the
+    worst single-request stall the histogram can attest to."""
+    worst = 0
+    for i, n in enumerate(hist.get("buckets", [])):
+        if n:
+            worst = i
+    return (1 << worst) / 1000.0
+
+
+def _shard_totals(stats: dict) -> dict:
+    """Sum the per-shard engine counters from a STATS snapshot."""
+    totals = {"flushes": 0, "compactions": 0, "stalls": 0, "slowdowns": 0,
+              "compaction_backlog": 0}
+    for shard in stats.get("shards", []):
+        for key in totals:
+            totals[key] += shard.get(key, 0) or 0
+    return totals
+
+
+def run_experiment(tmp_path):
+    rows = []
+    results = {}
+    for label, background in MODES:
+        result = run_benchmark(
+            str(tmp_path / f"kv-compaction-{label}"),
+            workload="A",
+            n_keys=scaled(2000),
+            n_ops=scaled(12_000),
+            n_shards=2,
+            n_connections=8,
+            pipeline_depth=4,
+            pipelined=True,
+            engine_config=dict(ENGINE, background=background),
+        )
+        stats = result.server_stats
+        put_hist = stats["latency"]["put"]
+        put_p99_ms = put_hist["p99_us"] / 1000.0
+        put_max_ms = _max_bucket_ms(put_hist)
+        totals = _shard_totals(stats)
+        rows.append(
+            [
+                label,
+                f"{result.throughput:,.0f}",
+                f"{put_p99_ms:.2f}",
+                f"{put_max_ms:.2f}",
+                totals["flushes"],
+                totals["compactions"],
+                totals["stalls"],
+                totals["slowdowns"],
+            ]
+        )
+        results[label] = (result, put_p99_ms, put_max_ms, totals)
+    return rows, results
+
+
+def test_write_availability_under_compaction(benchmark, tmp_path):
+    rows, results = benchmark.pedantic(
+        run_experiment, args=(tmp_path,), rounds=1, iterations=1
+    )
+    report(
+        "compaction",
+        "YCSB-A through the server while compaction churns (2 shards, 8 pipelined conns)",
+        [
+            "engine mode",
+            "ops/s",
+            "PUT p99 (ms)",
+            "PUT max (ms)",
+            "flushes",
+            "compactions",
+            "stalls",
+            "slowdowns",
+        ],
+        rows,
+    )
+    bg, bg_p99_ms, bg_max_ms, bg_totals = results["background"]
+    inline, _, inline_max_ms, inline_totals = results["inline"]
+    # The claim is only meaningful if compaction actually ran under the
+    # write load in both configurations.
+    assert bg_totals["compactions"] > 0, "background run never compacted"
+    assert inline_totals["compactions"] > 0, "inline run never compacted"
+    assert bg_totals["flushes"] > 0
+    # Acceptance bar: writes through the background engine never see a
+    # p99 stall above 100 ms while compaction runs underneath.
+    assert bg_p99_ms < 100.0, (
+        f"background PUT p99 {bg_p99_ms:.1f} ms breaches the 100 ms bar"
+    )
+    # Nothing was dropped or errored in either mode.
+    assert bg.ops_done > 0 and bg.server_stats["errors"] == 0
+    assert inline.ops_done > 0 and inline.server_stats["errors"] == 0
+    # Backpressure replaced inline blocking and is observable through
+    # STATS: every shard reports its gate counters and backlog.  (At
+    # this scale the compactor usually keeps up, so the gates firing is
+    # asserted by the deterministic unit tests, not here.)
+    for shard in bg.server_stats["shards"]:
+        for key in ("stalls", "slowdowns", "stall_seconds", "compaction_backlog"):
+            assert key in shard, f"STATS missing engine counter {key!r}"
+    assert inline_totals["slowdowns"] == inline_totals["stalls"] == 0

@@ -7,16 +7,26 @@ cache fronts the static stage of a hybrid index (Figure 5.9).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Hashable
 
 
 class ClockNodeCache:
-    """Fixed-capacity cache with second-chance (CLOCK) eviction."""
+    """Fixed-capacity cache with second-chance (CLOCK) eviction.
+
+    Thread-safe: the LSM engine's background flusher/compactor and any
+    number of reader threads (snapshots, the torture fuzzer) share one
+    instance, so every structural operation runs under an internal
+    lock.  ``loader`` is invoked while the lock is held — loads are
+    short (one block decode) and serializing them keeps the hand/slot
+    bookkeeping trivially consistent.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._slots: list[Hashable | None] = [None] * capacity
         self._ref: list[bool] = [False] * capacity
         self._values: dict[Hashable, tuple[int, Any]] = {}  # key -> (slot, value)
@@ -26,16 +36,17 @@ class ClockNodeCache:
 
     def get_or_load(self, key: Hashable, loader: Callable[[], Any]) -> Any:
         """Return the cached value, invoking ``loader`` on a miss."""
-        hit = self._values.get(key)
-        if hit is not None:
-            slot, value = hit
-            self._ref[slot] = True
-            self.hits += 1
+        with self._lock:
+            hit = self._values.get(key)
+            if hit is not None:
+                slot, value = hit
+                self._ref[slot] = True
+                self.hits += 1
+                return value
+            self.misses += 1
+            value = loader()
+            self._install(key, value)
             return value
-        self.misses += 1
-        value = loader()
-        self._install(key, value)
-        return value
 
     def _install(self, key: Hashable, value: Any) -> None:
         # Advance the clock hand until a slot with a clear ref bit.
@@ -64,22 +75,26 @@ class ClockNodeCache:
         leaving dead entries to squat on capacity until the hand
         happens around.
         """
-        hit = self._values.pop(key, None)
-        if hit is None:
-            return False
-        slot, _ = hit
-        self._slots[slot] = None
-        self._ref[slot] = False
-        return True
+        with self._lock:
+            hit = self._values.pop(key, None)
+            if hit is None:
+                return False
+            slot, _ = hit
+            self._slots[slot] = None
+            self._ref[slot] = False
+            return True
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._values
+        with self._lock:
+            return key in self._values
 
     def __len__(self) -> int:
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     def clear(self) -> None:
-        self._slots = [None] * self.capacity
-        self._ref = [False] * self.capacity
-        self._values.clear()
-        self._hand = 0
+        with self._lock:
+            self._slots = [None] * self.capacity
+            self._ref = [False] * self.capacity
+            self._values.clear()
+            self._hand = 0

@@ -1,16 +1,33 @@
 """A leveled LSM-tree storage engine (Section 4.2), durable or simulated.
 
-The architecture mirrors Figure 4.2: writes land in a MemTable; full
-MemTables become level-0 SSTables; compaction merges runs downward so
-that every level >= 1 holds disjoint key ranges.  A block cache (CLOCK)
-approximates RocksDB's block cache + OS page cache; fence indexes and
-filters live in the always-resident table cache.
+The architecture mirrors Figure 4.2 with the LevelDB lifecycle: writes
+land in a *mutable* memtable; at capacity the memtable **freezes** into
+an immutable list; a flusher turns immutable memtables into level-0
+SSTables; compaction merges runs downward so that every level >= 1
+holds disjoint key ranges.  A block cache (CLOCK) approximates
+RocksDB's block cache + OS page cache; fence indexes and filters live
+in the always-resident table cache.
 
 Query execution follows the Figure 4.3 flowcharts, and performance is
 reported as simulated I/Os: every block fetch that misses the cache
 costs one I/O.
 
-Two modes share all of that logic:
+Two execution modes share the state machine:
+
+* **inline** (``background=False``, the default): freeze, flush and
+  compaction all run synchronously on the writer's thread — fully
+  deterministic, which the kill-at-every-sync-point matrix and the
+  differential fuzzer rely on;
+* **background** (``background=True``): a flusher thread and a
+  compaction thread do the heavy lifting while writers only pay for
+  the WAL append and a dict insert.  Backpressure replaces inline
+  blocking: crossing ``l0_slowdown`` L0 tables injects a small sleep
+  per write, and crossing ``l0_stall`` (or piling up
+  ``max_immutables`` frozen memtables) stalls the writer until the
+  background threads catch up — both are counted and exported via
+  :meth:`LSMTree.info`.
+
+Two storage modes also share all of it:
 
 * **in-memory** (``path=None``): SSTables live on the heap, I/O is
   simulated — the original reproduction substrate;
@@ -22,21 +39,38 @@ Two modes share all of that logic:
   a write is acknowledged once its WAL record is fsynced
   (``seq <= last_acked_seq``).
 
+**Snapshots.**  Every write is stamped with a sequence number;
+:meth:`LSMTree.snapshot` pins the current one and returns a
+:class:`Snapshot` whose reads see exactly the pinned state while
+flushes and compactions proceed underneath.  Consistency comes from
+two mechanisms: the memtable stack (mutable + immutables) is merged
+into one frozen dict at pin time, and the table layout is captured as
+a refcounted :class:`_Version` — compaction installs a *new* version
+instead of mutating the old one, and a replaced table's blocks are
+evicted and its file unlinked only when the last version referencing
+it is released (which is what keeps the §7 mmap views in DESIGN.md
+valid for iterators that outlive a compaction).
+
 Crash-safety invariants the recovery tests machine-check:
 
 1. a table file is always fully written and fsynced before any
    manifest references it;
 2. the manifest version switch (CURRENT rename) is the only commit
    point — a crash on either side leaves a consistent old/new state;
-3. the previous WAL segment is deleted only after the manifest that
-   supersedes it is installed;
+3. a WAL segment is deleted only after the manifest that supersedes it
+   is installed, and a memtable's segment is fsynced *before* the next
+   segment is created, so the live segments always replay to a gap-free
+   sequence prefix;
 4. recovery garbage-collects every file the current manifest does not
-   reference, so half-installed flushes cannot resurrect.
+   reference, so half-installed flushes and orphaned compaction
+   outputs cannot resurrect.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
+import time
 from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Iterator, Sequence
 
@@ -74,6 +108,133 @@ class IoStats:
         self.filter_negatives = 0
 
 
+class _Version:
+    """One immutable table layout, shared by reference counting.
+
+    ``levels[0]`` is newest-first and may overlap; ``levels[i >= 1]``
+    are sorted by ``min_key`` with disjoint ranges.  The engine holds
+    one baseline reference on the current version; every pinned read,
+    snapshot, and in-flight scan holds another.  When the count drops
+    to zero the version releases its per-table references, and a table
+    whose own count reaches zero is actually dropped (cache eviction +
+    unlink + close) — never sooner, so a reader that pinned before a
+    compaction keeps valid mmap views of the replaced tables.
+    """
+
+    __slots__ = ("levels", "refs")
+
+    def __init__(self, levels: list[list[SSTableBase]]) -> None:
+        self.levels = levels
+        self.refs = 1
+
+    def tables(self) -> Iterator[SSTableBase]:
+        for level in self.levels:
+            yield from level
+
+
+class _Frozen:
+    """An immutable memtable waiting for the flusher.
+
+    Owns the WAL segment its records were logged to (already fully
+    fsynced at freeze time), so recovery can replay it until the flush
+    commits and the segment is deleted.
+    """
+
+    __slots__ = ("data", "last_seq", "wal", "wal_name", "wal_index")
+
+    def __init__(self, data, last_seq, wal, wal_name, wal_index) -> None:
+        self.data: dict[bytes, Any] = data
+        self.last_seq = last_seq
+        self.wal: wal_mod.WalWriter | None = wal
+        self.wal_name = wal_name
+        self.wal_index = wal_index
+
+
+class _View:
+    """A pinned, consistent read context: memtable layers (newest
+    first) plus one referenced :class:`_Version` of the table layout."""
+
+    __slots__ = ("mems", "version", "seq", "_merged")
+
+    def __init__(self, mems: list[dict], version: _Version, seq: int) -> None:
+        self.mems = mems
+        self.version = version
+        self.seq = seq
+        self._merged: dict[bytes, Any] | None = None
+
+    @property
+    def levels(self) -> list[list[SSTableBase]]:
+        return self.version.levels
+
+    def merged(self) -> dict[bytes, Any]:
+        """Newest-wins merge of the memtable layers (tombstones kept).
+
+        Only safe on views whose layer dicts are frozen (snapshot
+        views, or ephemeral views pinned with ``copy_mem=True``).
+        """
+        if self._merged is None:
+            m: dict[bytes, Any] = {}
+            for layer in reversed(self.mems):
+                m.update(layer)
+            self._merged = m
+        return self._merged
+
+
+class Snapshot:
+    """A consistent point-in-time read view (``seq`` is the pin).
+
+    Reads see exactly the writes with sequence number <= ``seq`` —
+    no more, no less — while flushes and compactions proceed
+    underneath.  Holds one reference on the pinned version, so no
+    table it can read is unlinked until :meth:`release` (context
+    manager exit releases too).
+    """
+
+    def __init__(self, engine: "LSMTree", seq: int, mem: dict, version: _Version):
+        self._engine = engine
+        self.seq = seq
+        self._view = _View([mem], version, seq)
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the pin (idempotent).  Tables only this snapshot kept
+        alive become droppable the moment this returns."""
+        if self._released:
+            return
+        self._released = True
+        self._engine._release_snapshot(self._view)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def _check(self) -> _View:
+        if self._released:
+            raise ValueError("snapshot already released")
+        return self._view
+
+    def get(self, key: bytes) -> Any | None:
+        return self._engine._get_in(self._check(), key)
+
+    def get_many(self, keys: Sequence[bytes]) -> list[Any]:
+        return self._engine._get_many_in(self._check(), keys)
+
+    def seek(self, low: bytes, high: bytes | None = None):
+        return self._engine._seek_in(self._check(), low, high)
+
+    def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        return self._engine._scan_in(self._check(), low, count)
+
+    def count(self, low: bytes, high: bytes) -> int:
+        return self._engine._count_in(self._check(), low, high)
+
+
 class LSMTree:
     """Log-structured merge tree with pluggable per-table filters."""
 
@@ -89,6 +250,11 @@ class LSMTree:
         path: str | None = None,
         fs: FileSystem | None = None,
         wal_sync_every: int = 32,
+        background: bool = False,
+        max_immutables: int = 2,
+        l0_slowdown: int | None = None,
+        l0_stall: int | None = None,
+        slowdown_sleep: float = 0.001,
     ) -> None:
         self._memtable: dict[bytes, Any] = {}
         self._memtable_entries = memtable_entries
@@ -97,9 +263,8 @@ class LSMTree:
         self._level0_limit = level0_limit
         self._level_fanout = level_fanout
         self._filter_factory = filter_factory
-        #: levels[0] is newest-first and may overlap; levels[i >= 1]
-        #: are sorted by min_key with disjoint ranges.
-        self.levels: list[list[SSTableBase]] = [[]]
+        self._version = _Version([[]])
+        self._immutables: list[_Frozen] = []
         self._block_cache = ClockNodeCache(block_cache_blocks)
         self.io = IoStats()
         #: Engine-scoped table-id allocator (persisted via the manifest
@@ -107,11 +272,37 @@ class LSMTree:
         self._next_table_id = 0
         #: Monotonic write sequence; every put/delete gets the next one.
         self._seq = 0
+        #: Last sequence actually applied to the memtable — the pin
+        #: point snapshots capture (== _seq between writes).
+        self._visible_seq = 0
         #: Every seq <= this is covered by installed SSTables.
         self._flushed_seq = 0
         #: Every seq <= this is known durable via a *committed* manifest
-        #: install — the conservative floor of the ack watermark.
+        #: install or a full freeze-time segment sync — the conservative
+        #: floor of the ack watermark.
         self._acked_floor = 0
+
+        #: One lock guards memtable swaps, version installs, manifest
+        #: writes, refcounts, and the backpressure counters; the
+        #: condition signals flusher/compactor work and stall clears.
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+
+        self._background = background
+        self._max_immutables = max(1, max_immutables)
+        self._l0_slowdown = (
+            l0_slowdown if l0_slowdown is not None else level0_limit * 2
+        )
+        self._l0_stall = l0_stall if l0_stall is not None else level0_limit * 4
+        self._slowdown_sleep = slowdown_sleep
+        #: Backpressure + lifecycle counters (exported via info()).
+        self.stall_count = 0
+        self.slowdown_count = 0
+        self.stall_seconds = 0.0
+        self.flush_count = 0
+        self.compaction_count = 0
+        self._snapshots_live = 0
+        self._bg_error: BaseException | None = None
 
         self.path = path
         self._fs = fs if fs is not None else (OsFileSystem() if path else None)
@@ -124,17 +315,44 @@ class LSMTree:
         if path is not None:
             self._open_durable()
 
+        self._flusher: threading.Thread | None = None
+        self._compactor: threading.Thread | None = None
+        if background:
+            self._flusher = threading.Thread(
+                target=self._flusher_loop, name="lsm-flusher", daemon=True
+            )
+            self._compactor = threading.Thread(
+                target=self._compactor_loop, name="lsm-compactor", daemon=True
+            )
+            self._flusher.start()
+            self._compactor.start()
+
     @classmethod
     def open(cls, path: str, fs: FileSystem | None = None, **config) -> "LSMTree":
         """Open (or create) a durable engine at ``path``, recovering to
         exactly the last acknowledged state after any crash."""
         return cls(path=path, fs=fs, **config)
 
+    # -- level layout (compat view) ------------------------------------------------
+
+    @property
+    def levels(self) -> list[list[SSTableBase]]:
+        """The current version's table layout.
+
+        Callers must treat it as read-only: mutations install a fresh
+        :class:`_Version` so pinned readers keep a consistent view.
+        """
+        return self._version.levels
+
     # -- durability: open / recover ------------------------------------------------
 
     @property
     def durable(self) -> bool:
         return self.path is not None
+
+    @property
+    def background(self) -> bool:
+        return self._background
 
     @property
     def last_seq(self) -> int:
@@ -146,12 +364,12 @@ class LSMTree:
         """Writes with seq <= this are guaranteed to survive a crash.
 
         In-memory engines have no durability, so every accepted write
-        counts as acknowledged.  In durable mode a write is acked by
-        either a WAL group-commit fsync or a committed manifest
-        install — never by work still in flight: during a flush the
-        watermark stays at its pre-flush value until the CURRENT
-        rename lands, because only that rename makes the new SSTable
-        reachable by recovery.
+        counts as acknowledged.  In durable mode a write is acked by a
+        WAL group-commit fsync, a freeze-time segment sync, or a
+        committed manifest install — never by work still in flight:
+        during a flush the watermark stays at its pre-flush value until
+        the CURRENT rename lands, because only that rename makes the
+        new SSTable reachable by recovery.
         """
         if self._wal is None:
             return self._seq
@@ -168,41 +386,80 @@ class LSMTree:
             self._install_manifest()
         self._collect_garbage()
 
+    def _live_wal_segments(self, state: ManifestState) -> list[tuple[int, str]]:
+        """WAL segments recovery must replay: every on-disk segment with
+        index >= the manifest's, oldest first.  More than one exists
+        when the engine froze memtables (rotating the WAL) faster than
+        the flusher committed them."""
+        segments = []
+        for name in self._fs.listdir(self.path):
+            if name.startswith("wal-") and name.endswith(".log"):
+                try:
+                    index = int(name[4:-4])
+                except ValueError:
+                    continue
+                if index >= state.wal_index:
+                    segments.append((index, name))
+        return sorted(segments)
+
     def _recover(self, state: ManifestState) -> None:
         fs, path = self._fs, self.path
         self._manifest_version = state.version
         self._next_table_id = state.next_table_id
-        self._seq = self._flushed_seq = self._acked_floor = state.last_seq
-        self.levels = [
+        self._seq = self._visible_seq = state.last_seq
+        self._flushed_seq = self._acked_floor = state.last_seq
+        self._version = _Version(
             [
-                # Passing the manifest's table id makes construction
-                # zero-I/O: the footer and filter load lazily on first
-                # access, so open time is O(1) per table.
-                DiskSSTable(
-                    fs,
-                    join(path, table_file_name(tid)),
-                    filter_factory=self._filter_factory,
-                    table_id=tid,
-                )
-                for tid in level
+                [
+                    # Passing the manifest's table id makes construction
+                    # zero-I/O: the footer and filter load lazily on first
+                    # access, so open time is O(1) per table.
+                    DiskSSTable(
+                        fs,
+                        join(path, table_file_name(tid)),
+                        filter_factory=self._filter_factory,
+                        table_id=tid,
+                    )
+                    for tid in level
+                ]
+                for level in state.levels
             ]
-            for level in state.levels
-        ] or [[]]
-        # Replay the WAL into the memtable; a torn tail ends the replay
-        # (those records were never acknowledged).
-        records = wal_mod.replay(fs, join(path, state.wal_name))
-        self._start_wal(state.wal_index + 1)
+            or [[]]
+        )
+        for table in self._version.tables():
+            table._engine_refs = 1
+        # Replay the live WAL segments oldest-first into the memtable.
+        # A frozen segment is fully fsynced before its successor is
+        # created, so a torn frame can only be the newest segment's
+        # unacknowledged tail — replay stops there.  A sequence gap
+        # between segments would mean records beyond a torn point; stop
+        # at the gap for the same reason (nothing past it was acked).
+        segments = self._live_wal_segments(state)
+        max_index = max((i for i, _ in segments), default=state.wal_index)
+        records: list[tuple[int, bytes, Any]] = []
+        prev_seq = None
+        for _, name in segments:
+            for seq, key, value in wal_mod.replay(fs, join(path, name)):
+                if prev_seq is not None and seq != prev_seq + 1:
+                    break
+                prev_seq = seq
+                records.append((seq, key, value))
+            else:
+                continue
+            break
+        self._start_wal(max_index + 1)
         for seq, key, value in records:
             if seq <= state.last_seq:
                 continue  # already covered by an installed SSTable
             self._memtable[key] = value
             self._seq = max(self._seq, seq)
             # Re-log into the fresh segment so recovered writes stay
-            # durable once the old segment is garbage-collected.
+            # durable once the old segments are garbage-collected.
             if value is TOMBSTONE:
                 self._wal.append_delete(seq, key)
             else:
                 self._wal.append_put(seq, key, value)
+        self._visible_seq = self._seq
         self._wal.sync()
         self._install_manifest()
 
@@ -219,14 +476,26 @@ class LSMTree:
         self._wal.synced_seq = 0
 
     def _install_manifest(self) -> None:
+        """Write + atomically install the next manifest version.
+
+        Caller holds the lock in background mode.  The WAL pointer
+        names the *oldest* live segment: the oldest unflushed frozen
+        memtable's, or the mutable memtable's when nothing is frozen —
+        recovery replays every segment from there upward.
+        """
+        if self._immutables:
+            wal_name = self._immutables[0].wal_name
+            wal_index = self._immutables[0].wal_index
+        else:
+            wal_name, wal_index = self._wal_name, self._wal_index
         self._manifest_version += 1
         state = ManifestState(
             version=self._manifest_version,
             next_table_id=self._next_table_id,
             last_seq=self._flushed_seq,
-            wal_name=self._wal_name,
-            wal_index=self._wal_index,
-            levels=[[t.table_id for t in level] for level in self.levels],
+            wal_name=wal_name,
+            wal_index=wal_index,
+            levels=[[t.table_id for t in level] for level in self._version.levels],
         )
         manifest_mod.install(self._fs, self.path, state)
         # The superseded manifest is garbage now that CURRENT moved on.
@@ -241,9 +510,10 @@ class LSMTree:
             manifest_mod.manifest_file_name(self._manifest_version),
             self._wal_name,
         }
-        for level in self.levels:
-            for table in level:
-                referenced.add(table_file_name(table.table_id))
+        for frozen in self._immutables:
+            referenced.add(frozen.wal_name)
+        for table in self._version.tables():
+            referenced.add(table_file_name(table.table_id))
         for name in self._fs.listdir(self.path):
             if name not in referenced:
                 self._fs.remove(join(self.path, name))
@@ -256,16 +526,28 @@ class LSMTree:
     def close(self) -> None:
         """Sync and release the WAL; the engine must not be used after.
 
-        Idempotent: a second ``close()`` is a no-op, which the server's
-        drain path relies on (a shard may be closed by the worker and
-        again by the shutdown sweep)."""
+        Background threads are stopped and joined first.  Frozen
+        memtables not yet flushed are left to WAL recovery: their
+        segments were fully fsynced at freeze time, so nothing acked is
+        lost.  Idempotent: a second ``close()`` is a no-op, which the
+        server's drain path relies on (a shard may be closed by the
+        worker and again by the shutdown sweep)."""
         if self._closed:
             return
-        self._closed = True
-        if self._wal is not None:
-            self._wal.close()
-        for level in self.levels:
-            for table in level:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        for thread in (self._flusher, self._compactor):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=10.0)
+        try:
+            for frozen in self._immutables:
+                if frozen.wal is not None:
+                    frozen.wal.close()
+            if self._wal is not None:
+                self._wal.close()
+        finally:
+            for table in self._version.tables():
                 table.close()
 
     def __enter__(self) -> "LSMTree":
@@ -274,23 +556,144 @@ class LSMTree:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- version / table lifecycle -------------------------------------------------
+
+    def _install_version(self, levels: list[list[SSTableBase]]) -> _Version:
+        """Swap in a new table layout (caller holds the lock).
+
+        Tables joining gain a reference.  The *old* version is returned
+        still holding the engine's baseline reference: the caller must
+        :meth:`_release_version` it — **after** installing the manifest
+        that stops referencing the replaced tables, because releasing
+        is what may unlink their files (crash invariant 2: the old
+        manifest must stay fully readable until CURRENT moves on).
+        """
+        new = _Version(levels)
+        for table in new.tables():
+            table._engine_refs = getattr(table, "_engine_refs", 0) + 1
+        old = self._version
+        self._version = new
+        return old
+
+    def _release_version(self, version: _Version) -> None:
+        version.refs -= 1
+        if version.refs == 0:
+            for table in version.tables():
+                table._engine_refs -= 1
+                if table._engine_refs == 0:
+                    self._drop_table(table)
+
+    def _drop_table(self, table: SSTableBase) -> None:
+        """Physically drop a table nothing references anymore: evict
+        its cached blocks, unlink the file, release the mapping."""
+        for idx in range(table.n_blocks):
+            self._block_cache.evict((table.table_id, idx))
+        if self.durable and not self._closed:
+            try:
+                self._fs.remove(table.path)
+            except Exception:
+                # Already gone, or a frozen fault-injection fs refusing
+                # access post-crash; the orphan is GC'd at the next open.
+                pass
+        # Release the mapping after the unlink.  Outstanding views (a
+        # filter someone still holds, a block mid-decode) keep the
+        # pages alive on POSIX; close() tolerates them.
+        table.close()
+
+    def _pin(self, copy_mem: bool = False) -> _View:
+        """Pin a consistent read context.  ``copy_mem=True`` freezes
+        the mutable layer too (required by any read that *iterates*
+        the memtable while a writer may be inserting)."""
+        with self._lock:
+            version = self._version
+            version.refs += 1
+            mems = [dict(self._memtable) if copy_mem else self._memtable]
+            for frozen in reversed(self._immutables):
+                mems.append(frozen.data)
+            return _View(mems, version, self._visible_seq)
+
+    def _unpin(self, view: _View) -> None:
+        with self._lock:
+            self._release_version(view.version)
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current sequence number and return a consistent
+        point-in-time :class:`Snapshot` (release it when done)."""
+        with self._lock:
+            version = self._version
+            version.refs += 1
+            merged: dict[bytes, Any] = {}
+            for frozen in self._immutables:
+                merged.update(frozen.data)
+            merged.update(self._memtable)
+            self._snapshots_live += 1
+            return Snapshot(self, self._visible_seq, merged, version)
+
+    def _release_snapshot(self, view: _View) -> None:
+        with self._lock:
+            self._snapshots_live -= 1
+            self._release_version(view.version)
+
     # -- write path --------------------------------------------------------------
 
+    def _check_bg_error(self) -> None:
+        err = self._bg_error
+        if err is not None:
+            raise err
+
+    def _apply_backpressure(self) -> None:
+        """Slowdown/stall gate for background mode (writer thread).
+
+        Mirrors LevelDB's write controller: too many L0 tables injects
+        a small sleep per write (compaction debt grows read
+        amplification); a full immutable list or an L0 pile-up past the
+        stall trigger blocks the writer until the background threads
+        drain — bounded, counted, and surfaced in :meth:`info`.
+        """
+        self._check_bg_error()
+        with self._cond:
+            stalled = (
+                len(self._immutables) >= self._max_immutables
+                or len(self._version.levels[0]) >= self._l0_stall
+            )
+            if not stalled:
+                slow = len(self._version.levels[0]) >= self._l0_slowdown
+            else:
+                self.stall_count += 1
+                started = time.perf_counter()
+                while not self._closed and self._bg_error is None and (
+                    len(self._immutables) >= self._max_immutables
+                    or len(self._version.levels[0]) >= self._l0_stall
+                ):
+                    self._cond.wait(timeout=0.05)
+                self.stall_seconds += time.perf_counter() - started
+                self._check_bg_error()
+                return
+        if slow:
+            self.slowdown_count += 1
+            time.sleep(self._slowdown_sleep)
+
     def put(self, key: bytes, value: Any) -> None:
+        if self._background:
+            self._apply_backpressure()
         self._seq += 1
         if self._wal is not None:
             self._wal.append_put(self._seq, key, value)
-        self._memtable[key] = value
-        if len(self._memtable) >= self._memtable_entries:
-            self.flush_memtable()
+        with self._lock:
+            self._memtable[key] = value
+            self._visible_seq = self._seq
+        self._maybe_freeze()
 
     def delete(self, key: bytes) -> None:
+        if self._background:
+            self._apply_backpressure()
         self._seq += 1
         if self._wal is not None:
             self._wal.append_delete(self._seq, key)
-        self._memtable[key] = TOMBSTONE
-        if len(self._memtable) >= self._memtable_entries:
-            self.flush_memtable()
+        with self._lock:
+            self._memtable[key] = TOMBSTONE
+            self._visible_seq = self._seq
+        self._maybe_freeze()
 
     def write_batch(self, entries: Sequence[tuple[bytes, Any]]) -> None:
         """Apply a mixed put/delete batch as one acknowledgement unit.
@@ -301,12 +704,15 @@ class LSMTree:
         whole batch, so when this returns the batch is fully
         acknowledged (``last_acked_seq`` covers its final sequence
         number) and a crash can never split it from the caller's point
-        of view.  The memtable is updated in one pass and the flush
-        check runs once, after the batch.
+        of view.  The memtable is updated in one pass (under the lock,
+        so a snapshot sees all of the batch or none of it) and the
+        freeze check runs once, after the batch.
         """
         entries = list(entries)
         if not entries:
             return
+        if self._background:
+            self._apply_backpressure()
         records = []
         seq = self._seq
         for key, value in entries:
@@ -317,47 +723,112 @@ class LSMTree:
             # TypeError from the value codec leaves WAL and seq intact.
             self._wal.append_batch(records)
         self._seq = seq
-        for _, key, value in records:
-            self._memtable[key] = value
-        if len(self._memtable) >= self._memtable_entries:
-            self.flush_memtable()
+        with self._lock:
+            for _, key, value in records:
+                self._memtable[key] = value
+            self._visible_seq = seq
+        self._maybe_freeze()
 
     def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
-        """Batch :meth:`put`: one WAL group commit, one flush check."""
+        """Batch :meth:`put`: one WAL group commit, one freeze check."""
         self.write_batch(pairs)
 
     def delete_many(self, keys: Sequence[bytes]) -> None:
-        """Batch :meth:`delete`: one WAL group commit, one flush check."""
+        """Batch :meth:`delete`: one WAL group commit, one freeze check."""
         self.write_batch([(key, TOMBSTONE) for key in keys])
 
+    def _maybe_freeze(self) -> None:
+        if len(self._memtable) < self._memtable_entries:
+            return
+        if self._background:
+            self._freeze()
+        else:
+            self.flush_memtable()
+
+    def _freeze(self) -> None:
+        """Seal the mutable memtable into the immutable list (writer
+        thread, background mode) and hand it to the flusher.
+
+        Ordering is the crash-safety crux: the old WAL segment is
+        fsynced *before* the new one is created, so (a) every frozen
+        record is acknowledged at freeze time, and (b) the on-disk
+        segments never hold a sequence gap — a torn frame can only be
+        the newest segment's unsynced tail.
+        """
+        if not self._memtable:
+            return
+        old_wal, old_name, old_index = self._wal, self._wal_name, self._wal_index
+        if old_wal is not None:
+            old_wal.sync()  # durability point: frozen records are acked
+        # Rotation and registration are one atomic step under the lock:
+        # a concurrent flush commit must never compute its manifest WAL
+        # pointer between the new segment appearing and the frozen
+        # memtable (which still owns the old segment) being listed.
+        with self._cond:
+            if old_wal is not None:
+                self._start_wal(self._wal_index + 1)
+            frozen = _Frozen(
+                self._memtable, self._visible_seq, old_wal, old_name, old_index
+            )
+            self._immutables.append(frozen)
+            self._memtable = {}
+            if old_wal is not None:
+                self._acked_floor = max(self._acked_floor, old_wal.synced_seq)
+            self._cond.notify_all()
+
     def flush_memtable(self) -> None:
+        """Flush the memtable through to L0.
+
+        Inline mode runs the whole freeze → flush → compact pipeline
+        synchronously (the deterministic path every recovery test
+        drives).  Background mode freezes and then *waits* for the
+        flusher to drain — used by tests and the fuzzer's ``merge`` op
+        to force a table boundary.
+        """
+        if self._background:
+            self._freeze()
+            with self._cond:
+                while self._immutables and self._bg_error is None:
+                    self._cond.wait(timeout=0.05)
+            self._check_bg_error()
+            return
         if not self._memtable:
             return
         pairs = sorted(self._memtable.items())
         if self.durable:
             table: SSTableBase = self._write_table(pairs)
-            self.levels[0].insert(0, table)
-            old_wal = self._wal
-            flush_seq = self._seq
-            acked_before = self.last_acked_seq
-            self._start_wal(self._wal_index + 1)
-            self._flushed_seq = flush_seq
-            self._install_manifest()
-            # The CURRENT rename just committed: every write the new
-            # table covers is durable now (and not one moment sooner).
-            self._acked_floor = max(acked_before, flush_seq)
+            with self._lock:
+                levels = [list(level) for level in self._version.levels]
+                levels[0].insert(0, table)
+                old_wal = self._wal
+                flush_seq = self._seq
+                acked_before = self.last_acked_seq
+                self._start_wal(self._wal_index + 1)
+                self._flushed_seq = flush_seq
+                self._memtable = {}
+                old_version = self._install_version(levels)
+                self._install_manifest()
+                self._release_version(old_version)
+                # The CURRENT rename just committed: every write the new
+                # table covers is durable now (and not one moment sooner).
+                self._acked_floor = max(acked_before, flush_seq)
             # Only now is the old segment redundant (invariant 3).
             old_wal.abandon()
             self._fs.remove(old_wal.path)
         else:
-            self.levels[0].insert(0, self._make_table(pairs))
-        self._memtable = {}
+            with self._lock:
+                levels = [list(level) for level in self._version.levels]
+                levels[0].insert(0, self._make_table(pairs))
+                self._memtable = {}
+                self._release_version(self._install_version(levels))
+        self.flush_count += 1
         self._maybe_compact()
 
     def _alloc_table_id(self) -> int:
-        tid = self._next_table_id
-        self._next_table_id += 1
-        return tid
+        with self._lock:
+            tid = self._next_table_id
+            self._next_table_id += 1
+            return tid
 
     def _make_table(self, pairs) -> SSTable:
         return SSTable(
@@ -383,6 +854,72 @@ class LSMTree:
             self._fs, file_path, filter_factory=self._filter_factory, table_id=tid
         )
 
+    # -- background threads ---------------------------------------------------------
+
+    def _flusher_loop(self) -> None:
+        """Turn frozen memtables into L0 tables, oldest first."""
+        while True:
+            with self._cond:
+                while not self._immutables and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return  # pending immutables recover from their WALs
+                frozen = self._immutables[0]
+            try:
+                self._flush_frozen(frozen)
+            except BaseException as exc:  # noqa: BLE001 — surfaced to writers
+                with self._cond:
+                    self._bg_error = exc
+                    self._cond.notify_all()
+                return
+
+    def _flush_frozen(self, frozen: _Frozen) -> None:
+        """Flush one frozen memtable (flusher thread).
+
+        The table write runs outside the lock (the frozen dict is
+        immutable); the commit — L0 insert, manifest install, ack-floor
+        raise, WAL retirement — happens under it.
+        """
+        pairs = sorted(frozen.data.items())
+        table = self._write_table(pairs) if self.durable else self._make_table(pairs)
+        with self._cond:
+            levels = [list(level) for level in self._version.levels]
+            levels[0].insert(0, table)
+            old_version = self._install_version(levels)
+            self._immutables.pop(0)
+            if self.durable:
+                self._flushed_seq = max(self._flushed_seq, frozen.last_seq)
+                self._install_manifest()
+                self._acked_floor = max(self._acked_floor, frozen.last_seq)
+            self._release_version(old_version)
+            self.flush_count += 1
+            self._cond.notify_all()
+        # Only now is the frozen segment redundant (invariant 3).
+        if self.durable and frozen.wal is not None:
+            frozen.wal.abandon()
+            try:
+                self._fs.remove(frozen.wal.path)
+            except FileNotFoundError:
+                pass
+
+    def _compactor_loop(self) -> None:
+        """Leveled background compaction, lowest overflowing level first."""
+        while True:
+            with self._cond:
+                while not self._closed and self._pick_compaction_level() is None:
+                    self._cond.wait()
+                if self._closed:
+                    return
+                level = self._pick_compaction_level()
+            try:
+                if level is not None:
+                    self._compact_level(level)
+            except BaseException as exc:  # noqa: BLE001 — surfaced to writers
+                with self._cond:
+                    self._bg_error = exc
+                    self._cond.notify_all()
+                return
+
     # -- compaction -----------------------------------------------------------------
 
     def _level_limit(self, level: int) -> int:
@@ -390,52 +927,66 @@ class LSMTree:
             return self._level0_limit
         return self._level0_limit * (self._level_fanout ** level)
 
+    def _pick_compaction_level(self) -> int | None:
+        for i, level in enumerate(self._version.levels):
+            if len(level) > self._level_limit(i):
+                return i
+        return None
+
     def _maybe_compact(self) -> None:
-        level = 0
-        while level < len(self.levels):
-            if len(self.levels[level]) > self._level_limit(level):
-                self._compact_level(level)
-            level += 1
+        """Inline-mode compaction driver (runs on the writer thread)."""
+        while True:
+            level = self._pick_compaction_level()
+            if level is None:
+                return
+            self._compact_level(level)
 
     def _compact_level(self, level: int) -> None:
-        """Merge one level's overflow into the next level."""
-        if level + 1 >= len(self.levels):
-            self.levels.append([])
-        if level == 0:
-            sources = self.levels[0]
-            self.levels[0] = []
-        else:
-            sources = [self.levels[level].pop(0)]
-        lo = min(t.min_key for t in sources)
-        hi = max(t.max_key for t in sources)
-        next_level = self.levels[level + 1]
-        overlapping = [t for t in next_level if t.overlaps(lo, hi)]
-        keep = [t for t in next_level if not t.overlaps(lo, hi)]
-        merged = self._merge_tables(sources, overlapping, drop_tombstones=level + 2 == len(self.levels))
+        """Merge one level's overflow into the next level.
+
+        Source selection happens under the lock; the merge and the
+        table writes run outside it (sources stay alive — they are
+        referenced by the current version, and only this thread removes
+        tables from levels >= 1 while the flusher only *prepends* to
+        L0).  The commit re-reads the current layout, so L0 tables the
+        flusher added mid-merge survive untouched.
+        """
+        with self._lock:
+            cur = self._version.levels
+            if level == 0:
+                sources = list(cur[0])
+            else:
+                sources = [cur[level][0]]
+            lo = min(t.min_key for t in sources)
+            hi = max(t.max_key for t in sources)
+            next_level = cur[level + 1] if level + 1 < len(cur) else []
+            overlapping = [t for t in next_level if t.overlaps(lo, hi)]
+            # Tombstones drop when the output lands on the bottom level.
+            drop_tombstones = len(cur) <= level + 2
+        merged = self._merge_tables(sources, overlapping, drop_tombstones)
         make = self._write_table if self.durable else self._make_table
         new_tables = [
             make(merged[i : i + self._sstable_entries])
             for i in range(0, len(merged), self._sstable_entries)
         ]
-        self.levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
-        if self.durable:
-            self._install_manifest()
-        # The replaced tables left ``self.levels``: their cached blocks
-        # are dead weight now — evict them so live blocks get the
-        # capacity (and delete the files once the manifest no longer
-        # references them).
-        for table in list(sources) + overlapping:
-            self._drop_table(table)
-
-    def _drop_table(self, table: SSTableBase) -> None:
-        for idx in range(table.n_blocks):
-            self._block_cache.evict((table.table_id, idx))
-        if self.durable:
-            self._fs.remove(table.path)
-        # Release the mapping after the unlink.  Outstanding views (a
-        # filter someone still holds, a block mid-decode) keep the
-        # pages alive on POSIX; close() tolerates them.
-        table.close()
+        source_ids = {t.table_id for t in sources}
+        overlap_ids = {t.table_id for t in overlapping}
+        with self._cond:
+            levels = [list(lvl) for lvl in self._version.levels]
+            while len(levels) < level + 2:
+                levels.append([])
+            levels[level] = [t for t in levels[level] if t.table_id not in source_ids]
+            keep = [t for t in levels[level + 1] if t.table_id not in overlap_ids]
+            levels[level + 1] = sorted(keep + new_tables, key=lambda t: t.min_key)
+            old_version = self._install_version(levels)
+            if self.durable:
+                self._install_manifest()
+            self._release_version(old_version)
+            self.compaction_count += 1
+            self._cond.notify_all()
+        # The replaced tables left the current version; their blocks are
+        # evicted and files unlinked when the last snapshot/iterator
+        # holding the old version releases it (possibly just now).
 
     def _merge_tables(
         self, newer: list[SSTableBase], older: list[SSTableBase], drop_tombstones: bool
@@ -470,10 +1021,18 @@ class LSMTree:
     # -- Get (Figure 4.3 left) ------------------------------------------------------------
 
     def get(self, key: bytes) -> Any | None:
-        if key in self._memtable:
-            value = self._memtable[key]
-            return None if value is TOMBSTONE else value
-        for table in self._candidates_for(key):
+        view = self._pin()
+        try:
+            return self._get_in(view, key)
+        finally:
+            self._unpin(view)
+
+    def _get_in(self, view: _View, key: bytes) -> Any | None:
+        for layer in view.mems:
+            if key in layer:
+                value = layer[key]
+                return None if value is TOMBSTONE else value
+        for table in self._candidates_for(view, key):
             if table.filter is not None:
                 self.io.filter_probes += 1
                 if not table.may_contain(key):
@@ -500,20 +1059,32 @@ class LSMTree:
         *or* tombstone) never touches older tables, preserving
         newest-wins semantics exactly.
         """
+        view = self._pin()
+        try:
+            return self._get_many_in(view, keys)
+        finally:
+            self._unpin(view)
+
+    def _get_many_in(self, view: _View, keys: Sequence[bytes]) -> list[Any]:
         keys = list(keys)
         out: list[Any] = [None] * len(keys)
         pending: list[int] = []
         for i, key in enumerate(keys):
-            if key in self._memtable:
-                value = self._memtable[key]
-                out[i] = None if value is TOMBSTONE else value
-            else:
+            resolved = False
+            for layer in view.mems:
+                if key in layer:
+                    value = layer[key]
+                    out[i] = None if value is TOMBSTONE else value
+                    resolved = True
+                    break
+            if not resolved:
                 pending.append(i)
-        for table in self.levels[0]:
+        levels = view.levels
+        for table in levels[0]:
             if not pending:
                 return out
             pending = self._table_get_many(table, keys, out, pending)
-        for level in self.levels[1:]:
+        for level in levels[1:]:
             if not pending:
                 return out
             # Disjoint level: each key has at most one candidate table.
@@ -574,11 +1145,12 @@ class LSMTree:
             return idxs
         return [i for i in idxs if i not in resolved]
 
-    def _candidates_for(self, key: bytes) -> Iterator[SSTableBase]:
-        for table in self.levels[0]:
+    def _candidates_for(self, view: _View, key: bytes) -> Iterator[SSTableBase]:
+        levels = view.levels
+        for table in levels[0]:
             if table.min_key <= key <= table.max_key:
                 yield table
-        for level in self.levels[1:]:
+        for level in levels[1:]:
             idx = bisect_right([t.min_key for t in level], key) - 1
             if idx >= 0 and key <= level[idx].max_key:
                 yield level[idx]
@@ -592,16 +1164,25 @@ class LSMTree:
         most one block is fetched; without them, one block per
         candidate SSTable is fetched (the I/O the paper saves).  When
         the winner turns out to be a tombstone, the engine switches to
-        an iterative merged cursor (:meth:`_merge_seek`) that skips the
-        whole tombstone run reading each block at most once — a run of
-        100k deleted keys costs O(blocks) reads and O(1) stack.
+        an iterative merged cursor (:meth:`_merge_seek_in`) that skips
+        the whole tombstone run reading each block at most once — a run
+        of 100k deleted keys costs O(blocks) reads and O(1) stack.
         """
+        view = self._pin(copy_mem=True)
+        try:
+            return self._seek_in(view, low, high)
+        finally:
+            self._unpin(view)
+
+    def _seek_in(
+        self, view: _View, low: bytes, high: bytes | None = None
+    ) -> tuple[bytes, Any] | None:
         best: tuple[bytes, Any] | None = None
-        # MemTable candidate (no I/O).
-        mem = [(k, v) for k, v in self._memtable.items() if k >= low]
+        # MemTable candidate (no I/O) — newest-wins across the layers.
+        mem = [(k, v) for k, v in view.merged().items() if k >= low]
         if mem:
             best = min(mem)
-        candidates = list(self._seek_candidates(low))
+        candidates = list(self._seek_candidates(view, low))
         if candidates and all(
             t.filter is not None and hasattr(t.filter, "move_to_next")
             for t in candidates
@@ -618,29 +1199,31 @@ class LSMTree:
             return None
         if best[1] is TOMBSTONE:
             # Tombstones shadow older entries; skip the run iteratively.
-            return self._merge_seek(best[0], high)
+            return self._merge_seek_in(view, best[0], high)
         if high is not None and best[0] > high:
             return None
         return best
 
-    def _merge_seek(
-        self, start: bytes, high: bytes | None
+    def _merge_seek_in(
+        self, view: _View, start: bytes, high: bytes | None
     ) -> tuple[bytes, Any] | None:
         """First live entry >= ``start`` via a newest-wins k-way merge.
 
-        One sorted cursor per source (memtable, each L0 table, each
-        deeper level) advances through a heap; for duplicate keys the
-        lowest-rank (newest) source wins.  Every block along the skip
-        is read at most once, so a contiguous tombstone run costs
-        O(run / block_entries) block reads, not O(run) seek restarts.
+        One sorted cursor per source (merged memtable layers, each L0
+        table, each deeper level) advances through a heap; for
+        duplicate keys the lowest-rank (newest) source wins.  Every
+        block along the skip is read at most once, so a contiguous
+        tombstone run costs O(run / block_entries) block reads, not
+        O(run) seek restarts.
         """
         iters: list[Iterator[tuple[bytes, Any]]] = [
-            iter(sorted((k, v) for k, v in self._memtable.items() if k >= start))
+            iter(sorted((k, v) for k, v in view.merged().items() if k >= start))
         ]
-        for table in self.levels[0]:
+        levels = view.levels
+        for table in levels[0]:
             if table.max_key >= start:
                 iters.append(self._table_cursor(table, start))
-        for level in self.levels[1:]:
+        for level in levels[1:]:
             iters.append(self._level_cursor(level, start))
         # Heap entries are (key, rank, value); ranks are unique, so the
         # (unorderable) values never get compared.
@@ -729,11 +1312,12 @@ class LSMTree:
                 result = cand
         return result
 
-    def _seek_candidates(self, low: bytes) -> Iterator[SSTableBase]:
-        for table in self.levels[0]:
+    def _seek_candidates(self, view: _View, low: bytes) -> Iterator[SSTableBase]:
+        levels = view.levels
+        for table in levels[0]:
             if table.max_key >= low:
                 yield table
-        for level in self.levels[1:]:
+        for level in levels[1:]:
             idx = bisect_right([t.min_key for t in level], low) - 1
             start = max(idx, 0)
             for table in level[start:]:
@@ -774,11 +1358,21 @@ class LSMTree:
     # -- iteration / Count (Figure 4.3 right) ---------------------------------------------------
 
     def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
-        """Seek + Next*: the first ``count`` live entries >= low."""
+        """Seek + Next*: the first ``count`` live entries >= low.
+
+        Pins one view for the whole scan, so the result is consistent
+        even while flushes and compactions run underneath."""
+        view = self._pin(copy_mem=True)
+        try:
+            return self._scan_in(view, low, count)
+        finally:
+            self._unpin(view)
+
+    def _scan_in(self, view: _View, low: bytes, count: int) -> list[tuple[bytes, Any]]:
         out: list[tuple[bytes, Any]] = []
         cursor = low
         while len(out) < count:
-            entry = self.seek(cursor)
+            entry = self._seek_in(view, cursor)
             if entry is None:
                 break
             out.append(entry)
@@ -793,9 +1387,15 @@ class LSMTree:
         As in the paper, LSM semantics make it approximate (it cannot
         distinguish updates/deletes across runs without a full merge).
         """
-        total = 0
-        total += sum(1 for k in self._memtable if low <= k < high)
-        for level in self.levels:
+        view = self._pin(copy_mem=True)
+        try:
+            return self._count_in(view, low, high)
+        finally:
+            self._unpin(view)
+
+    def _count_in(self, view: _View, low: bytes, high: bytes) -> int:
+        total = sum(1 for k in view.merged() if low <= k < high)
+        for level in view.levels:
             for table in level:
                 if not table.overlaps(low, high):
                     continue
@@ -818,18 +1418,47 @@ class LSMTree:
             block_idx += 1
         return count
 
+    # -- quiescence (tests / benchmarks) --------------------------------------------------------
+
+    def wait_idle(self, timeout: float = 30.0) -> None:
+        """Block until no frozen memtable is pending and no level is
+        over its limit (background mode; inline returns immediately).
+
+        Raises the background error if a flusher/compactor died, and
+        ``TimeoutError`` if the backlog does not drain in time.
+        """
+        if not self._background:
+            return
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._immutables or self._pick_compaction_level() is not None:
+                self._check_bg_error()
+                if self._closed:
+                    return
+                if not self._cond.wait(timeout=0.05) and time.monotonic() > deadline:
+                    raise TimeoutError("background work did not drain")
+            self._check_bg_error()
+
     # -- statistics -----------------------------------------------------------------------------
 
     def total_entries(self) -> int:
-        return len(self._memtable) + sum(
-            t.n_entries for level in self.levels for t in level
-        )
+        with self._lock:
+            mem = len(self._memtable) + sum(len(f.data) for f in self._immutables)
+            return mem + sum(t.n_entries for t in self._version.tables())
 
     def filter_memory_bytes(self) -> int:
-        return sum(t.filter_memory_bytes() for level in self.levels for t in level)
+        return sum(t.filter_memory_bytes() for t in self._version.tables())
 
     def table_count(self) -> int:
-        return sum(len(level) for level in self.levels)
+        return sum(len(level) for level in self._version.levels)
+
+    def compaction_backlog(self) -> int:
+        """Tables above their level limits (0 when fully compacted)."""
+        levels = self._version.levels
+        return sum(
+            max(0, len(level) - self._level_limit(i))
+            for i, level in enumerate(levels)
+        )
 
     def info(self) -> dict[str, Any]:
         """JSON-ready engine counters (the per-shard STATS payload)."""
@@ -846,4 +1475,14 @@ class LSMTree:
             "filter_probes": probes,
             "filter_negatives": negatives,
             "filter_hit_rate": negatives / probes if probes else 0.0,
+            "background": self._background,
+            "immutables": len(self._immutables),
+            "l0_tables": len(self._version.levels[0]),
+            "compaction_backlog": self.compaction_backlog(),
+            "stalls": self.stall_count,
+            "slowdowns": self.slowdown_count,
+            "stall_seconds": self.stall_seconds,
+            "flushes": self.flush_count,
+            "compactions": self.compaction_count,
+            "snapshots": self._snapshots_live,
         }

@@ -80,7 +80,14 @@ class KVServer:
         self._fs = fs
         self._queue_limit = queue_limit
         self._filter_factory = filter_factory
+        # Served engines default to the background lifecycle: shard
+        # workers keep coalescing writes into one WAL group commit, but
+        # flushes and compactions move off the worker thread, so a
+        # write's worst case is a bounded stall (counted in STATS) —
+        # not an inline multi-level merge.  Tests that need the
+        # deterministic inline pipeline pass ``background=False``.
         self._engine_config = dict(engine_config or {})
+        self._engine_config.setdefault("background", True)
         self.stats = ServerStats()
         self.shards: list[ShardWorker] = []
         self._server: asyncio.AbstractServer | None = None

@@ -4,6 +4,9 @@ Subcommands:
 
 * ``fuzz``   — run a seeded differential fuzz across structures:
   ``python -m repro.testing fuzz --seed 0 --ops 5000``
+* ``torture`` — threaded snapshot-consistency torture against the
+  background-compaction LSM engine:
+  ``python -m repro.testing torture --seed 0 --ops 1500 --readers 3``
 * ``replay`` — re-run a repro script written by a failing fuzz:
   ``python -m repro.testing replay fuzz-repros/repro-fst-seed0.json``
 * ``list``   — list the structures the harness can drive.
@@ -100,6 +103,56 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_torture(args: argparse.Namespace) -> int:
+    from .ops import ops_to_json
+    from .threaded import run_torture
+
+    failures = 0
+    for round_idx in range(args.rounds):
+        seed = args.seed + round_idx
+        result = run_torture(
+            seed=seed,
+            n_ops=args.ops,
+            readers=args.readers,
+            keyspace=args.keyspace,
+        )
+        if result.ok:
+            info = result.engine_info
+            print(
+                f"seed {seed}  PASS  applied={result.applied} "
+                f"snapshot_checks={result.snapshot_checks} "
+                f"raw_checks={result.raw_checks} "
+                f"flushes={info.get('flushes')} compactions={info.get('compactions')} "
+                f"stalls={info.get('stalls')} slowdowns={info.get('slowdowns')}  "
+                f"{result.elapsed_seconds:.2f}s"
+            )
+            continue
+        failures += 1
+        print(f"seed {seed}  FAIL  " + result.failure.describe().replace("\n", "\n  "))
+        if result.shrunk_ops:
+            out_dir = Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            repro = out_dir / f"repro-torture-seed{seed}.json"
+            repro.write_text(
+                ops_to_json(
+                    result.shrunk_ops,
+                    structure="lsm_bg",
+                    seed=seed,
+                    keyspace=args.keyspace,
+                    failure=result.failure.describe(),
+                    deterministic=result.replay_deterministic,
+                )
+            )
+            kind = (
+                "deterministic, ddmin-shrunk"
+                if result.replay_deterministic
+                else "interleaving-only; prefix kept"
+            )
+            print(f"  repro ({kind}, {len(result.shrunk_ops)} ops) -> {repro}")
+    print(f"\n{args.rounds - failures}/{args.rounds} torture rounds clean")
+    return 1 if failures else 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     text = Path(args.script).read_text()
     ops, meta = ops_from_json(text)
@@ -138,6 +191,19 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument(
         "--out-dir", default="fuzz-repros", help="where to write repro scripts"
     )
+    torture = sub.add_parser(
+        "torture", help="threaded snapshot-consistency torture (background LSM)"
+    )
+    torture.add_argument("--seed", type=int, default=0)
+    torture.add_argument("--ops", type=int, default=1500, help="write ops per round")
+    torture.add_argument("--readers", type=int, default=3)
+    torture.add_argument("--rounds", type=int, default=1)
+    torture.add_argument(
+        "--keyspace", default="int64", choices=["int64", "email", "url", "mixed"]
+    )
+    torture.add_argument(
+        "--out-dir", default="fuzz-repros", help="where to write repro scripts"
+    )
     replay = sub.add_parser("replay", help="re-run a JSON repro script")
     replay.add_argument("script", help="path written by a failing fuzz run")
     replay.add_argument("--structure", default=None, help="override script structure")
@@ -145,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "torture":
+        return _cmd_torture(args)
     if args.command == "replay":
         return _cmd_replay(args)
     if args.command == "list":

@@ -474,10 +474,20 @@ class LsmAdapter(Adapter):
     from the filesystem — every read after it runs against recovered
     state, so a WAL/manifest/SSTable round-trip bug surfaces as a
     differential failure.
+
+    With ``background=True`` the same op stream drives the freeze /
+    background-flush / background-compaction lifecycle instead: answers
+    must still match the oracle bit-for-bit no matter where the flusher
+    and compactor happen to be, because every read pins a consistent
+    view.  ``merge`` then drains the immutable queue and ``serialize``
+    joins the background threads before recovering.
     """
 
-    def __init__(self, name: str = "lsm", filter_factory=None) -> None:
+    def __init__(
+        self, name: str = "lsm", filter_factory=None, background: bool = False
+    ) -> None:
         self._filter_factory = filter_factory
+        self._background = background
         self._generation = 0
         super().__init__(name)
 
@@ -496,6 +506,7 @@ class LsmAdapter(Adapter):
             block_cache_blocks=32,
             wal_sync_every=4,
             filter_factory=self._filter_factory,
+            background=self._background,
         )
         self.index = LSMTree.open(self._path, fs=self._fs, **self._config)
         self._present: set[bytes] = set()
@@ -742,6 +753,7 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         "hope_art": lambda: HopeAdapter("hope_art", ART, scheme="single"),
         # durable LSM engine (WAL + manifest + on-disk SSTables on MemFS)
         "lsm": lambda: LsmAdapter("lsm"),
+        "lsm_bg": lambda: LsmAdapter("lsm_bg", background=True),
         "lsm_surf": lambda: LsmAdapter(
             "lsm_surf",
             filter_factory=lambda keys: _lsm_surf_filter(keys),

@@ -28,6 +28,8 @@ exactly what ``tests/test_lsm_durability.py`` enumerates.
 
 from __future__ import annotations
 
+import threading
+
 from ..lsm.fs import FileSystem, WritableFile
 
 
@@ -74,29 +76,50 @@ class _MemWritableFile(WritableFile):
         self._open = True
 
     def append(self, data: bytes) -> None:
-        self._fs._check_alive()
-        if not self._open:
-            raise ValueError("file is closed")
-        self._fs._files[self._path].volatile += data
+        with self._fs._lock:
+            self._fs._check_alive()
+            if not self._open:
+                raise ValueError("file is closed")
+            self._fs._files[self._path].volatile += data
 
     def sync(self) -> None:
-        self._fs._check_alive()
-        self._fs._durability_point(f"sync {self._path}")
-        f = self._fs._files.get(self._path)
-        if f is not None:
-            f.durable += bytes(f.volatile)
-            f.volatile = bytearray()
+        with self._fs._lock:
+            self._fs._check_alive()
+            self._fs._durability_point(f"sync {self._path}")
+            f = self._fs._files.get(self._path)
+            if f is not None:
+                f.durable += bytes(f.volatile)
+                f.volatile = bytearray()
 
     def close(self) -> None:
         self._open = False
 
 
 class MemFS(FileSystem):
-    """In-memory filesystem with an explicit durable/volatile split."""
+    """In-memory filesystem with an explicit durable/volatile split.
+
+    Thread-safe: a background-mode LSM engine has its flusher and
+    compactor writing tables and manifests while the writer thread
+    appends WAL records, so every operation — including the durability
+    point counter FaultFS layers on top — runs under one lock, which
+    also gives crash injection a single global order across threads.
+    The lock is skipped when pickling (process shards ship their fs to
+    a spawned child) and recreated on unpickle.
+    """
 
     def __init__(self) -> None:
         self._files: dict[str, _MemFile] = {}
         self._dirs: set[str] = set()
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- crash hooks (no-ops here; FaultFS overrides) ----------------------
 
@@ -109,50 +132,57 @@ class MemFS(FileSystem):
     # -- FileSystem interface ----------------------------------------------
 
     def mkdir(self, path: str) -> None:
-        self._check_alive()
-        self._dirs.add(path.rstrip("/"))
+        with self._lock:
+            self._check_alive()
+            self._dirs.add(path.rstrip("/"))
 
     def exists(self, path: str) -> bool:
-        self._check_alive()
-        return path in self._files or path.rstrip("/") in self._dirs
+        with self._lock:
+            self._check_alive()
+            return path in self._files or path.rstrip("/") in self._dirs
 
     def listdir(self, path: str) -> list[str]:
-        self._check_alive()
-        prefix = path.rstrip("/") + "/"
-        return sorted(
-            {
-                name[len(prefix) :].split("/", 1)[0]
-                for name in self._files
-                if name.startswith(prefix)
-            }
-        )
+        with self._lock:
+            self._check_alive()
+            prefix = path.rstrip("/") + "/"
+            return sorted(
+                {
+                    name[len(prefix) :].split("/", 1)[0]
+                    for name in self._files
+                    if name.startswith(prefix)
+                }
+            )
 
     def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
-        self._check_alive()
-        if path not in self._files:
-            raise FileNotFoundError(path)
-        data = self._files[path].content
-        if length is None:
-            return data[offset:]
-        return data[offset : offset + length]
+        with self._lock:
+            self._check_alive()
+            if path not in self._files:
+                raise FileNotFoundError(path)
+            data = self._files[path].content
+            if length is None:
+                return data[offset:]
+            return data[offset : offset + length]
 
     def create(self, path: str) -> WritableFile:
-        self._check_alive()
-        self._files[path] = _MemFile()
-        return _MemWritableFile(self, path)
+        with self._lock:
+            self._check_alive()
+            self._files[path] = _MemFile()
+            return _MemWritableFile(self, path)
 
     def rename(self, src: str, dst: str) -> None:
-        self._check_alive()
-        if src not in self._files:
-            raise FileNotFoundError(src)
-        self._durability_point(f"rename {src} -> {dst}")
-        self._files[dst] = self._files.pop(src)
+        with self._lock:
+            self._check_alive()
+            if src not in self._files:
+                raise FileNotFoundError(src)
+            self._durability_point(f"rename {src} -> {dst}")
+            self._files[dst] = self._files.pop(src)
 
     def remove(self, path: str) -> None:
-        self._check_alive()
-        if path not in self._files:
-            raise FileNotFoundError(path)
-        del self._files[path]
+        with self._lock:
+            self._check_alive()
+            if path not in self._files:
+                raise FileNotFoundError(path)
+            del self._files[path]
 
 
 class FaultFS(MemFS):
@@ -187,9 +217,10 @@ class FaultFS(MemFS):
         if mode not in CRASH_MODES:
             raise ValueError(f"unknown crash mode {mode!r}; choose {CRASH_MODES}")
         view = MemFS()
-        view._dirs = set(self._dirs)
-        for path, f in self._files.items():
-            nf = _MemFile()
-            nf.durable = f.survivor(mode)
-            view._files[path] = nf
+        with self._lock:
+            view._dirs = set(self._dirs)
+            for path, f in self._files.items():
+                nf = _MemFile()
+                nf.durable = f.survivor(mode)
+                view._files[path] = nf
         return view

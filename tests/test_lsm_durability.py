@@ -511,6 +511,148 @@ class TestKillAtEverySyncPoint:
                 break
 
 
+BG_CONFIG = dict(CONFIG, background=True, max_immutables=2, slowdown_sleep=0.0)
+
+#: Sweep guard: the background run's durability-point count varies with
+#: thread interleaving, so the matrix probes points upward until a run
+#: survives uncrashed instead of pre-counting; this bounds the sweep if
+#: something regresses into generating unbounded sync traffic.
+MAX_BG_POINTS = 600
+
+
+class TestKillDuringBackgroundFlushAndCompaction:
+    """The background counterpart of :class:`TestKillAtEverySyncPoint`.
+
+    With ``background=True`` every SSTable fsync, manifest install, and
+    CURRENT rename happens on the flusher/compactor threads while the
+    writer keeps appending WAL records — so sweeping the crash counter
+    kills the engine *inside* background flushes and compactions, at
+    points the inline matrix can never reach.  Interleaving moves where
+    each numbered point lands between runs; the invariants hold at
+    every point regardless:
+
+    (a) recovery never resurrects more than the ops actually started;
+    (b) no write whose acknowledgement was observed is ever lost;
+    (c) the recovered state is an exact op-prefix state;
+    (d) orphan compaction/flush outputs (tables the crashed manifest
+        never referenced, stale tmps) are GC'd at open.
+    """
+
+    N_OPS = 100
+
+    def _crash_run(self, ops, point):
+        """Run the workload on a background engine until power fails at
+        ``point`` (or to completion); returns (fs, started, acked)."""
+        fs = FaultFS(fail_at=point)
+        started = 0
+        acked = 0
+        db = None
+        try:
+            db = LSMTree.open("db", fs=fs, **BG_CONFIG)
+            for op, key, value in ops:
+                started += 1
+                if op == "put":
+                    db.put(key, value)
+                else:
+                    db.delete(key)
+                # The ack floor also rises asynchronously (each freeze
+                # fsyncs the old segment), so track the max observed.
+                acked = max(acked, db.last_acked_seq)
+            db.wait_idle()
+            db.close()
+        except PowerFailure:
+            pass
+        finally:
+            if db is not None:
+                try:
+                    db.close()
+                except PowerFailure:
+                    # Threads are joined before close touches the fs, so
+                    # a dead fs here leaves nothing running.
+                    pass
+        return fs, started, acked
+
+    def _check_recovery(self, fs, ops, started, acked, point):
+        for mode in CRASH_MODES:
+            view = fs.crashed_view(mode)
+            recovered = LSMTree.open("db", fs=view, **CONFIG)
+            k = recovered.last_seq
+            assert k <= started, (
+                f"point {point} mode {mode} ({fs.crash_label}): recovered "
+                f"seq {k} beyond started {started}"
+            )
+            assert k >= acked, (
+                f"point {point} mode {mode} ({fs.crash_label}): lost acked "
+                f"writes (recovered {k} < acked {acked})"
+            )
+            expected = _model_after(ops, k)
+            for key in {key for _, key, _ in ops}:
+                assert recovered.get(key) == expected.get(key), (
+                    f"point {point} mode {mode}: key {key!r} diverged"
+                )
+            # (d) the open GC'd everything the recovered manifest does
+            # not reference: no orphan compaction/flush outputs, no tmps.
+            referenced = {
+                f"sst-{t.table_id:08d}.sst"
+                for level in recovered.levels
+                for t in level
+            }
+            names = view.listdir("db")
+            orphans = [
+                n for n in names if n.startswith("sst-") and n not in referenced
+            ]
+            assert not orphans, (
+                f"point {point} mode {mode}: orphan tables survived open: "
+                f"{orphans}"
+            )
+            assert not [n for n in names if n.endswith(".tmp")], (
+                f"point {point} mode {mode}: stale tmp files survived open"
+            )
+            recovered.close()
+
+    def test_every_crash_point_every_torn_mode(self):
+        ops = _workload(self.N_OPS, seed=21)
+        labels = []
+        point = 0
+        while point < MAX_BG_POINTS:
+            point += 1
+            fs, started, acked = self._crash_run(ops, point)
+            if not fs.crashed:
+                # fail_at was never reached: the whole workload, every
+                # background flush/compaction, and close ran clean.
+                assert started == len(ops)
+                break
+            labels.append(fs.crash_label)
+            self._check_recovery(fs, ops, started, acked, point)
+        else:
+            raise AssertionError(
+                f"sweep did not terminate within {MAX_BG_POINTS} points"
+            )
+        # The sweep must actually have died inside background work:
+        # table fsyncs and manifest/CURRENT installs only ever happen on
+        # the flusher/compactor threads in background mode.
+        assert any("sst-" in lbl for lbl in labels), labels
+        assert any("CURRENT" in lbl for lbl in labels), labels
+        assert any("wal-" in lbl for lbl in labels), labels
+
+    def test_background_and_inline_recover_identically(self):
+        """A directory written by a background engine is just an LSM
+        directory: an inline engine recovers it to the same state, and
+        vice versa (the manifest/WAL formats carry no mode)."""
+        ops = _workload(self.N_OPS, seed=22)
+        fs = MemFS()
+        db = LSMTree.open("db", fs=fs, **BG_CONFIG)
+        _apply(db, ops)
+        db.wait_idle()
+        db.close()
+        expected = _model_after(ops, len(ops))
+        for config in (CONFIG, BG_CONFIG):
+            recovered = LSMTree.open("db", fs=fs, **config)
+            _assert_state_matches(recovered, expected)
+            assert recovered.last_seq == len(ops)
+            recovered.close()
+
+
 # -- batched writes (group commit) -------------------------------------------
 
 
