@@ -24,6 +24,7 @@ from typing import Any, Sequence
 
 MAGIC_PAIRS = b"RCP1"
 MAGIC_COMPRESSED = b"RCZ1"
+MAGIC_GAPPED = b"RGB1"
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -92,6 +93,26 @@ def pairs_from_bytes(cls: type, data: bytes) -> Any:
     if slots:
         return cls(pairs, slots)
     return cls(pairs)
+
+
+# -- gapped B+tree (pair array + leaf capacity) -----------------------------
+
+
+def gapped_to_bytes(tree: Any) -> bytes:
+    """Serialize a gapped B+tree: its live pairs plus the leaf
+    capacity, so a reload rebuilds an equivalent (rebalanced) tree."""
+    header = MAGIC_GAPPED + _U32.pack(tree._capacity)
+    return header + _pack_pairs(list(tree.items()))
+
+
+def gapped_from_bytes(cls: type, data: bytes) -> Any:
+    """Rebuild ``cls`` from :func:`gapped_to_bytes` output."""
+    _require(data[:4] == MAGIC_GAPPED, f"bad magic {data[:4]!r}")
+    capacity, offset = _read_u32(data, 4)
+    _require(capacity >= 8, "leaf capacity out of range")
+    pairs, offset = _unpack_pairs(data, offset)
+    _require(offset == len(data), "trailing bytes")
+    return cls(pairs, leaf_capacity=capacity)
 
 
 # -- compressed B+tree (blob-level round-trip) ------------------------------

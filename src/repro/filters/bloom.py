@@ -57,8 +57,8 @@ class BloomFilter:
         # from the numpy array directly).  Built lazily on view-backed
         # filters (:meth:`from_bytes` with ``copy=False``).
         self._word_ints: list[int] | None = self._words.tolist()
-        for key in keys:
-            self._set(key)
+        self.n_keys = 0
+        self.add_many(keys)
 
     def _probes(self, key: bytes) -> Iterable[int]:
         h1 = hash64(key, 0)
@@ -80,6 +80,38 @@ class BloomFilter:
             self._words[bit >> 6] |= np.uint64(1 << (bit & 63))
             if self._word_ints is not None:
                 self._word_ints[bit >> 6] |= 1 << (bit & 63)
+
+    def add(self, key: bytes) -> None:
+        """Insert one key incrementally (no rebuild).  Raises on
+        read-only view-backed filters, like :meth:`add_many`."""
+        self._set(key)
+        self.n_keys += 1
+
+    def add_many(self, keys: Sequence[bytes]) -> None:
+        """Vectorized bulk insert: all ``k * N`` probe positions are
+        computed as one uint64 array and OR-scattered into the word
+        array in a single ufunc pass — the write-side twin of
+        :meth:`may_contain_many`."""
+        n = len(keys)
+        if n == 0:
+            return
+        if not self._words.flags.writeable:
+            raise ValueError(
+                "cannot insert into a read-only BloomFilter deserialized "
+                "with copy=False; reload with copy=True to mutate"
+            )
+        h1 = np.fromiter((hash64(k, 0) for k in keys), dtype=np.uint64, count=n)
+        h2 = np.fromiter(
+            (hash64(k, _GOLDEN) | 1 for k in keys), dtype=np.uint64, count=n
+        )
+        steps = np.arange(self.k, dtype=np.uint64)
+        bits = (h1[:, None] + steps[None, :] * h2[:, None]) % np.uint64(self.n_bits)
+        flat = bits.ravel()
+        masks = np.uint64(1) << (flat & np.uint64(63))
+        np.bitwise_or.at(self._words, (flat >> np.uint64(6)).astype(np.int64), masks)
+        # The int mirror is stale now; scalar probes rebuild it lazily.
+        self._word_ints = None
+        self.n_keys += n
 
     def may_contain(self, key: bytes) -> bool:
         words = self._word_ints

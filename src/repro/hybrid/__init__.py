@@ -6,6 +6,7 @@ from .hybrid import (
     hybrid_art,
     hybrid_btree,
     hybrid_compressed_btree,
+    hybrid_gapped,
     hybrid_masstree,
     hybrid_skiplist,
 )
@@ -13,6 +14,7 @@ from .hybrid import (
 __all__ = [
     "HybridIndex",
     "hybrid_btree",
+    "hybrid_gapped",
     "hybrid_skiplist",
     "hybrid_art",
     "hybrid_masstree",

@@ -23,6 +23,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Iterator, Sequence
 
+import numpy as np
+
 from ..compact import (
     CompactART,
     CompactBPlusTree,
@@ -31,7 +33,8 @@ from ..compact import (
     CompressedBPlusTree,
 )
 from ..filters.bloom import BloomFilter
-from ..trees import ART, BPlusTree, Masstree, OrderedIndex, PagedSkipList
+from ..trees import ART, BPlusTree, GappedBPlusTree, Masstree, OrderedIndex, PagedSkipList
+from ..trees.gapped_btree import merge_sorted_columns
 
 _TOMBSTONE = object()
 
@@ -97,6 +100,14 @@ class HybridIndex(OrderedIndex):
         return self._bloom is None or self._bloom.may_contain(key)
 
     def _rebuild_bloom(self) -> None:
+        """Rebuild the dynamic-stage filter from scratch.
+
+        Called ONLY on merge/reset (when the dynamic stage empties down
+        to the retained-hot entries): day-to-day dynamic-stage writes
+        go through the incremental :meth:`_dynamic_changed` /
+        :meth:`_dynamic_changed_many` paths instead of re-enumerating
+        every dynamic key per change.
+        """
         if self.use_bloom:
             keys = [k for k, _ in self.dynamic.items()]
             # Size for the dynamic stage's expected capacity before the
@@ -110,7 +121,11 @@ class HybridIndex(OrderedIndex):
         # Bloom filters cannot delete; adding is enough for correctness
         # (false positives only cost an extra dynamic-stage probe).
         if self.use_bloom and new_key is not None:
-            self._bloom._set(new_key)
+            self._bloom.add(new_key)
+
+    def _dynamic_changed_many(self, new_keys: Sequence[bytes]) -> None:
+        if self.use_bloom and new_keys:
+            self._bloom.add_many(new_keys)
 
     # -- merge --------------------------------------------------------------------------
 
@@ -142,6 +157,24 @@ class HybridIndex(OrderedIndex):
                 if self._access.get(k, 0) >= 2
             ]
         hot_keys = {k for k, _ in keep_hot}
+        if hasattr(self.dynamic, "export_columns"):
+            merged = self._merge_columns(hot_keys)
+        else:
+            merged = self._merge_iterative(hot_keys)
+        self.static = self._static_factory(merged)
+        self.dynamic = self._dynamic_factory()
+        for k, v in keep_hot:
+            self.dynamic.insert(k, v)
+        self._deleted = set()
+        self._access = {}
+        self._retained_hot = len(keep_hot)
+        self._rebuild_bloom()
+        self.last_merge_seconds = time.perf_counter() - started
+        self.total_merge_seconds += self.last_merge_seconds
+        self.merge_count += 1
+
+    def _merge_iterative(self, hot_keys: set[bytes]) -> list[tuple[bytes, Any]]:
+        """Python two-iterator merge (any dynamic stage)."""
         merged: list[tuple[bytes, Any]] = []
         dyn_iter = iter(self.dynamic.items())
         stat_iter = iter(self.static.items())
@@ -161,17 +194,31 @@ class HybridIndex(OrderedIndex):
                 stat = next(stat_iter, None)
         if hot_keys:
             merged = [(k, v) for k, v in merged if k not in hot_keys]
-        self.static = self._static_factory(merged)
-        self.dynamic = self._dynamic_factory()
-        for k, v in keep_hot:
-            self.dynamic.insert(k, v)
-        self._deleted = set()
-        self._access = {}
-        self._retained_hot = len(keep_hot)
-        self._rebuild_bloom()
-        self.last_merge_seconds = time.perf_counter() - started
-        self.total_merge_seconds += self.last_merge_seconds
-        self.merge_count += 1
+        return merged
+
+    def _merge_columns(self, hot_keys: set[bytes]) -> list[tuple[bytes, Any]]:
+        """Column merge for dynamic stages that export sorted columns
+        (the gapped B+tree): the dyn/static interleave is two
+        ``searchsorted`` calls plus a scatter instead of a Python
+        iterator zip, and tombstone/hot filtering is one mask pass."""
+        dyn_keys, dyn_vals = self.dynamic.export_columns()
+        stat_keys = getattr(self.static, "_keys", None)
+        stat_vals = getattr(self.static, "_values", None)
+        if stat_keys is None or stat_vals is None:
+            pairs = list(self.static.items())
+            stat_keys = [k for k, _ in pairs]
+            stat_vals = [v for _, v in pairs]
+        sk = np.empty(len(stat_keys), dtype=object)
+        sv = np.empty(len(stat_keys), dtype=object)
+        if len(stat_keys):
+            sk[:] = list(stat_keys)
+            sv[:] = list(stat_vals)
+        mk, mv = merge_sorted_columns(sk, sv, dyn_keys, dyn_vals)
+        drop = self._deleted | hot_keys
+        if drop and len(mk):
+            keep = np.fromiter((k not in drop for k in mk), dtype=bool, count=len(mk))
+            mk, mv = mk[keep], mv[keep]
+        return list(zip(mk.tolist(), mv.tolist()))
 
     def _maybe_merge(self) -> None:
         if self.should_merge():
@@ -261,6 +308,52 @@ class HybridIndex(OrderedIndex):
                     out[i] = self.static.get(keys[i])
         return out
 
+    def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
+        """Batched upsert (primary semantics): one vectorized Bloom
+        probe + one dynamic-stage ``get_many`` classify the batch, the
+        whole batch lands in the dynamic stage as one ``put_many``
+        (new keys insert, existing keys shadow/overwrite — same as
+        sequential put), the Bloom filter absorbs the keys via one
+        ``add_many``, and the merge trigger runs once at the end."""
+        if self.secondary:
+            super().put_many(pairs)  # append-path loop
+            return
+        dedup: dict[bytes, Any] = {}
+        for key, value in pairs:
+            dedup[key] = value
+        if not dedup:
+            return
+        keys = list(dedup)
+        # Presence classification (for _len), same probe order as get():
+        # Bloom-guarded dynamic first, then non-tombstoned static.
+        if self._bloom is None:
+            positive = [True] * len(keys)
+        else:
+            positive = self._bloom.may_contain_many(keys)
+        present = [False] * len(keys)
+        probe = [i for i, p in enumerate(positive) if p]
+        if probe:
+            for i, value in zip(probe, self.dynamic.get_many([keys[i] for i in probe])):
+                present[i] = value is not None
+        static_idx = [
+            i
+            for i in range(len(keys))
+            if not present[i] and keys[i] not in self._deleted
+        ]
+        if static_idx:
+            batch = getattr(self.static, "get_many", None)
+            if batch is not None:
+                values = batch([keys[i] for i in static_idx])
+            else:
+                values = [self.static.get(keys[i]) for i in static_idx]
+            for i, value in zip(static_idx, values):
+                present[i] = value is not None
+        self._len += len(keys) - sum(present)
+        self._deleted.difference_update(keys)
+        self.dynamic.put_many(list(dedup.items()))
+        self._dynamic_changed_many(keys)
+        self._maybe_merge()
+
     def update(self, key: bytes, value: Any) -> bool:
         if self._bloom_positive(key) and self.dynamic.update(key, value):
             return True
@@ -331,6 +424,13 @@ class HybridIndex(OrderedIndex):
 def hybrid_btree(**kwargs) -> HybridIndex:
     """Hybrid B+tree: B+tree front, Compact B+tree bulk."""
     return HybridIndex(BPlusTree, CompactBPlusTree, **kwargs)
+
+
+def hybrid_gapped(**kwargs) -> HybridIndex:
+    """Hybrid Gapped B+tree: the batch-updatable gapped tree as the
+    dynamic stage (vectorized ``put_many``; ``merge()`` consumes its
+    exported columns), Compact B+tree bulk."""
+    return HybridIndex(GappedBPlusTree, CompactBPlusTree, **kwargs)
 
 
 def hybrid_skiplist(**kwargs) -> HybridIndex:

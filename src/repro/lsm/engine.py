@@ -4,7 +4,12 @@ The architecture mirrors Figure 4.2 with the LevelDB lifecycle: writes
 land in a *mutable* memtable; at capacity the memtable **freezes** into
 an immutable list; a flusher turns immutable memtables into level-0
 SSTables; compaction merges runs downward so that every level >= 1
-holds disjoint key ranges.  A block cache (CLOCK) approximates
+holds disjoint key ranges.  The memtable is a gapped, batch-updatable
+B+tree (:mod:`repro.trees.gapped_btree`) by default — a WAL group
+commit applies as one vectorized batch insert, its copy-on-write node
+states keep lock-free point reads safe, and flushes emit its leaves
+already in key order (``memtable_factory`` swaps in the plain-dict
+baseline, :class:`DictMemtable`).  A block cache (CLOCK) approximates
 RocksDB's block cache + OS page cache; fence indexes and filters live
 in the always-resident table cache.
 
@@ -20,7 +25,7 @@ Two execution modes share the state machine:
   differential fuzzer rely on;
 * **background** (``background=True``): a flusher thread and a
   compaction thread do the heavy lifting while writers only pay for
-  the WAL append and a dict insert.  Backpressure replaces inline
+  the WAL append and a memtable insert.  Backpressure replaces inline
   blocking: crossing ``l0_slowdown`` L0 tables injects a small sleep
   per write, and crossing ``l0_stall`` (or piling up
   ``max_immutables`` frozen memtables) stalls the writer until the
@@ -75,6 +80,7 @@ from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Iterator, Sequence
 
 from ..compact.node_cache import ClockNodeCache
+from ..trees.gapped_btree import GappedBPlusTree
 from . import manifest as manifest_mod
 from . import wal as wal_mod
 from .fs import FileSystem, OsFileSystem, join
@@ -106,6 +112,155 @@ class IoStats:
         #: serving layer reports these as the filter hit rate.
         self.filter_probes = 0
         self.filter_negatives = 0
+
+
+class DictMemtable:
+    """The pre-gapped reference memtable: a plain dict, sorted at
+    flush time.
+
+    Kept as a ``memtable_factory`` option so benchmarks can compare
+    the gapped write path against the baseline it replaced, and as the
+    minimal example of the memtable protocol: ``put`` / ``put_many``,
+    mapping reads (``in`` / ``[]`` must be safe without the engine
+    lock), *sorted* ``items()``, ``len``, and ``freeze_view`` returning
+    an immutable snapshot for pinned scans.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, Any] = {}
+
+    def put(self, key: bytes, value: Any) -> None:
+        self._data[key] = value
+
+    def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
+        for key, value in pairs:
+            self._data[key] = value
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: bytes) -> Any:
+        return self._data[key]
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(sorted(self._data))
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        return iter(sorted(self._data.items()))
+
+    def freeze_view(self) -> dict[bytes, Any]:
+        return dict(self._data)
+
+
+_MISSING = object()
+
+
+class GappedMemtable:
+    """The engine's memtable: a gapped B+tree paired with a dict
+    mirror.
+
+    Two structures hold the same live entries and split the work by
+    access pattern:
+
+    * the **mirror dict** serves every point read (one GIL-atomic hash
+      probe — exactly what the pre-gapped baseline paid) and is the
+      authoritative entry count;
+    * the **gapped tree** serves everything ordered — flushes read its
+      leaves already in key order (no sort step, unlike the dict
+      baseline's sort-at-flush), and pinned scans get its
+      copy-on-write ``freeze_view``.
+
+    Writes update the mirror at dict speed and accumulate in a small
+    *fresh* delta dict that drains into the tree as one vectorized
+    ``put_many`` when it fills; batches at least as large as the drain
+    limit skip the delta and go straight to the tree.  Either way the
+    tree cost is an amortized share of one batch insert per key, not a
+    full tree insert per key.  ``dict.update`` applies pairs in order,
+    so last-write-wins within a batch holds in both structures.
+
+    Concurrency: writers mutate only under the engine lock; lock-free
+    readers touch only the mirror, whose dict ops are GIL-atomic.
+    Order-sensitive consumers (``items``, ``keys``, ``freeze_view``)
+    drain the delta first; the engine calls them under its lock or
+    from the sole flusher thread that owns a sealed memtable, so the
+    drain never races a writer.  Memory cost of the pairing is one
+    dict slot per entry on top of the tree's leaf slot — bounded by
+    the memtable size, and the mirror is dropped with the memtable at
+    flush.
+    """
+
+    __slots__ = ("_tree", "_mirror", "_fresh", "_limit")
+
+    def __init__(self, drain_limit: int = 256) -> None:
+        self._tree = GappedBPlusTree()
+        self._mirror: dict[bytes, Any] = {}
+        self._fresh: dict[bytes, Any] = {}
+        self._limit = drain_limit
+
+    def _drain(self) -> None:
+        if self._fresh:
+            self._tree.put_many(list(self._fresh.items()))
+            self._fresh.clear()
+
+    def put(self, key: bytes, value: Any) -> None:
+        self._mirror[key] = value
+        self._fresh[key] = value
+        if len(self._fresh) >= self._limit:
+            self._drain()
+
+    def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
+        self._mirror.update(pairs)
+        if len(pairs) < self._limit:
+            self._fresh.update(pairs)
+            if len(self._fresh) >= self._limit:
+                self._drain()
+        elif self._fresh:
+            # Fresh writes are older than the batch: prepend so
+            # last-write-wins resolves in arrival order.
+            self._tree.put_many(list(self._fresh.items()) + list(pairs))
+            self._fresh.clear()
+        else:
+            self._tree.put_many(pairs)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._mirror
+
+    def __getitem__(self, key: bytes) -> Any:
+        return self._mirror[key]
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        return self._mirror.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._mirror)
+
+    def keys(self) -> Iterator[bytes]:
+        self._drain()
+        return self._tree.keys()
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        self._drain()
+        return self._tree.items()
+
+    def freeze_view(self):
+        self._drain()
+        return self._tree.freeze_view()
+
+
+def default_memtable() -> GappedMemtable:
+    """The engine's memtable: a gapped B+tree paired with a dict
+    mirror, so point reads cost one hash probe, WAL group commits
+    apply as amortized vectorized ``put_many`` drains, and flushes
+    emit the tree's leaves already sorted (no sort step)."""
+    return GappedMemtable()
 
 
 class _Version:
@@ -143,7 +298,9 @@ class _Frozen:
     __slots__ = ("data", "last_seq", "wal", "wal_name", "wal_index")
 
     def __init__(self, data, last_seq, wal, wal_name, wal_index) -> None:
-        self.data: dict[bytes, Any] = data
+        #: The sealed memtable object (no writer touches it again), so
+        #: its mapping reads and sorted ``items()`` are safe lock-free.
+        self.data = data
         self.last_seq = last_seq
         self.wal: wal_mod.WalWriter | None = wal
         self.wal_name = wal_name
@@ -156,7 +313,7 @@ class _View:
 
     __slots__ = ("mems", "version", "seq", "_merged")
 
-    def __init__(self, mems: list[dict], version: _Version, seq: int) -> None:
+    def __init__(self, mems: list, version: _Version, seq: int) -> None:
         self.mems = mems
         self.version = version
         self.seq = seq
@@ -175,7 +332,7 @@ class _View:
         if self._merged is None:
             m: dict[bytes, Any] = {}
             for layer in reversed(self.mems):
-                m.update(layer)
+                m.update(layer.items())
             self._merged = m
         return self._merged
 
@@ -255,8 +412,14 @@ class LSMTree:
         l0_slowdown: int | None = None,
         l0_stall: int | None = None,
         slowdown_sleep: float = 0.001,
+        memtable_factory: Callable[[], Any] | None = None,
     ) -> None:
-        self._memtable: dict[bytes, Any] = {}
+        #: Memtable protocol (see :class:`DictMemtable`): the default
+        #: gapped B+tree makes ``write_batch`` a single vectorized
+        #: apply and flushes sort-free; reads on the live memtable are
+        #: lock-free because its node states are copy-on-write.
+        self._memtable_factory = memtable_factory or default_memtable
+        self._memtable = self._memtable_factory()
         self._memtable_entries = memtable_entries
         self._sstable_entries = sstable_entries
         self._block_entries = block_entries
@@ -451,7 +614,7 @@ class LSMTree:
         for seq, key, value in records:
             if seq <= state.last_seq:
                 continue  # already covered by an installed SSTable
-            self._memtable[key] = value
+            self._memtable.put(key, value)
             self._seq = max(self._seq, seq)
             # Re-log into the fresh segment so recovered writes stay
             # durable once the old segments are garbage-collected.
@@ -607,7 +770,7 @@ class LSMTree:
         with self._lock:
             version = self._version
             version.refs += 1
-            mems = [dict(self._memtable) if copy_mem else self._memtable]
+            mems = [self._memtable.freeze_view() if copy_mem else self._memtable]
             for frozen in reversed(self._immutables):
                 mems.append(frozen.data)
             return _View(mems, version, self._visible_seq)
@@ -624,8 +787,8 @@ class LSMTree:
             version.refs += 1
             merged: dict[bytes, Any] = {}
             for frozen in self._immutables:
-                merged.update(frozen.data)
-            merged.update(self._memtable)
+                merged.update(frozen.data.items())
+            merged.update(self._memtable.items())
             self._snapshots_live += 1
             return Snapshot(self, self._visible_seq, merged, version)
 
@@ -680,7 +843,7 @@ class LSMTree:
         if self._wal is not None:
             self._wal.append_put(self._seq, key, value)
         with self._lock:
-            self._memtable[key] = value
+            self._memtable.put(key, value)
             self._visible_seq = self._seq
         self._maybe_freeze()
 
@@ -691,7 +854,7 @@ class LSMTree:
         if self._wal is not None:
             self._wal.append_delete(self._seq, key)
         with self._lock:
-            self._memtable[key] = TOMBSTONE
+            self._memtable.put(key, TOMBSTONE)
             self._visible_seq = self._seq
         self._maybe_freeze()
 
@@ -724,8 +887,10 @@ class LSMTree:
             self._wal.append_batch(records)
         self._seq = seq
         with self._lock:
-            for _, key, value in records:
-                self._memtable[key] = value
+            # One vectorized apply: the whole group commit lands in the
+            # gapped memtable as a single batch insert (last write wins
+            # within the batch, same as the sequential dict loop).
+            self._memtable.put_many([(key, value) for _, key, value in records])
             self._visible_seq = seq
         self._maybe_freeze()
 
@@ -755,7 +920,7 @@ class LSMTree:
         segments never hold a sequence gap — a torn frame can only be
         the newest segment's unsynced tail.
         """
-        if not self._memtable:
+        if not len(self._memtable):
             return
         old_wal, old_name, old_index = self._wal, self._wal_name, self._wal_index
         if old_wal is not None:
@@ -771,7 +936,7 @@ class LSMTree:
                 self._memtable, self._visible_seq, old_wal, old_name, old_index
             )
             self._immutables.append(frozen)
-            self._memtable = {}
+            self._memtable = self._memtable_factory()
             if old_wal is not None:
                 self._acked_floor = max(self._acked_floor, old_wal.synced_seq)
             self._cond.notify_all()
@@ -792,9 +957,11 @@ class LSMTree:
                     self._cond.wait(timeout=0.05)
             self._check_bg_error()
             return
-        if not self._memtable:
+        if not len(self._memtable):
             return
-        pairs = sorted(self._memtable.items())
+        # The memtable iterates in key order (gapped tree: leaves in
+        # directory order), so the L0 table needs no sort pass.
+        pairs = list(self._memtable.items())
         if self.durable:
             table: SSTableBase = self._write_table(pairs)
             with self._lock:
@@ -805,7 +972,7 @@ class LSMTree:
                 acked_before = self.last_acked_seq
                 self._start_wal(self._wal_index + 1)
                 self._flushed_seq = flush_seq
-                self._memtable = {}
+                self._memtable = self._memtable_factory()
                 old_version = self._install_version(levels)
                 self._install_manifest()
                 self._release_version(old_version)
@@ -819,7 +986,7 @@ class LSMTree:
             with self._lock:
                 levels = [list(level) for level in self._version.levels]
                 levels[0].insert(0, self._make_table(pairs))
-                self._memtable = {}
+                self._memtable = self._memtable_factory()
                 self._release_version(self._install_version(levels))
         self.flush_count += 1
         self._maybe_compact()
@@ -880,7 +1047,7 @@ class LSMTree:
         immutable); the commit — L0 insert, manifest install, ack-floor
         raise, WAL retirement — happens under it.
         """
-        pairs = sorted(frozen.data.items())
+        pairs = list(frozen.data.items())
         table = self._write_table(pairs) if self.durable else self._make_table(pairs)
         with self._cond:
             levels = [list(level) for level in self._version.levels]
@@ -1029,8 +1196,11 @@ class LSMTree:
 
     def _get_in(self, view: _View, key: bytes) -> Any | None:
         for layer in view.mems:
-            if key in layer:
-                value = layer[key]
+            # Single probe per layer: every memtable/view type takes a
+            # default, and a miss-sentinel distinguishes absent keys
+            # from stored values.
+            value = layer.get(key, _MISSING)
+            if value is not _MISSING:
                 return None if value is TOMBSTONE else value
         for table in self._candidates_for(view, key):
             if table.filter is not None:
@@ -1072,8 +1242,8 @@ class LSMTree:
         for i, key in enumerate(keys):
             resolved = False
             for layer in view.mems:
-                if key in layer:
-                    value = layer[key]
+                value = layer.get(key, _MISSING)
+                if value is not _MISSING:
                     out[i] = None if value is TOMBSTONE else value
                     resolved = True
                     break

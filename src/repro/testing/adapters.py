@@ -39,6 +39,7 @@ from ..hybrid import (
     hybrid_art,
     hybrid_btree,
     hybrid_compressed_btree,
+    hybrid_gapped,
     hybrid_masstree,
     hybrid_skiplist,
 )
@@ -46,6 +47,7 @@ from ..surf import SuRF
 from ..trees import (
     ART,
     BPlusTree,
+    GappedBPlusTree,
     HOTrie,
     Masstree,
     PagedSkipList,
@@ -129,6 +131,11 @@ class DynamicAdapter(Adapter):
             return index.update(op.key, op.value)
         if op.op == "delete":
             return index.delete(op.key)
+        if op.op == "put_many":
+            # OrderedIndex guarantees put_many (native batch kernels
+            # override the scalar-loop default in base.py).
+            index.put_many(list(zip(op.keys, op.values)))
+            return None
         if op.op == "get":
             return index.get(op.key)
         if op.op == "get_many":
@@ -155,6 +162,21 @@ class DynamicAdapter(Adapter):
         if op.op == "serialize":
             return SKIPPED
         raise ValueError(f"unknown op {op.op!r}")
+
+
+class GappedAdapter(DynamicAdapter):
+    """GappedBPlusTree: DynamicAdapter plus a real serialize round-trip.
+
+    ``serialize`` replaces the live tree with ``from_bytes(to_bytes())``
+    so every later read runs against the deserialized instance — a
+    leaf-packing or framing bug surfaces as a differential failure."""
+
+    def apply(self, op: Op) -> Any:
+        if op.op == "serialize":
+            index = self.index
+            self.index = type(index).from_bytes(index.to_bytes())
+            return None
+        return super().apply(op)
 
 
 class StaticAdapter(Adapter):
@@ -200,6 +222,10 @@ class StaticAdapter(Adapter):
             del self._pending[op.key]
             self._dirty = True
             return True
+        if op.op == "put_many":
+            self._pending.update(zip(op.keys, op.values))
+            self._dirty = True
+            return None
         if op.op == "merge":
             self._dirty = True
             self._ensure()
@@ -293,6 +319,13 @@ class FilterAdapter(Adapter):
             self._pending.discard(op.key)
             self._dirty = True
             return True
+        if op.op == "put_many":
+            # Values are dropped, but the key set must keep mirroring
+            # the oracle's (the oracle applies the batch regardless, so
+            # skipping here would manufacture false negatives later).
+            self._pending.update(op.keys)
+            self._dirty = True
+            return None
         if op.op == "merge":
             self._dirty = True
             self._ensure()
@@ -392,6 +425,22 @@ class HopeAdapter(Adapter):
             if op.key not in self._enc_of:
                 return False
             return self.index.update(op.key, op.value)
+        if op.op == "put_many":
+            # Upsert pair-by-pair through the same collision
+            # bookkeeping as insert/update (batch order = last wins).
+            for k, v in zip(op.keys, op.values):
+                if k in self._shadow:
+                    self._shadow[k] = v
+                elif k in self._enc_of:
+                    self.index.update(k, v)
+                else:
+                    enc = self._encoder.encode(k)
+                    if enc in self._owner:  # padding collision
+                        self._shadow[k] = v
+                    elif self.index.insert(k, v):
+                        self._enc_of[k] = enc
+                        self._owner[enc] = k
+            return None
         if op.op == "delete":
             if op.key in self._shadow:
                 del self._shadow[op.key]
@@ -533,6 +582,12 @@ class LsmAdapter(Adapter):
             db.delete(op.key)
             self._present.discard(op.key)
             return True
+        if op.op == "put_many":
+            # One group-committed batch through the WAL and one
+            # vectorized memtable apply (the gapped write path).
+            db.put_many(list(zip(op.keys, op.values)))
+            self._present.update(op.keys)
+            return None
         if op.op == "get":
             return db.get(op.key)
         if op.op == "get_many":
@@ -654,6 +709,13 @@ class ServerAdapter(Adapter):
             client.delete(op.key)
             self._present.discard(op.key)
             return True
+        if op.op == "put_many":
+            # The wire protocol has no batch-put frame; the batch still
+            # lands pair-by-pair in op order (last wins per key).
+            for k, v in zip(op.keys, op.values):
+                client.put(k, v)
+            self._present.update(op.keys)
+            return None
         if op.op == "get":
             return client.get(op.key)
         if op.op == "get_many":
@@ -707,6 +769,10 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         "prefix_btree": lambda: DynamicAdapter("prefix_btree", PrefixBPlusTree),
         "hot": lambda: DynamicAdapter("hot", HOTrie),
         "ttree": lambda: DynamicAdapter("ttree", TTree),
+        # gapped batch-insert tree (tiny leaves force splits/rebalances)
+        "gapped": lambda: GappedAdapter(
+            "gapped", lambda: GappedBPlusTree(leaf_capacity=16)
+        ),
         # D-to-S compact structures
         "compact_btree": lambda: StaticAdapter("compact_btree", CompactBPlusTree),
         "compact_skiplist": lambda: StaticAdapter("compact_skiplist", CompactSkipList),
@@ -747,6 +813,9 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         "hybrid_compressed_btree": lambda: DynamicAdapter(
             "hybrid_compressed_btree",
             lambda: hybrid_compressed_btree(min_merge_size=64),
+        ),
+        "hybrid_gapped": lambda: DynamicAdapter(
+            "hybrid_gapped", lambda: hybrid_gapped(min_merge_size=64)
         ),
         # HOPE-wrapped trees
         "hope_btree": lambda: HopeAdapter("hope_btree", BPlusTree),

@@ -63,6 +63,9 @@ def _oracle_answer(oracle: SortedOracle, op: Op) -> Any:
         return oracle.update(op.key, op.value)
     if op.op == "delete":
         return oracle.delete(op.key)
+    if op.op == "put_many":
+        oracle.put_many(zip(op.keys, op.values))
+        return None
     if op.op == "get":
         return oracle.get(op.key)
     if op.op == "get_many":

@@ -35,6 +35,7 @@ OP_NAMES = (
     "insert",
     "update",
     "delete",
+    "put_many",
     "get",
     "get_many",
     "contains",
@@ -48,8 +49,8 @@ OP_NAMES = (
     "serialize",
 )
 
-_WRITE_OPS = ("insert", "update", "delete")
-_WRITE_WEIGHTS = (0.62, 0.18, 0.20)
+_WRITE_OPS = ("insert", "update", "delete", "put_many")
+_WRITE_WEIGHTS = (0.54, 0.16, 0.20, 0.10)
 _READ_OPS = (
     "get", "contains", "lower_bound", "scan", "range", "count", "len",
     "get_many",
@@ -81,6 +82,9 @@ class Op:
     high: bytes | None = None
     count: int | None = None
     keys: tuple[bytes, ...] | None = None
+    #: Parallel to ``keys`` for ``put_many`` (one value per key;
+    #: duplicate keys in a batch are last-wins).
+    values: tuple[int, ...] | None = None
 
     def describe(self) -> str:
         parts = [self.op]
@@ -88,6 +92,8 @@ class Op:
             parts.append(f"key={self.key!r}")
         if self.keys is not None:
             parts.append(f"keys={list(self.keys)!r}")
+        if self.values is not None:
+            parts.append(f"values={list(self.values)!r}")
         if self.high is not None:
             parts.append(f"high={self.high!r}")
         if self.value is not None:
@@ -186,6 +192,14 @@ def generate_ops(
                 break
             if name in ("insert", "update"):
                 ops.append(Op(name, key=draw_key(), value=len(ops)))
+            elif name == "put_many":
+                # Batched upsert; duplicate keys probe last-wins.
+                size = 1 + rng.randrange(_MAX_BATCH_KEYS)
+                batch = tuple(draw_key() for _ in range(size))
+                values = tuple(
+                    len(ops) * _MAX_BATCH_KEYS + j for j in range(size)
+                )
+                ops.append(Op(name, keys=batch, values=values))
             elif name in ("delete", "get", "contains"):
                 ops.append(Op(name, key=draw_key()))
             elif name in ("lower_bound", "scan"):
@@ -230,6 +244,8 @@ def ops_to_json(ops: Sequence[Op], **meta) -> str:
             rec["count"] = op.count
         if op.keys is not None:
             rec["keys"] = [k.hex() for k in op.keys]
+        if op.values is not None:
+            rec["values"] = list(op.values)
         records.append(rec)
     return json.dumps({**meta, "ops": records}, indent=2)
 
@@ -251,6 +267,7 @@ def ops_from_json(text: str) -> tuple[list[Op], dict]:
                 keys=tuple(bytes.fromhex(h) for h in rec["keys"])
                 if "keys" in rec
                 else None,
+                values=tuple(rec["values"]) if "values" in rec else None,
             )
         )
     meta = {k: v for k, v in doc.items() if k != "ops"}

@@ -39,6 +39,12 @@ class SortedOracle:
         self._map[key] = value
         return True
 
+    def put_many(self, pairs) -> None:
+        """Sequential upsert (the batched-write reference: last wins)."""
+        for key, value in pairs:
+            if not self.insert(key, value):
+                self.update(key, value)
+
     def delete(self, key: bytes) -> bool:
         if key not in self._map:
             return False

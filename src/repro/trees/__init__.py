@@ -7,6 +7,7 @@ the HOPE integration study (Prefix B+tree, HOT, T-Tree).
 
 from .base import OrderedIndex, StaticOrderedIndex, heap_key_bytes, packed_key_bytes
 from .btree import BPlusTree, DEFAULT_NODE_SLOTS, NODE_BYTES
+from .gapped_btree import GappedBPlusTree, GappedView, DEFAULT_LEAF_CAPACITY
 from .skiplist import PagedSkipList
 from .art import ART
 from .masstree import Masstree
@@ -20,6 +21,9 @@ __all__ = [
     "heap_key_bytes",
     "packed_key_bytes",
     "BPlusTree",
+    "GappedBPlusTree",
+    "GappedView",
+    "DEFAULT_LEAF_CAPACITY",
     "PagedSkipList",
     "ART",
     "Masstree",

@@ -93,6 +93,29 @@ class OrderedIndex(abc.ABC):
         """
         return [self.get(key) for key in keys]
 
+    def put(self, key: bytes, value: Any) -> None:
+        """Upsert: insert the key or overwrite its value."""
+        if not self.insert(key, value):
+            self.update(key, value)
+
+    def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
+        """Batched upsert: apply pairs in order (last write wins).
+
+        Like :meth:`get_many`, the default is a scalar loop so every
+        structure answers the batch vocabulary; batch-native structures
+        override it with a vectorized single-pass apply.
+        """
+        for key, value in pairs:
+            self.put(key, value)
+
+    def delete_many(self, keys: Sequence[bytes]) -> list[bool]:
+        """Batched delete: one result slot per key, in order.
+
+        A key repeated in the batch is deleted once; later occurrences
+        report False, matching the sequential-apply semantics.
+        """
+        return [self.delete(key) for key in keys]
+
     def scan(self, key: bytes, count: int) -> list[tuple[bytes, Any]]:
         """Short range scan: first ``count`` pairs with key >= argument."""
         out: list[tuple[bytes, Any]] = []
