@@ -1,0 +1,254 @@
+"""CLI: ``python -m repro.cluster`` — run one cluster node, or the
+3-node kill-failover smoke.
+
+Subcommands:
+
+* ``node`` — one cluster node (a sharded KV server with a replication
+  tap).  A primary lists its followers; a follower just listens::
+
+      python -m repro.cluster node --path /tmp/f0 --role follower --port 5001
+      python -m repro.cluster node --path /tmp/f1 --role follower --port 5002
+      python -m repro.cluster node --path /tmp/p  --role primary \
+          --follower 127.0.0.1:5001 --follower 127.0.0.1:5002
+
+* ``smoke`` — the CI scenario: bring up 1 primary + 2 followers as
+  real OS processes, drive client writes, ``kill -9`` the primary mid
+  replication, promote a follower, and verify every client-acked
+  write is still readable and the promoted watermark covers the
+  maximum observed ack.  Writes a JSON repro artifact (acked keys,
+  watermarks, seed) for upload when the check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from ..server.client import KVClient, ServerError
+from ..server.server import KVServer
+from .replicator import PrimaryReplication
+from .routing import route_key
+
+
+async def _node(args: argparse.Namespace) -> int:
+    replication = PrimaryReplication()
+    server = KVServer(
+        args.path,
+        n_shards=args.shards,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        role=args.role,
+        replication=replication,
+        repl_ack_timeout=args.repl_ack_timeout,
+    )
+    await server.start()
+    for spec in args.follower or []:
+        host, _, port = spec.rpartition(":")
+        replication.add_follower(host, int(port))
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            signal.signal(sig, lambda *_: server.request_shutdown())
+    print(
+        f"cluster node role={args.role} shards={args.shards} at {args.path} "
+        f"on {server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    finally:
+        await server.shutdown()
+    return 0
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    try:
+        code = asyncio.run(_node(args))
+    except KeyboardInterrupt:
+        code = 0
+    print("node drained and closed", flush=True)
+    return code
+
+
+def _spawn_node(path: str, role: str, followers: list[str] | None = None):
+    """Launch one node subprocess; returns (process, (host, port))."""
+    cmd = [
+        sys.executable, "-m", "repro.cluster", "node",
+        "--path", path, "--role", role, "--port", "0", "--shards", "2",
+    ]
+    for spec in followers or []:
+        cmd += ["--follower", spec]
+    proc = subprocess.Popen(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONUNBUFFERED": "1"},
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    if " on " not in line:
+        proc.kill()
+        raise RuntimeError(f"node failed to start: {line!r}")
+    host, _, port = line.rsplit(" on ", 1)[1].strip().rpartition(":")
+    # Drain the pipe so the child never blocks on a full stdout buffer.
+    threading.Thread(
+        target=lambda: [None for _ in proc.stdout], daemon=True
+    ).start()
+    return proc, (host, int(port))
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    n_shards = 2
+    root = tempfile.mkdtemp(prefix="repro-cluster-smoke-")
+    artifact = {"root": root, "acked": {}, "phase": "bring-up"}
+
+    def fail(msg: str) -> int:
+        artifact["failure"] = msg
+        out = os.path.join(args.artifact_dir or root, "cluster-smoke-repro.json")
+        os.makedirs(os.path.dirname(out), exist_ok=True)
+        with open(out, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True, default=repr)
+        print(f"FAIL: {msg} (repro: {out})", file=sys.stderr)
+        return 1
+
+    procs = []
+    try:
+        f0, addr0 = _spawn_node(os.path.join(root, "f0"), "follower")
+        f1, addr1 = _spawn_node(os.path.join(root, "f1"), "follower")
+        procs += [f0, f1]
+        primary, paddr = _spawn_node(
+            os.path.join(root, "p"), "primary",
+            followers=[f"{addr0[0]}:{addr0[1]}", f"{addr1[0]}:{addr1[1]}"],
+        )
+        procs.append(primary)
+        artifact.update(primary=paddr, followers=[addr0, addr1])
+
+        # Phase 1: client writes; SIGKILL the primary mid-replication.
+        artifact["phase"] = "load"
+        acked: dict[str, int] = {}
+        killer = threading.Timer(
+            args.kill_after, lambda: primary.send_signal(signal.SIGKILL)
+        )
+        killer.start()
+        try:
+            with KVClient(*paddr, timeout=10.0) as client:
+                i = 0
+                while True:
+                    key = b"smoke-%06d" % i
+                    seq = client.put(key, b"v-%06d" % i)
+                    acked[key.decode()] = int(seq or 0)
+                    i += 1
+        except (ConnectionError, OSError, ServerError):
+            pass  # the kill landed mid-conversation
+        finally:
+            killer.cancel()
+        primary.wait(timeout=30)
+        artifact["acked"] = acked
+        if not acked:
+            return fail("no write was acked before the kill")
+
+        # Phase 2: promote follower 0; check the durability contract.
+        artifact["phase"] = "failover"
+        with KVClient(*addr0, timeout=10.0) as client:
+            client.promote()
+            marks = client.watermark()
+            artifact["promoted_watermarks"] = marks
+            max_ack = [0] * n_shards
+            for key, seq in acked.items():
+                shard = route_key(key.encode(), n_shards)
+                max_ack[shard] = max(max_ack[shard], seq)
+            for shard, (_, applied) in enumerate(marks):
+                if applied < max_ack[shard]:
+                    return fail(
+                        f"promoted shard {shard} applied {applied} "
+                        f"< max observed ack {max_ack[shard]}"
+                    )
+            for key, seq in acked.items():
+                value = client.get(key.encode())
+                if value != b"v-" + key.split("-")[1].encode():
+                    return fail(f"acked key {key} lost after failover: {value!r}")
+
+        # Phase 3: follower-read smoke on the surviving follower —
+        # GET_AT gated on each write's acked sequence (read-your-writes).
+        artifact["phase"] = "follower-reads"
+        with KVClient(*addr1, timeout=10.0) as client:
+            sample = list(acked.items())[:: max(1, len(acked) // 200)]
+            for key, seq in sample:
+                value = client.get_at(key.encode(), seq)
+                if value != b"v-" + key.split("-")[1].encode():
+                    return fail(f"follower read of acked {key} returned {value!r}")
+
+        print(
+            json.dumps(
+                {
+                    "acked_writes": len(acked),
+                    "max_ack_per_shard": max_ack,
+                    "promoted_watermarks": marks,
+                    "follower_reads_checked": len(sample),
+                },
+                indent=2,
+            )
+        )
+        print("cluster smoke OK")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        if not args.keep:
+            import shutil
+
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.cluster")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    node = sub.add_parser("node", help="run one cluster node")
+    node.add_argument("--path", required=True)
+    node.add_argument("--shards", type=int, default=2)
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--port", type=int, default=0)
+    node.add_argument("--queue-limit", type=int, default=1024)
+    node.add_argument("--role", choices=("primary", "follower"), default="primary")
+    node.add_argument("--follower", action="append", default=[],
+                      metavar="HOST:PORT",
+                      help="follower to replicate to (primaries only; repeatable)")
+    node.add_argument("--repl-ack-timeout", type=float, default=30.0)
+    node.set_defaults(func=_cmd_node)
+
+    smoke = sub.add_parser(
+        "smoke", help="3-node bring-up, kill -9 the primary, verify failover"
+    )
+    smoke.add_argument("--kill-after", type=float, default=1.0,
+                       help="seconds of load before the primary is killed")
+    smoke.add_argument("--artifact-dir", default=None,
+                       help="where to write the repro JSON on failure")
+    smoke.add_argument("--keep", action="store_true",
+                       help="keep the data directories")
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

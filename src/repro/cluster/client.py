@@ -1,0 +1,252 @@
+"""Cluster-aware client: consistent-hash routing + read-your-writes.
+
+A cluster is a set of *replication groups*.  Each group is one primary
+:class:`~repro.server.server.KVServer` plus its WAL-shipping followers
+(every node in a group holds the same keys, sharded identically).
+Keys route to groups over the :class:`~repro.cluster.routing.HashRing`
+— deterministic from the topology alone, so every client computes the
+same placement with no coordination — and within a node the server's
+own :func:`~repro.cluster.routing.route_key` picks the shard.
+
+Reads prefer followers (round-robin) to scale the YCSB-C hot tail
+across replicas.  Read-your-writes holds per client session: every
+write ack carries the committed per-shard sequence, the client
+remembers the latest token per (group, shard), and follower reads go
+out as ``GET_AT`` gated on that token — a follower that has not
+caught up answers ``LAGGING`` and the read falls back to the primary
+(counted in :attr:`ClusterClient.lagging_reads`).
+
+Failover is explicit: :meth:`ClusterClient.repoint` swaps a group's
+primary after a promotion (see :mod:`repro.cluster.failover`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..server.client import (
+    DEFAULT_MAX_RETRIES,
+    FollowerLaggingError,
+    KVClient,
+)
+from .routing import HashRing, route_key
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """One server process/thread the client can dial."""
+
+    name: str
+    host: str
+    port: int
+
+
+@dataclass
+class GroupTopology:
+    """One replication group: a primary and its followers."""
+
+    name: str
+    primary: NodeAddress
+    followers: list[NodeAddress] = field(default_factory=list)
+
+    def nodes(self) -> list[NodeAddress]:
+        return [self.primary, *self.followers]
+
+
+@dataclass
+class ClusterTopology:
+    """The full cluster: groups, shard fan-out, ring geometry."""
+
+    groups: list[GroupTopology]
+    n_shards: int
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a cluster needs at least one group")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate group names")
+
+    def group(self, name: str) -> GroupTopology:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+
+class ClusterClient:
+    """Routes every operation to the right node of the right group.
+
+    Not thread-safe (like :class:`KVClient`); give each worker its own.
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        read_from_followers: bool = True,
+        timeout: float = 30.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
+        self.topology = topology
+        self.read_from_followers = read_from_followers
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._ring = HashRing([g.name for g in topology.groups], topology.vnodes)
+        self._conns: dict[tuple[str, int], KVClient] = {}
+        #: Session causal tokens: (group, shard) -> latest acked seq.
+        self._tokens: dict[tuple[str, int], int] = {}
+        self._rr = 0
+        #: Follower reads that had to fall back to the primary.
+        self.lagging_reads = 0
+
+    # -- connections -------------------------------------------------------
+
+    def _conn(self, node: NodeAddress) -> KVClient:
+        key = (node.host, node.port)
+        client = self._conns.get(key)
+        if client is None:
+            client = KVClient(
+                node.host, node.port,
+                timeout=self._timeout, max_retries=self._max_retries,
+            )
+            self._conns[key] = client
+        return client
+
+    def _drop_conn(self, node: NodeAddress) -> None:
+        client = self._conns.pop((node.host, node.port), None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def close(self) -> None:
+        for client in self._conns.values():
+            try:
+                client.close()
+            except Exception:
+                pass
+        self._conns.clear()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def retries(self) -> int:
+        """Total OVERLOADED retries absorbed across all connections."""
+        return sum(c.retries for c in self._conns.values())
+
+    # -- routing -----------------------------------------------------------
+
+    def group_for(self, key: bytes) -> GroupTopology:
+        return self.topology.group(self._ring.node_for(key))
+
+    def _read_node(self, group: GroupTopology) -> NodeAddress:
+        if not self.read_from_followers or not group.followers:
+            return group.primary
+        self._rr += 1
+        return group.followers[self._rr % len(group.followers)]
+
+    def repoint(
+        self,
+        group_name: str,
+        primary: NodeAddress,
+        followers: Sequence[NodeAddress] = (),
+    ) -> None:
+        """Re-point a group after failover: new primary, new follower
+        set.  Dead nodes' connections are dropped; causal tokens are
+        kept — the promotion contract guarantees the new primary holds
+        every acked sequence, so the tokens stay valid."""
+        group = self.topology.group(group_name)
+        for node in group.nodes():
+            self._drop_conn(node)
+        group.primary = primary
+        group.followers = list(followers)
+
+    # -- operations --------------------------------------------------------
+
+    def put(self, key: bytes, value: Any) -> int | None:
+        group = self.group_for(key)
+        seq = self._conn(group.primary).put(key, value)
+        self._note_token(group, key, seq)
+        return seq
+
+    def delete(self, key: bytes) -> int | None:
+        group = self.group_for(key)
+        seq = self._conn(group.primary).delete(key)
+        self._note_token(group, key, seq)
+        return seq
+
+    def _note_token(self, group: GroupTopology, key: bytes, seq: int | None) -> None:
+        if seq is not None:
+            slot = (group.name, route_key(key, self.topology.n_shards))
+            if seq > self._tokens.get(slot, 0):
+                self._tokens[slot] = seq
+
+    def get(self, key: bytes) -> Any | None:
+        group = self.group_for(key)
+        node = self._read_node(group)
+        if node is group.primary:
+            return self._conn(node).get(key)
+        token = self._tokens.get(
+            (group.name, route_key(key, self.topology.n_shards)), 0
+        )
+        try:
+            return self._conn(node).get_at(key, token)
+        except FollowerLaggingError:
+            self.lagging_reads += 1
+            return self._conn(group.primary).get(key)
+
+    def get_many(self, keys: Sequence[bytes], missing: Any = None) -> list[Any]:
+        """Batched get, fanned out per group (served by primaries: a
+        cross-group batch has no single watermark to gate on)."""
+        by_group: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            by_group.setdefault(self.group_for(key).name, []).append(i)
+        out: list[Any] = [missing] * len(keys)
+        for name, idxs in by_group.items():
+            group = self.topology.group(name)
+            values = self._conn(group.primary).get_many(
+                [keys[i] for i in idxs], missing=missing
+            )
+            for i, value in zip(idxs, values):
+                out[i] = value
+        return out
+
+    def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
+        """Merged scan across groups (groups are disjoint by hash, so a
+        straight key merge suffices).  Served by primaries for a
+        consistent-as-of-ack picture."""
+        per_group = [
+            self._conn(g.primary).scan(low, count) for g in self.topology.groups
+        ]
+        merged = heapq.merge(*per_group, key=lambda kv: kv[0])
+        out: list[tuple[bytes, Any]] = []
+        for pair in merged:
+            out.append(pair)
+            if len(out) >= count:
+                break
+        return out
+
+    def count(self, low: bytes, high: bytes) -> int:
+        return sum(
+            self._conn(g.primary).count(low, high) for g in self.topology.groups
+        )
+
+    def sync(self) -> None:
+        for g in self.topology.groups:
+            self._conn(g.primary).sync()
+
+    def stats(self) -> dict[str, dict]:
+        """Per-node STATS snapshots keyed by node name."""
+        out: dict[str, dict] = {}
+        for g in self.topology.groups:
+            for node in g.nodes():
+                out[node.name] = self._conn(node).stats()
+        return out

@@ -1,0 +1,229 @@
+"""In-process cluster harness: nodes, groups, explicit failover.
+
+This is the cluster analogue of
+:class:`~repro.server.server.ServerThread`: every node is a full
+:class:`~repro.server.server.KVServer` (own engines, own event loop
+thread, own port) so tests, the kill matrix, and the benchmarks drive
+a real multi-node system in one process — and the subprocess CLI
+(``python -m repro.cluster``) runs the very same classes one node per
+OS process.
+
+Every node carries a :class:`~repro.cluster.replicator.PrimaryReplication`
+from birth, even as a follower: its WAL observers buffer committed
+frames from the first sequence onward, which is exactly what lets a
+*promoted* follower feed the remaining followers without a snapshot
+resync.  Promotion is explicit and client-driven:
+
+1. ``PROMOTE`` to the chosen follower — it drains its apply queues
+   (sync barrier per shard) and flips to primary, so its state is the
+   full watermark it ever confirmed;
+2. the surviving followers attach to the new primary, resuming from
+   their own dispatched watermarks;
+3. routers :meth:`~repro.cluster.client.ClusterClient.repoint` to the
+   new primary.
+
+No automatic failure detection lives here — election/lease machinery
+is out of scope (ROADMAP); the contract this layer *does* enforce is
+that whoever you promote holds every client-acked write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..lsm.fs import FileSystem
+from ..server.client import KVClient
+from ..server.server import KVServer, ServerThread
+from .client import ClusterTopology, GroupTopology, NodeAddress
+from .replicator import PrimaryReplication
+
+
+class ClusterNode:
+    """One server (engines + event loop thread) with a replication tap."""
+
+    def __init__(
+        self,
+        name: str,
+        path: str,
+        n_shards: int = 2,
+        fs: FileSystem | Callable[[int], FileSystem] | None = None,
+        role: str = "follower",
+        engine_config: dict | None = None,
+        queue_limit: int = 1024,
+        repl_ack_timeout: float = 30.0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.name = name
+        self.replication = PrimaryReplication()
+        self.server = KVServer(
+            path,
+            n_shards=n_shards,
+            host=host,
+            port=0,
+            fs=fs,
+            queue_limit=queue_limit,
+            engine_config=engine_config,
+            role=role,
+            replication=self.replication,
+            repl_ack_timeout=repl_ack_timeout,
+        )
+        self.thread = ServerThread(self.server)
+        self._started = False
+
+    def start(self) -> "ClusterNode":
+        self.thread.start()
+        self._started = True
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._started:
+            self.thread.stop(timeout=timeout)
+            self._started = False
+
+    @property
+    def role(self) -> str:
+        return self.server.role
+
+    @property
+    def address(self) -> NodeAddress:
+        return NodeAddress(self.name, self.server.host, self.server.port)
+
+    def __repr__(self) -> str:
+        return f"ClusterNode({self.name}, role={self.server.role})"
+
+
+class ClusterGroup:
+    """One primary plus its followers, wired for WAL shipping."""
+
+    def __init__(self, name: str, primary: ClusterNode, followers: list[ClusterNode]):
+        self.name = name
+        self.primary = primary
+        self.followers = list(followers)
+        #: Demoted/dead ex-primaries, kept so stop() still reaps them.
+        self.retired: list[ClusterNode] = []
+
+    def start(self) -> "ClusterGroup":
+        # Followers first: the primary's links fetch their watermarks on
+        # connect, so the targets must be listening.
+        for node in self.followers:
+            node.start()
+        self.primary.start()
+        for node in self.followers:
+            addr = node.address
+            self.primary.replication.add_follower(addr.host, addr.port)
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        # Primary first so its drain can still reach live followers.
+        self.primary.stop(timeout=timeout)
+        for node in self.followers:
+            node.stop(timeout=timeout)
+        for node in self.retired:
+            node.stop(timeout=timeout)
+
+    def nodes(self) -> list[ClusterNode]:
+        return [self.primary, *self.followers]
+
+    def topology(self) -> GroupTopology:
+        return GroupTopology(
+            self.name,
+            self.primary.address,
+            [f.address for f in self.followers],
+        )
+
+    def promote(self, follower: ClusterNode) -> GroupTopology:
+        """Fail over to ``follower`` (the old primary is presumed dead
+        and is dropped from the group).  Returns the new topology for
+        :meth:`ClusterClient.repoint`."""
+        if follower not in self.followers:
+            raise ValueError(f"{follower.name} is not a follower of {self.name}")
+        addr = follower.address
+        with KVClient(addr.host, addr.port) as client:
+            client.promote()
+        survivors = [f for f in self.followers if f is not follower]
+        self.retired.append(self.primary)
+        self.primary = follower
+        self.followers = survivors
+        for node in survivors:
+            peer = node.address
+            follower.replication.add_follower(peer.host, peer.port)
+        return self.topology()
+
+
+class Cluster:
+    """A set of groups plus the derived routing topology."""
+
+    def __init__(self, groups: list[ClusterGroup], n_shards: int, vnodes: int = 64):
+        self.groups = list(groups)
+        self.n_shards = n_shards
+        self.vnodes = vnodes
+
+    def start(self) -> "Cluster":
+        for group in self.groups:
+            group.start()
+        return self
+
+    def stop(self, timeout: float = 60.0) -> None:
+        for group in self.groups:
+            group.stop(timeout=timeout)
+
+    def group(self, name: str) -> ClusterGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    def nodes(self) -> list[ClusterNode]:
+        return [node for group in self.groups for node in group.nodes()]
+
+    def topology(self) -> ClusterTopology:
+        return ClusterTopology(
+            [group.topology() for group in self.groups],
+            n_shards=self.n_shards,
+            vnodes=self.vnodes,
+        )
+
+
+def build_local_cluster(
+    root: str,
+    n_groups: int = 1,
+    followers_per_group: int = 2,
+    n_shards: int = 2,
+    fs_for: Callable[[str, int], FileSystem] | None = None,
+    engine_config: dict | None = None,
+    queue_limit: int = 1024,
+    repl_ack_timeout: float = 30.0,
+) -> Cluster:
+    """Assemble (not start) a local cluster under ``root``.
+
+    ``fs_for(node_name, shard_id)`` supplies each shard's filesystem —
+    the hook the kill matrix uses to put a :class:`FaultFS` under
+    exactly one node.  With the default None, nodes use the real
+    filesystem under ``<root>/<node>/``.
+    """
+    groups = []
+    for g in range(n_groups):
+        gname = f"g{g}"
+
+        def make_node(role: str, node_name: str) -> ClusterNode:
+            fs = None
+            if fs_for is not None:
+                fs = (lambda name: lambda shard_id: fs_for(name, shard_id))(node_name)
+            return ClusterNode(
+                node_name,
+                f"{root}/{node_name}",
+                n_shards=n_shards,
+                fs=fs,
+                role=role,
+                engine_config=dict(engine_config or {}),
+                queue_limit=queue_limit,
+                repl_ack_timeout=repl_ack_timeout,
+            )
+
+        primary = make_node("primary", f"{gname}-n0")
+        followers = [
+            make_node("follower", f"{gname}-n{i + 1}")
+            for i in range(followers_per_group)
+        ]
+        groups.append(ClusterGroup(gname, primary, followers))
+    return Cluster(groups, n_shards=n_shards)

@@ -1,0 +1,364 @@
+"""Primary→follower WAL shipping (synchronous replication).
+
+The primary's engines are opened with a WAL commit observer (see
+:mod:`repro.lsm.wal`): every time a group commit makes records durable
+locally, the exact on-disk frames land in an in-memory per-shard
+:class:`ReplicationLog`.  One :class:`_FollowerLink` thread per
+follower drains those logs over the ordinary wire protocol
+(``REPL_APPLY`` frames on one connection, so the stream can never race
+itself) and records the follower's *durable* applied watermark from
+each acknowledgement.
+
+The contract that makes failover lossless:
+
+* the observer only ever sees frames that are already durable on the
+  primary, so a follower can never get ahead of the primary's own
+  recovery;
+* the primary's client ack for a write at sequence ``q`` waits (via
+  :meth:`PrimaryReplication.wait_durable`) until every configured
+  follower has durably applied ``q`` — so an OK the client observed is
+  recoverable from *any* node, and a promoted follower's state is
+  always an exact prefix of the primary's log at a sequence >= the
+  maximum observed ack;
+* a follower resumes from its ``dispatched`` watermark (never lower),
+  so reconnect resends are deduplicated by sequence instead of
+  double-applied.
+
+A follower whose watermark has fallen below the log floor (the oldest
+sequence the primary still buffers — e.g. it attached after the
+primary already served traffic without it) cannot catch up by
+streaming; it needs a snapshot resync, which this layer does not do
+yet (ROADMAP: shard migration).  The link fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..server.client import KVClient
+
+#: Cap on one REPL_APPLY payload; well under protocol.MAX_FRAME_BYTES
+#: so a burst of commits becomes several frames, not one giant one.
+MAX_BATCH_BYTES = 1 << 20
+
+#: Sender idle poll (also the stop/drain responsiveness bound).
+_IDLE_WAIT = 0.05
+
+
+class ReplicationError(RuntimeError):
+    """A follower link is down or cannot catch up; writes that were
+    waiting on it are NOT acknowledged."""
+
+
+class _ShardLog:
+    """Append-only buffer of committed WAL frames for one shard.
+
+    ``floor`` is the sequence just below the oldest buffered frame:
+    followers must already hold everything <= floor.  Frames below the
+    confirmed-durable-everywhere point can be trimmed away.
+    """
+
+    __slots__ = ("floor", "entries")
+
+    def __init__(self) -> None:
+        self.floor: int | None = None  # unknown until bind()
+        self.entries: list[tuple[int, bytes]] = []
+
+    @property
+    def end_seq(self) -> int:
+        if self.entries:
+            return self.entries[-1][0]
+        return self.floor or 0
+
+    def append(self, frames: list[tuple[int, bytes]]) -> None:
+        last = self.entries[-1][0] if self.entries else None
+        for seq, frame in frames:
+            if last is not None and seq <= last:
+                continue  # recovery re-log resyncing an already-seen tail
+            self.entries.append((seq, frame))
+            last = seq
+
+    def batch_after(self, cursor: int) -> tuple[bytes, int] | None:
+        """Concatenated frames covering (cursor, ...] up to the byte
+        cap, plus the last covered sequence; None when caught up."""
+        out = bytearray()
+        last = cursor
+        for seq, frame in self.entries:
+            if seq <= cursor:
+                continue
+            if out and len(out) + len(frame) > MAX_BATCH_BYTES:
+                break
+            out += frame
+            last = seq
+        if not out:
+            return None
+        return bytes(out), last
+
+    def trim_below(self, seq: int) -> None:
+        """Drop frames every attached follower has durably applied."""
+        keep = 0
+        while keep < len(self.entries) and self.entries[keep][0] <= seq:
+            keep += 1
+        if keep:
+            del self.entries[:keep]
+            self.floor = max(self.floor or 0, seq)
+
+
+class _FollowerLink(threading.Thread):
+    """One follower: a connection, a cursor, a durable watermark."""
+
+    def __init__(self, coord: "PrimaryReplication", host: str, port: int) -> None:
+        super().__init__(name=f"repl-{host}:{port}", daemon=True)
+        self.coord = coord
+        self.host = host
+        self.port = port
+        #: Highest sequence shipped per shard (the follower's
+        #: ``dispatched``, refreshed from its WATERMARK on connect).
+        self.cursor: dict[int, int] = {}
+        #: Highest durably applied sequence per shard, from acks.
+        self.durable: dict[int, int] = {}
+        self.dead: str | None = None
+        self._client: KVClient | None = None
+
+    def durable_for(self, shard_id: int) -> int:
+        return self.durable.get(shard_id, -1)
+
+    def run(self) -> None:
+        coord = self.coord
+        try:
+            # No client-side OVERLOADED retries: REPL_APPLY bypasses the
+            # bounded shard queues only in the sense that a refused
+            # batch is simply resent from the same cursor.
+            self._client = KVClient(self.host, self.port)
+            marks = self._client.watermark()
+            with coord._cond:
+                for shard_id, (dispatched, applied) in enumerate(marks):
+                    log = coord._log(shard_id)
+                    floor = log.floor or 0
+                    if dispatched < floor:
+                        raise ReplicationError(
+                            f"follower {self.host}:{self.port} shard {shard_id} "
+                            f"is at seq {dispatched} < log floor {floor}: "
+                            "requires resync (snapshot shipping is future work)"
+                        )
+                    self.cursor[shard_id] = dispatched
+                    self.durable[shard_id] = applied
+            coord._advance()
+            self._stream()
+        except BaseException as exc:
+            self.dead = repr(exc)
+            coord._link_failed(self)
+        finally:
+            if self._client is not None:
+                try:
+                    self._client.close()
+                except Exception:
+                    pass
+
+    def _stream(self) -> None:
+        coord = self.coord
+        client = self._client
+        assert client is not None
+        while True:
+            work: list[tuple[int, bytes, int]] = []
+            with coord._cond:
+                while True:
+                    for shard_id in sorted(coord._logs):
+                        log = coord._logs[shard_id]
+                        cursor = self.cursor.get(shard_id, log.floor or 0)
+                        batch = log.batch_after(cursor)
+                        if batch is not None:
+                            work.append((shard_id, batch[0], batch[1]))
+                    if work or coord._stopped:
+                        break
+                    if coord._draining:
+                        return  # caught up and the primary is shutting down
+                    coord._cond.wait(_IDLE_WAIT)
+                if coord._stopped and not work:
+                    return
+            for shard_id, frames, last in work:
+                applied = client.repl_apply(shard_id, frames)
+                self.cursor[shard_id] = last
+                self.durable[shard_id] = max(self.durable.get(shard_id, -1), applied)
+            coord._advance()
+
+
+class PrimaryReplication:
+    """Coordinator a primary :class:`~repro.server.server.KVServer`
+    attaches at construction: installs the WAL observers, owns the
+    per-shard logs and follower links, and gates write acks."""
+
+    def __init__(self, auto_trim: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._logs: dict[int, _ShardLog] = {}
+        self._links: list[_FollowerLink] = []
+        self._pending_followers: list[tuple[str, int]] = []
+        self._server: Any = None
+        self._loop: Any = None
+        #: Per-shard waiters: (seq, asyncio future), kept sorted enough
+        #: by append order (seqs are assigned monotonically per shard).
+        self._waiters: dict[int, list[tuple[int, Any]]] = {}
+        self._auto_trim = auto_trim
+        self._draining = False
+        self._stopped = False
+
+    # -- wiring (called by KVServer) ---------------------------------------
+
+    def _log(self, shard_id: int) -> _ShardLog:
+        log = self._logs.get(shard_id)
+        if log is None:
+            log = self._logs[shard_id] = _ShardLog()
+        return log
+
+    def observer_for(self, shard_id: int) -> Callable[[list[tuple[int, bytes]]], None]:
+        """The WAL commit observer for one shard's engine.  Fires on
+        that shard's writer thread with frames that just became durable
+        locally; appending is the only work done there."""
+
+        def observe(frames: list[tuple[int, bytes]]) -> None:
+            with self._cond:
+                self._log(shard_id).append(frames)
+                self._cond.notify_all()
+
+        return observe
+
+    def bind(self, server: Any) -> None:
+        """Anchor the logs to the opened engines and start the links.
+
+        Called by :meth:`KVServer.start` after every engine has
+        recovered: a shard whose log is still empty has all of its data
+        in SSTables (nothing to stream), so its floor is the engine's
+        last sequence; a shard that buffered frames during recovery
+        (the re-logged WAL tail) starts its floor just below them.
+        """
+        with self._cond:
+            self._server = server
+            self._loop = server._loop
+            for shard_id, worker in enumerate(server.shards):
+                log = self._log(shard_id)
+                if log.floor is None:
+                    if log.entries:
+                        log.floor = log.entries[0][0] - 1
+                    else:
+                        log.floor = worker.engine.last_seq
+            pending, self._pending_followers = self._pending_followers, []
+        for host, port in pending:
+            self.add_follower(host, port)
+
+    # -- topology ----------------------------------------------------------
+
+    def add_follower(self, host: str, port: int) -> None:
+        """Attach one follower; before :meth:`bind` it is queued."""
+        with self._cond:
+            if self._server is None:
+                self._pending_followers.append((host, port))
+                return
+            link = _FollowerLink(self, host, port)
+            self._links.append(link)
+        link.start()
+
+    def remove_follower(self, host: str, port: int) -> None:
+        """Detach a (possibly dead) follower — failover re-pointing.
+        Writes blocked on it are re-evaluated against the rest."""
+        with self._cond:
+            for link in list(self._links):
+                if (link.host, link.port) == (host, port):
+                    self._links.remove(link)
+                    link.dead = link.dead or "detached"
+            self._cond.notify_all()
+        self._advance()
+
+    @property
+    def followers(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return [(link.host, link.port) for link in self._links]
+
+    # -- the ack gate (event loop side) ------------------------------------
+
+    def wait_durable(self, shard_id: int, seq: int) -> Any:
+        """An awaitable that resolves once every attached follower has
+        durably applied ``seq`` on ``shard_id`` (immediately when no
+        follower is attached — standalone mode).  Raises
+        :class:`ReplicationError` through the future when a link dies:
+        the write is NOT acknowledged rather than silently
+        under-replicated."""
+        assert self._loop is not None, "bind() first"
+        fut = self._loop.create_future()
+        with self._cond:
+            dead = [link for link in self._links if link.dead]
+            if dead:
+                fut.set_exception(
+                    ReplicationError(f"follower link down: {dead[0].dead}")
+                )
+            elif self._durable_min_locked(shard_id) >= seq:
+                fut.set_result(True)
+            else:
+                self._waiters.setdefault(shard_id, []).append((seq, fut))
+        return fut
+
+    def _durable_min_locked(self, shard_id: int) -> float:
+        if not self._links:
+            return float("inf")
+        return min(link.durable_for(shard_id) for link in self._links)
+
+    # -- sender-thread callbacks -------------------------------------------
+
+    def _advance(self) -> None:
+        """Re-evaluate waiters after acks arrived / topology changed."""
+        resolved: list[Any] = []
+        with self._cond:
+            if self._loop is None:
+                return
+            for shard_id, waiters in self._waiters.items():
+                floor = self._durable_min_locked(shard_id)
+                still = []
+                for seq, fut in waiters:
+                    if seq <= floor:
+                        resolved.append(fut)
+                    else:
+                        still.append((seq, fut))
+                self._waiters[shard_id] = still
+                if self._auto_trim and self._links and floor != float("inf"):
+                    self._logs.get(shard_id, _ShardLog()).trim_below(int(floor))
+        for fut in resolved:
+            self._loop.call_soon_threadsafe(
+                lambda f=fut: f.done() or f.set_result(True)
+            )
+
+    def _link_failed(self, link: _FollowerLink) -> None:
+        """Fail every waiter: with one configured follower down, no
+        write can reach full replication until it is detached."""
+        failed: list[Any] = []
+        with self._cond:
+            for waiters in self._waiters.values():
+                failed.extend(fut for _, fut in waiters)
+            self._waiters.clear()
+            self._cond.notify_all()
+        exc = ReplicationError(f"follower link down: {link.dead}")
+        if self._loop is not None:
+            for fut in failed:
+                self._loop.call_soon_threadsafe(
+                    lambda f=fut: f.done() or f.set_exception(exc)
+                )
+
+    # -- shutdown ----------------------------------------------------------
+
+    def drain_and_stop(self, timeout: float = 30.0) -> None:
+        """Let live links finish shipping everything buffered, then
+        stop them.  Called off the event loop during server shutdown
+        (workers already stopped, so the logs are final)."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+            links = list(self._links)
+        for link in links:
+            if link.is_alive():
+                link.join(timeout=timeout)
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        for link in links:
+            if link.is_alive():
+                link.join(timeout=5.0)

@@ -413,6 +413,7 @@ class LSMTree:
         l0_stall: int | None = None,
         slowdown_sleep: float = 0.001,
         memtable_factory: Callable[[], Any] | None = None,
+        wal_observer: Callable[[list[tuple[int, bytes]]], None] | None = None,
     ) -> None:
         #: Memtable protocol (see :class:`DictMemtable`): the default
         #: gapped B+tree makes ``write_batch`` a single vectorized
@@ -471,6 +472,9 @@ class LSMTree:
         self._fs = fs if fs is not None else (OsFileSystem() if path else None)
         self._wal: wal_mod.WalWriter | None = None
         self._wal_sync_every = wal_sync_every
+        #: Commit observer threaded into every WAL segment (replication
+        #: tap — see the ``wal`` module docstring for the contract).
+        self._wal_observer = wal_observer
         self._wal_index = 0
         self._wal_name = ""
         self._manifest_version = 0
@@ -630,7 +634,10 @@ class LSMTree:
         self._wal_index = index
         self._wal_name = wal_mod.wal_file_name(index)
         self._wal = wal_mod.WalWriter(
-            self._fs, join(self.path, self._wal_name), self._wal_sync_every
+            self._fs,
+            join(self.path, self._wal_name),
+            self._wal_sync_every,
+            observer=self._wal_observer,
         )
         # The fresh segment starts at the current sequence but claims
         # nothing durable: until the manifest that pairs with it is
@@ -858,7 +865,7 @@ class LSMTree:
             self._visible_seq = self._seq
         self._maybe_freeze()
 
-    def write_batch(self, entries: Sequence[tuple[bytes, Any]]) -> None:
+    def write_batch(self, entries: Sequence[tuple[bytes, Any]]) -> int:
         """Apply a mixed put/delete batch as one acknowledgement unit.
 
         ``entries`` are ``(key, value)`` pairs applied in order, with
@@ -870,10 +877,14 @@ class LSMTree:
         of view.  The memtable is updated in one pass (under the lock,
         so a snapshot sees all of the batch or none of it) and the
         freeze check runs once, after the batch.
+
+        Returns the sequence number of the batch's final record — the
+        causal token the server hands back in write acks so clients can
+        demand read-your-writes from a replication follower.
         """
         entries = list(entries)
         if not entries:
-            return
+            return self._seq
         if self._background:
             self._apply_backpressure()
         records = []
@@ -893,6 +904,7 @@ class LSMTree:
             self._memtable.put_many([(key, value) for _, key, value in records])
             self._visible_seq = seq
         self._maybe_freeze()
+        return seq
 
     def put_many(self, pairs: Sequence[tuple[bytes, Any]]) -> None:
         """Batch :meth:`put`: one WAL group commit, one freeze check."""
@@ -1605,8 +1617,16 @@ class LSMTree:
                 self._check_bg_error()
                 if self._closed:
                     return
-                if not self._cond.wait(timeout=0.05) and time.monotonic() > deadline:
+                # Wait on the *remaining* time, not a fixed slice: a
+                # fixed 50 ms poll both overshoots tight deadlines (a
+                # 1 ms timeout slept 50 ms) and never times out at all
+                # when notifications keep arriving faster than the
+                # slice, since the deadline was only checked after a
+                # timed-out wait.
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise TimeoutError("background work did not drain")
+                self._cond.wait(timeout=remaining)
             self._check_bg_error()
 
     # -- statistics -----------------------------------------------------------------------------

@@ -11,12 +11,23 @@ an acknowledged write is one whose sequence number is <=
 frame that fails its length or CRC check — a torn tail is by
 construction unacknowledged, so stopping there recovers exactly a
 prefix of the op sequence.
+
+Commit observer (replication tap): a :class:`WalWriter` built with an
+``observer`` calls it with ``[(seq, frame_bytes), ...]`` every time a
+batch of records becomes *committed* — after the fsync in
+:meth:`WalWriter.sync` returns, or in :meth:`WalWriter.abandon` when an
+installed SSTable supersedes the segment (those records are durable via
+the manifest even though the segment itself was never synced).  Frames
+are the exact on-disk encoding, so a replication stream can ship them
+verbatim and the receiver decodes with :func:`iter_records` — the same
+code path recovery uses.  The observer never fires for records that
+are not yet durable somewhere.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Callable, Iterator
 
 from . import disk_format
 from .disk_format import FrameError
@@ -48,7 +59,13 @@ def encode_record(kind: int, seq: int, key: bytes, value: Any = None) -> bytes:
 class WalWriter:
     """Appends records to one WAL segment with batched fsync."""
 
-    def __init__(self, fs: FileSystem, path: str, sync_every: int = 32) -> None:
+    def __init__(
+        self,
+        fs: FileSystem,
+        path: str,
+        sync_every: int = 32,
+        observer: Callable[[list[tuple[int, bytes]]], None] | None = None,
+    ) -> None:
         if sync_every < 1:
             raise ValueError("sync_every must be >= 1")
         self._file = fs.create(path)
@@ -57,6 +74,10 @@ class WalWriter:
         self._unsynced = 0
         self.last_seq = 0
         self.synced_seq = 0
+        self._observer = observer
+        #: Frames appended since the last durability barrier, kept only
+        #: when an observer wants them (replication).
+        self._pending_frames: list[tuple[int, bytes]] = []
         # An empty segment must itself be durable before the manifest
         # can point at it.
         self._file.sync()
@@ -81,18 +102,26 @@ class WalWriter:
         if not records:
             return
         buf = bytearray()
+        encoded: list[tuple[int, bytes]] = []
         for seq, key, value in records:
             if value is disk_format.TOMBSTONE:
-                buf += encode_record(_DELETE, seq, key)
+                frame_bytes = encode_record(_DELETE, seq, key)
             else:
-                buf += encode_record(_PUT, seq, key, value)
+                frame_bytes = encode_record(_PUT, seq, key, value)
+            buf += frame_bytes
+            if self._observer is not None:
+                encoded.append((seq, frame_bytes))
         self._file.append(bytes(buf))
+        if self._observer is not None:
+            self._pending_frames.extend(encoded)
         self.last_seq = records[-1][0]
         self._unsynced += len(records)
         self.sync()
 
     def _append(self, record: bytes, seq: int) -> None:
         self._file.append(record)
+        if self._observer is not None:
+            self._pending_frames.append((seq, record))
         self.last_seq = seq
         self._unsynced += 1
         if self._unsynced >= self._sync_every:
@@ -104,6 +133,15 @@ class WalWriter:
             self._file.sync()
             self._unsynced = 0
         self.synced_seq = self.last_seq
+        self._notify_committed()
+
+    def _notify_committed(self) -> None:
+        """Hand the committed frames to the observer (after the fsync —
+        a PowerFailure raised inside ``sync`` must leave them pending,
+        never shipped, because nothing made them durable)."""
+        if self._observer is not None and self._pending_frames:
+            frames, self._pending_frames = self._pending_frames, []
+            self._observer(frames)
 
     def close(self) -> None:
         self.sync()
@@ -111,31 +149,43 @@ class WalWriter:
 
     def abandon(self) -> None:
         """Close without syncing: the segment is superseded (its records
-        are covered by an installed SSTable) and about to be deleted."""
+        are covered by an installed SSTable) and about to be deleted.
+
+        Records still pending here were committed by the *manifest*
+        install that superseded the segment (the inline flush path never
+        fsyncs the old segment), so the observer must still see them —
+        they are durable, just not via this file.
+        """
+        self._notify_committed()
         self._file.close()
 
 
-def replay(fs: FileSystem, path: str) -> list[tuple[int, bytes, Any]]:
-    """Decode a WAL segment into (seq, key, value) records.
+def iter_records(
+    data: bytes, *, source: str = "<wal>", strict: bool = False
+) -> Iterator[tuple[int, bytes, Any]]:
+    """Decode a byte string of WAL frames into (seq, key, value) records.
 
-    ``value`` is :data:`~repro.lsm.sstable.TOMBSTONE` for deletes.
-    Decoding stops silently at the first torn or corrupt frame: those
-    records were never acknowledged.  Non-monotonic sequence numbers
-    mean the log itself is inconsistent and raise.
+    ``value`` is :data:`~repro.lsm.sstable.TOMBSTONE` for deletes.  With
+    ``strict=False`` (recovery) decoding stops silently at the first
+    torn or corrupt frame: those records were never acknowledged.  With
+    ``strict=True`` (a replication payload, which travels over a
+    CRC-checked, length-prefixed wire) a bad frame is a protocol bug and
+    raises.  Non-monotonic sequence numbers always raise: the log itself
+    is inconsistent.
     """
-    data = fs.read(path)
-    records: list[tuple[int, bytes, Any]] = []
     offset = 0
     last_seq = 0
     while offset < len(data):
         try:
             payload, offset = disk_format.read_frame(data, offset)
         except FrameError:
+            if strict:
+                raise
             break  # torn tail: everything after is unacknowledged
         kind = payload[0]
         seq, pos = disk_format.unpack_u64(payload, 1)
         if seq <= last_seq:
-            raise FrameError(f"{path}: non-monotonic WAL sequence {seq}")
+            raise FrameError(f"{source}: non-monotonic WAL sequence {seq}")
         last_seq = seq
         (klen,) = _U32.unpack_from(payload, pos)
         pos += 4
@@ -149,8 +199,13 @@ def replay(fs: FileSystem, path: str) -> list[tuple[int, bytes, Any]]:
         elif kind == _DELETE:
             value = disk_format.TOMBSTONE
         else:
-            raise FrameError(f"{path}: unknown WAL record type {kind}")
+            raise FrameError(f"{source}: unknown WAL record type {kind}")
         if pos != len(payload):
-            raise FrameError(f"{path}: trailing bytes in WAL record")
-        records.append((seq, key, value))
-    return records
+            raise FrameError(f"{source}: trailing bytes in WAL record")
+        yield seq, key, value
+
+
+def replay(fs: FileSystem, path: str) -> list[tuple[int, bytes, Any]]:
+    """Decode a WAL segment into (seq, key, value) records (see
+    :func:`iter_records`; replay is its tolerant, recovery-side mode)."""
+    return list(iter_records(fs.read(path), source=path))

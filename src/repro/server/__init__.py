@@ -18,7 +18,9 @@ See :mod:`repro.server.protocol` for the wire format and
 
 from .client import (
     AsyncKVClient,
+    FollowerLaggingError,
     KVClient,
+    NotPrimaryError,
     ServerError,
     ServerOverloadedError,
     ServerShuttingDownError,
@@ -30,9 +32,11 @@ from .stats import LatencyHistogram, ServerStats
 
 __all__ = [
     "AsyncKVClient",
+    "FollowerLaggingError",
     "KVClient",
     "KVServer",
     "LatencyHistogram",
+    "NotPrimaryError",
     "ProcessShard",
     "ServerError",
     "ServerOverloadedError",

@@ -11,16 +11,41 @@ Two flavours share the wire codec from :mod:`repro.server.protocol`:
   Many coroutines sharing one connection keep dozens of requests in
   flight, which is exactly what feeds the server's GET-coalescing and
   write group commit.
+
+Both clients absorb transient ``OVERLOADED`` backpressure with a
+bounded exponential-backoff retry (full jitter, so a thundering herd
+of clients decorrelates instead of re-arriving in lockstep).  The
+retry count is exposed as ``client.retries`` and surfaces in loadgen
+stats; ``max_retries=0`` restores the old raise-immediately behaviour.
+
+Write acks carry the committed sequence number (``put`` returns it) —
+the causal token :meth:`KVClient.get_at` hands to a replication
+follower to demand read-your-writes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Any, Sequence
 
 from . import protocol
+
+#: Backoff schedule for OVERLOADED retries: full jitter over an
+#: exponentially growing cap, starting at 1 ms and saturating at 100 ms.
+RETRY_BASE_DELAY = 0.001
+RETRY_MAX_DELAY = 0.1
+DEFAULT_MAX_RETRIES = 8
+
+
+def _retry_delay(attempt: int) -> float:
+    """Full-jitter exponential backoff: uniform over [0, min(cap, base*2^n)]."""
+    return random.uniform(
+        0.0, min(RETRY_MAX_DELAY, RETRY_BASE_DELAY * (2 ** attempt))
+    )
 
 
 class ServerError(Exception):
@@ -34,11 +59,20 @@ class ServerError(Exception):
 
 
 class ServerOverloadedError(ServerError):
-    """Backpressure: a bounded shard queue was full.  Retry later."""
+    """Backpressure: a bounded shard queue was full (and the bounded
+    retry schedule, if any, was exhausted)."""
 
 
 class ServerShuttingDownError(ServerError):
     """The server is draining; no new work is accepted."""
+
+
+class FollowerLaggingError(ServerError):
+    """GET_AT: the follower has not applied the requested sequence yet."""
+
+
+class NotPrimaryError(ServerError):
+    """A write was sent to a follower; re-route to the primary."""
 
 
 def _raise_for(status: int, body: bytes) -> None:
@@ -47,17 +81,30 @@ def _raise_for(status: int, body: bytes) -> None:
         raise ServerOverloadedError(status, message)
     if status == protocol.SHUTTING_DOWN:
         raise ServerShuttingDownError(status, message)
+    if status == protocol.LAGGING:
+        raise FollowerLaggingError(status, message)
+    if status == protocol.NOT_PRIMARY:
+        raise NotPrimaryError(status, message)
     raise ServerError(status, message)
 
 
 class KVClient:
     """Blocking client: send one frame, read one frame."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rb")
         self._next_id = 0
+        self._max_retries = max_retries
+        #: OVERLOADED responses absorbed by the retry schedule.
+        self.retries = 0
 
     def close(self) -> None:
         try:
@@ -89,36 +136,57 @@ class KVClient:
             )
         return status, rbody
 
+    def _call_retrying(self, opcode: int, body: bytes = b"") -> tuple[int, bytes]:
+        """One request, with bounded backoff across OVERLOADED answers.
+
+        Retrying is safe here because OVERLOADED is answered *before*
+        any engine work is queued — the request never happened.
+        """
+        attempt = 0
+        while True:
+            status, rbody = self._call(opcode, body)
+            if status != protocol.OVERLOADED or attempt >= self._max_retries:
+                return status, rbody
+            self.retries += 1
+            time.sleep(_retry_delay(attempt))
+            attempt += 1
+
     # -- operations --------------------------------------------------------
 
     def get(self, key: bytes) -> Any | None:
-        status, body = self._call(protocol.GET, protocol.encode_key(key))
+        status, body = self._call_retrying(protocol.GET, protocol.encode_key(key))
         if status == protocol.NOT_FOUND:
             return None
         if status != protocol.OK:
             _raise_for(status, body)
         return protocol.decode_value_body(body)
 
-    def put(self, key: bytes, value: Any) -> None:
-        status, body = self._call(
+    def put(self, key: bytes, value: Any) -> int | None:
+        """Store ``value``; returns the committed sequence number (the
+        causal token for :meth:`get_at`), or None from older servers."""
+        status, body = self._call_retrying(
             protocol.PUT, protocol.encode_key_value(key, value)
         )
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else None
 
-    def delete(self, key: bytes) -> None:
-        status, body = self._call(protocol.DELETE, protocol.encode_key(key))
+    def delete(self, key: bytes) -> int | None:
+        status, body = self._call_retrying(protocol.DELETE, protocol.encode_key(key))
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else None
 
     def get_many(self, keys: Sequence[bytes], missing: Any = None) -> list[Any]:
-        status, body = self._call(protocol.BATCH_GET, protocol.encode_keys(keys))
+        status, body = self._call_retrying(
+            protocol.BATCH_GET, protocol.encode_keys(keys)
+        )
         if status != protocol.OK:
             _raise_for(status, body)
         return protocol.decode_maybe_values(body, missing=missing)
 
     def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
-        status, body = self._call(
+        status, body = self._call_retrying(
             protocol.SCAN, protocol.encode_scan(low, count)
         )
         if status != protocol.OK:
@@ -126,13 +194,15 @@ class KVClient:
         return protocol.decode_pairs(body)
 
     def count(self, low: bytes, high: bytes) -> int:
-        status, body = self._call(protocol.COUNT, protocol.encode_range(low, high))
+        status, body = self._call_retrying(
+            protocol.COUNT, protocol.encode_range(low, high)
+        )
         if status != protocol.OK:
             _raise_for(status, body)
         return protocol.decode_u64_body(body)
 
     def sync(self) -> None:
-        status, body = self._call(protocol.SYNC)
+        status, body = self._call_retrying(protocol.SYNC)
         if status != protocol.OK:
             _raise_for(status, body)
 
@@ -147,6 +217,44 @@ class KVClient:
         if status != protocol.OK:
             _raise_for(status, body)
 
+    # -- cluster operations ------------------------------------------------
+
+    def get_at(self, key: bytes, min_seq: int) -> Any | None:
+        """Read ``key`` from a node that has applied at least
+        ``min_seq`` (a token from :meth:`put`).  Raises
+        :class:`FollowerLaggingError` when the node is behind."""
+        status, body = self._call_retrying(
+            protocol.GET_AT, protocol.encode_get_at(key, min_seq)
+        )
+        if status == protocol.NOT_FOUND:
+            return None
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_value_body(body)
+
+    def watermark(self) -> list[tuple[int, int]]:
+        """Per-shard (dispatched, applied) replication watermarks."""
+        status, body = self._call(protocol.WATERMARK)
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_watermarks(body)
+
+    def promote(self) -> None:
+        """Flip a follower to primary (drains queued applies first)."""
+        status, body = self._call(protocol.PROMOTE)
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def repl_apply(self, shard: int, frames: bytes) -> int:
+        """Ship verbatim WAL frames to a follower shard; returns its
+        durable applied watermark.  Used by the replication sender."""
+        status, body = self._call(
+            protocol.REPL_APPLY, protocol.encode_repl_apply(shard, frames)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_u64_body(body)
+
 
 class AsyncKVClient:
     """Pipelined asyncio client over one connection.
@@ -157,17 +265,22 @@ class AsyncKVClient:
     response guarantee.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_retries: int = DEFAULT_MAX_RETRIES) -> None:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._pending: asyncio.Queue = asyncio.Queue()
         self._reader_task: asyncio.Task | None = None
         self._next_id = 0
         self._conn_error: BaseException | None = None
+        self._max_retries = max_retries
+        #: OVERLOADED responses absorbed by the retry schedule.
+        self.retries = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncKVClient":
-        client = cls()
+    async def connect(
+        cls, host: str, port: int, max_retries: int = DEFAULT_MAX_RETRIES
+    ) -> "AsyncKVClient":
+        client = cls(max_retries=max_retries)
         client._reader, client._writer = await asyncio.open_connection(host, port)
         sock = client._writer.get_extra_info("socket")
         if sock is not None:
@@ -256,32 +369,52 @@ class AsyncKVClient:
         await self._writer.drain()
         return await future
 
+    async def _call_retrying(self, opcode: int, body: bytes = b"") -> tuple[int, bytes]:
+        """Bounded backoff across OVERLOADED answers.  A retry is a
+        fresh request at the back of the pipeline — ordering relative to
+        other in-flight requests is already undefined under backpressure
+        (the original was refused), so resending is safe."""
+        attempt = 0
+        while True:
+            status, rbody = await self._call(opcode, body)
+            if status != protocol.OVERLOADED or attempt >= self._max_retries:
+                return status, rbody
+            self.retries += 1
+            await asyncio.sleep(_retry_delay(attempt))
+            attempt += 1
+
     # -- operations --------------------------------------------------------
 
     async def get(self, key: bytes) -> Any | None:
-        status, body = await self._call(protocol.GET, protocol.encode_key(key))
+        status, body = await self._call_retrying(
+            protocol.GET, protocol.encode_key(key)
+        )
         if status == protocol.NOT_FOUND:
             return None
         if status != protocol.OK:
             _raise_for(status, body)
         return protocol.decode_value_body(body)
 
-    async def put(self, key: bytes, value: Any) -> None:
-        status, body = await self._call(
+    async def put(self, key: bytes, value: Any) -> int | None:
+        status, body = await self._call_retrying(
             protocol.PUT, protocol.encode_key_value(key, value)
         )
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else None
 
-    async def delete(self, key: bytes) -> None:
-        status, body = await self._call(protocol.DELETE, protocol.encode_key(key))
+    async def delete(self, key: bytes) -> int | None:
+        status, body = await self._call_retrying(
+            protocol.DELETE, protocol.encode_key(key)
+        )
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else None
 
     async def get_many(
         self, keys: Sequence[bytes], missing: Any = None
     ) -> list[Any]:
-        status, body = await self._call(
+        status, body = await self._call_retrying(
             protocol.BATCH_GET, protocol.encode_keys(keys)
         )
         if status != protocol.OK:
@@ -289,7 +422,7 @@ class AsyncKVClient:
         return protocol.decode_maybe_values(body, missing=missing)
 
     async def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
-        status, body = await self._call(
+        status, body = await self._call_retrying(
             protocol.SCAN, protocol.encode_scan(low, count)
         )
         if status != protocol.OK:
@@ -297,7 +430,7 @@ class AsyncKVClient:
         return protocol.decode_pairs(body)
 
     async def count(self, low: bytes, high: bytes) -> int:
-        status, body = await self._call(
+        status, body = await self._call_retrying(
             protocol.COUNT, protocol.encode_range(low, high)
         )
         if status != protocol.OK:
@@ -305,7 +438,28 @@ class AsyncKVClient:
         return protocol.decode_u64_body(body)
 
     async def sync(self) -> None:
-        status, body = await self._call(protocol.SYNC)
+        status, body = await self._call_retrying(protocol.SYNC)
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    async def get_at(self, key: bytes, min_seq: int) -> Any | None:
+        status, body = await self._call_retrying(
+            protocol.GET_AT, protocol.encode_get_at(key, min_seq)
+        )
+        if status == protocol.NOT_FOUND:
+            return None
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_value_body(body)
+
+    async def watermark(self) -> list[tuple[int, int]]:
+        status, body = await self._call(protocol.WATERMARK)
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_watermarks(body)
+
+    async def promote(self) -> None:
+        status, body = await self._call(protocol.PROMOTE)
         if status != protocol.OK:
             _raise_for(status, body)
 

@@ -45,6 +45,8 @@ class LoadResult:
     ops_done: int
     elapsed: float
     overloads: int = 0
+    #: OVERLOADED responses absorbed by client backoff (not failures).
+    retries: int = 0
     server_stats: dict = field(default_factory=dict)
     shard_mode: str = "thread"
 
@@ -63,6 +65,7 @@ class LoadResult:
             "elapsed_s": self.elapsed,
             "throughput_ops_s": self.throughput,
             "overloads": self.overloads,
+            "retries": self.retries,
             "server_stats": self.server_stats,
         }
 
@@ -97,10 +100,13 @@ def run_sync_load(
     duration: float | None = None,
 ) -> tuple[int, int, float]:
     """One blocking connection (thread) per stream; returns
-    ``(ops_done, overloads, elapsed)``.
+    ``(ops_done, overloads, retries, elapsed)``.
 
     All connections are opened before the clock starts so the elapsed
     time covers steady-state request traffic only, in both modes.
+    ``overloads`` counts operations that failed even after the client's
+    bounded backoff; ``retries`` counts the refusals the backoff
+    absorbed (those operations succeeded).
     """
     done = [0] * len(streams)
     overloads = [0] * len(streams)
@@ -134,10 +140,11 @@ def run_sync_load(
         for t in threads:
             t.join()
         elapsed = time.perf_counter() - started
+        retries = sum(client.retries for client in clients)
     finally:
         for client in clients:
             client.close()
-    return sum(done), sum(overloads), elapsed
+    return sum(done), sum(overloads), retries, elapsed
 
 
 async def run_pipelined_load(
@@ -149,7 +156,7 @@ async def run_pipelined_load(
     duration: float | None = None,
 ) -> tuple[int, int, float]:
     """One pipelined connection per stream, ``depth`` requests in
-    flight each; returns ``(ops_done, overloads, elapsed)``.
+    flight each; returns ``(ops_done, overloads, retries, elapsed)``.
 
     Connections open before the clock starts (matching
     :func:`run_sync_load`); each connection's stream is pre-split into
@@ -190,10 +197,11 @@ async def run_pipelined_load(
             )
         )
         elapsed = time.perf_counter() - started
+        retries = sum(client.retries for client in clients)
     finally:
         for client in clients:
             await client.close()
-    return sum(done), sum(overloads), elapsed
+    return sum(done), sum(overloads), retries, elapsed
 
 
 async def load_keys_async(
@@ -266,14 +274,14 @@ def run_benchmark(
         streams = ycsb.partition(operations, n_connections)
 
         if pipelined:
-            ops_done, overloads, elapsed = asyncio.run(
+            ops_done, overloads, retries, elapsed = asyncio.run(
                 run_pipelined_load(
                     host, port, streams, value,
                     depth=pipeline_depth, duration=duration,
                 )
             )
         else:
-            ops_done, overloads, elapsed = run_sync_load(
+            ops_done, overloads, retries, elapsed = run_sync_load(
                 host, port, streams, value, duration=duration
             )
 
@@ -290,6 +298,7 @@ def run_benchmark(
         ops_done=ops_done,
         elapsed=elapsed,
         overloads=overloads,
+        retries=retries,
         server_stats=stats,
         shard_mode=shard_mode,
     )

@@ -137,7 +137,7 @@ def _shard_child_main(
                     reply = protocol.encode_maybe_values(values, missing=None)
                 elif op == OP_WRITE_BATCH:
                     engine.write_batch(protocol.decode_pairs(body))
-                    reply = b""
+                    reply = protocol.encode_u64_body(engine.last_seq)
                 elif op == OP_SCAN:
                     low, count = protocol.decode_scan(body)
                     reply = protocol.encode_pairs(engine.scan(low, count))
@@ -276,8 +276,9 @@ class RemoteEngine:
         reply = self._call(OP_GET_MANY, protocol.encode_keys(keys))
         return protocol.decode_maybe_values(reply, missing=None)
 
-    def write_batch(self, entries: list[tuple[bytes, Any]]) -> None:
-        self._call(OP_WRITE_BATCH, protocol.encode_pairs(entries))
+    def write_batch(self, entries: list[tuple[bytes, Any]]) -> int:
+        reply = self._call(OP_WRITE_BATCH, protocol.encode_pairs(entries))
+        return protocol.decode_u64_body(reply)
 
     def scan(self, low: bytes, count: int) -> list[tuple[bytes, Any]]:
         return protocol.decode_pairs(self._call(OP_SCAN, protocol.encode_scan(low, count)))

@@ -28,11 +28,25 @@ BATCH_GET  u32(n) n*key                   u32(n) n*(u8 present [value])
 SYNC       —                              —
 STATS      —                              UTF-8 JSON blob
 SHUTDOWN   —                              — (server drains and exits)
+REPL_APPLY u32(shard) wal_frames          u64(durable_seq of that shard)
+WATERMARK  —                              u32(n) n*(u64 disp, u64 appl)
+GET_AT     key u64(min_seq)               value (LAGGING if behind)
+PROMOTE    —                              —
 ========== ============================== ===============================
 
 Non-OK statuses carry a UTF-8 message body.  ``OVERLOADED`` is the
 explicit backpressure answer (a bounded shard queue was full);
 ``SHUTTING_DOWN`` answers requests that arrive during the drain.
+
+Cluster extensions (PR 9): ``PUT``/``DELETE`` OK responses carry the
+committed ``u64`` sequence number as the body — the causal token a
+client hands to ``GET_AT`` to get read-your-writes on a follower.
+``REPL_APPLY`` ships verbatim :mod:`repro.lsm.wal` frames to a
+follower shard; ``LAGGING`` means the follower has not yet applied the
+requested sequence, and ``NOT_PRIMARY`` rejects writes sent to a
+follower.  Older clients that never send the new opcodes are
+unaffected except for the now non-empty write-ack body, which they
+ignored anyway.
 """
 
 from __future__ import annotations
@@ -53,6 +67,10 @@ BATCH_GET = 6
 SYNC = 7
 STATS = 8
 SHUTDOWN = 9
+REPL_APPLY = 10
+WATERMARK = 11
+GET_AT = 12
+PROMOTE = 13
 
 OP_NAMES = {
     GET: "get",
@@ -64,6 +82,10 @@ OP_NAMES = {
     SYNC: "sync",
     STATS: "stats",
     SHUTDOWN: "shutdown",
+    REPL_APPLY: "repl_apply",
+    WATERMARK: "watermark",
+    GET_AT: "get_at",
+    PROMOTE: "promote",
 }
 
 # -- response statuses -------------------------------------------------------
@@ -74,6 +96,8 @@ OVERLOADED = 2
 BAD_REQUEST = 3
 SHUTTING_DOWN = 4
 ERROR = 5
+LAGGING = 6
+NOT_PRIMARY = 7
 
 STATUS_NAMES = {
     OK: "ok",
@@ -82,6 +106,8 @@ STATUS_NAMES = {
     BAD_REQUEST: "bad_request",
     SHUTTING_DOWN: "shutting_down",
     ERROR: "error",
+    LAGGING: "lagging",
+    NOT_PRIMARY: "not_primary",
 }
 
 _U32 = struct.Struct("<I")
@@ -239,6 +265,60 @@ def decode_u64_body(body: bytes) -> int:
     if len(body) != 8:
         raise ProtocolError("bad u64 body")
     return _U64.unpack(body)[0]
+
+
+def encode_repl_apply(shard: int, frames: bytes) -> bytes:
+    """REPL_APPLY request: the target shard plus verbatim WAL frames
+    (already CRC-framed by :mod:`repro.lsm.disk_format`, so no extra
+    length prefix is needed — the follower decodes them strictly)."""
+    return _U32.pack(shard) + frames
+
+
+def decode_repl_apply(body: bytes) -> tuple[int, bytes]:
+    if len(body) < 4:
+        raise ProtocolError("truncated repl_apply body")
+    (shard,) = _U32.unpack_from(body, 0)
+    return shard, body[4:]
+
+
+def encode_get_at(key: bytes, min_seq: int) -> bytes:
+    return disk_format.pack_bytes(key) + _U64.pack(min_seq)
+
+
+def decode_get_at(body: bytes) -> tuple[bytes, int]:
+    key, off = disk_format.unpack_bytes(body, 0)
+    if off + 8 != len(body):
+        raise ProtocolError("bad get_at body")
+    (min_seq,) = _U64.unpack_from(body, off)
+    return key, min_seq
+
+
+def encode_watermarks(marks: Sequence[tuple[int, int]]) -> bytes:
+    """WATERMARK response: per shard, (dispatched, applied) — the
+    highest sequence this follower has accepted into its apply queue and
+    the highest durably applied one.  The primary resumes shipping from
+    ``dispatched + 1`` (never lower: re-sending an already-queued record
+    would double-apply it)."""
+    out = bytearray(_U32.pack(len(marks)))
+    for dispatched, applied in marks:
+        out += _U64.pack(dispatched)
+        out += _U64.pack(applied)
+    return bytes(out)
+
+
+def decode_watermarks(body: bytes) -> list[tuple[int, int]]:
+    if len(body) < 4:
+        raise ProtocolError("truncated watermark body")
+    (n,) = _U32.unpack_from(body, 0)
+    if len(body) != 4 + 16 * n:
+        raise ProtocolError("bad watermark body")
+    off = 4
+    marks = []
+    for _ in range(n):
+        dispatched, applied = struct.unpack_from("<QQ", body, off)
+        off += 16
+        marks.append((dispatched, applied))
+    return marks
 
 
 def encode_maybe_values(values: Sequence[Any], missing: object) -> bytes:

@@ -20,6 +20,16 @@ get ``SHUTTING_DOWN``), let every queued request complete, then sync
 and close each engine.  A client-acknowledged write therefore always
 survives, even through ``python -m repro.server serve`` receiving
 SIGTERM mid-load.
+
+Cluster roles (PR 9): a server is a ``primary`` (the default — accepts
+writes, optionally streams committed WAL frames to followers via an
+attached :class:`~repro.cluster.replicator.PrimaryReplication`) or a
+``follower`` (rejects client writes with ``NOT_PRIMARY``, ingests
+``REPL_APPLY`` frames, answers ``GET_AT`` reads gated on its per-shard
+replication watermark, and flips to primary on ``PROMOTE``).  With
+replication attached, a write is only acknowledged once every
+configured follower has durably applied it — the gate that makes "no
+acked write lost" hold across node failover, not just node restart.
 """
 
 from __future__ import annotations
@@ -29,12 +39,14 @@ import heapq
 import json
 import threading
 import time
-import zlib
 from struct import error as struct_error
 from typing import Any, Callable
 
+from ..cluster.routing import route_key
 from ..lsm import LSMTree
+from ..lsm.disk_format import FrameError
 from ..lsm.fs import FileSystem, join
+from ..lsm.wal import iter_records as wal_iter_records
 from . import protocol
 from .procshard import ProcessShard
 from .shard import ShardDown, ShardRequest, ShardWorker, TOMBSTONE
@@ -48,9 +60,10 @@ class _Overloaded(Exception):
     """Internal: a bounded shard queue refused the request."""
 
 
-def shard_of(key: bytes, n_shards: int) -> int:
-    """Stable hash sharding; CRC32 so any client can compute it."""
-    return zlib.crc32(key) % n_shards
+#: Backwards-compatible alias: the shard mapping now lives in
+#: :mod:`repro.cluster.routing` so the server, the shard-RPC children,
+#: the load generator, and the cluster router can never drift apart.
+shard_of = route_key
 
 
 class KVServer:
@@ -67,11 +80,21 @@ class KVServer:
         filter_factory: Callable | None = None,
         engine_config: dict | None = None,
         shard_mode: str = "thread",
+        role: str = "primary",
+        replication: Any = None,
+        repl_ack_timeout: float = 30.0,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if shard_mode not in ("thread", "process"):
             raise ValueError("shard_mode must be 'thread' or 'process'")
+        if role not in ("primary", "follower"):
+            raise ValueError("role must be 'primary' or 'follower'")
+        if shard_mode == "process" and (role == "follower" or replication is not None):
+            # The WAL commit observer and the follower watermark both
+            # need in-process engines; node-level processes (one server
+            # per node) are the cluster's process isolation instead.
+            raise ValueError("replication requires shard_mode='thread'")
         self.path = path
         self.n_shards = n_shards
         self.host = host
@@ -94,6 +117,24 @@ class KVServer:
         self._closing = False
         self._shutdown_requested: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
+
+        #: Cluster role; flipped follower -> primary by PROMOTE.
+        self.role = role
+        self._replication = replication
+        self._repl_ack_timeout = repl_ack_timeout
+        #: Follower ingest watermarks, per shard.  ``dispatched`` is the
+        #: highest primary sequence accepted into the shard's queue
+        #: (advanced on the event loop thread, so REPL_APPLY frames on
+        #: one connection dedup/gap-check in arrival order);
+        #: ``applied`` is the highest durably applied one (advanced by
+        #: the ack formatter once the shard's group commit returns).
+        #: ``dispatched`` is deliberately never rewound — resending a
+        #: queued-but-unconfirmed record would double-apply it.
+        self._repl_dispatched = [0] * n_shards
+        self._repl_applied = [0] * n_shards
+        #: A failed apply poisons the shard (sequence alignment with the
+        #: primary is lost); only a resync could recover it.
+        self._repl_failed: list[str | None] = [None] * n_shards
 
     def _fs_for(self, shard_id: int) -> FileSystem | None:
         if callable(self._fs) and not isinstance(self._fs, FileSystem):
@@ -128,10 +169,16 @@ class KVServer:
                     worker.start()
             else:
                 for i in range(self.n_shards):
+                    observer = (
+                        self._replication.observer_for(i)
+                        if self._replication is not None
+                        else None
+                    )
                     engine = LSMTree.open(
                         join(self.path, f"shard-{i:02d}"),
                         fs=self._fs_for(i),
                         filter_factory=self._filter_factory,
+                        wal_observer=observer,
                         **self._engine_config,
                     )
                     worker = ShardWorker(
@@ -139,6 +186,16 @@ class KVServer:
                     )
                     worker.start()
                     self.shards.append(worker)
+                if self.role == "follower":
+                    # A restarted follower resumes where its recovered
+                    # engines stand: every sequence <= last_seq was
+                    # durably applied before the restart.
+                    for i, worker in enumerate(self.shards):
+                        seq = worker.engine.last_seq
+                        self._repl_dispatched[i] = seq
+                        self._repl_applied[i] = seq
+                if self._replication is not None:
+                    self._replication.bind(self)
             self._server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
             )
@@ -172,6 +229,13 @@ class KVServer:
             await self._server.wait_closed()
             self._server = None
         await self._stop_workers()
+        if self._replication is not None:
+            # Workers are stopped, so the logs are final; ship whatever
+            # is still queued before cutting the follower links.
+            repl = self._replication
+            await asyncio.get_running_loop().run_in_executor(
+                None, repl.drain_and_stop
+            )
 
     async def _stop_workers(self) -> None:
         workers, self.shards = self.shards, []
@@ -297,19 +361,31 @@ class KVServer:
                 key, value = protocol.decode_key_value(body)
                 if value is TOMBSTONE:
                     raise protocol.ProtocolError("cannot PUT a tombstone")
-                fut = self._submit(
-                    self.shards[shard_of(key, self.n_shards)],
-                    "write", [(key, value)],
+                if self.role != "primary":
+                    return self._immediate(
+                        request_id, op_name, started,
+                        protocol.NOT_PRIMARY, b"writes go to the primary",
+                    )
+                shard_id = shard_of(key, self.n_shards)
+                fut = self._submit(self.shards[shard_id], "write", [(key, value)])
+                return self._finish(
+                    request_id, op_name, started, self._fmt_ack(shard_id, fut)
                 )
-                return self._finish(request_id, op_name, started, self._fmt_ack(fut))
 
             if opcode == protocol.DELETE:
                 key = protocol.decode_key(body)
+                if self.role != "primary":
+                    return self._immediate(
+                        request_id, op_name, started,
+                        protocol.NOT_PRIMARY, b"writes go to the primary",
+                    )
+                shard_id = shard_of(key, self.n_shards)
                 fut = self._submit(
-                    self.shards[shard_of(key, self.n_shards)],
-                    "write", [(key, TOMBSTONE)],
+                    self.shards[shard_id], "write", [(key, TOMBSTONE)]
                 )
-                return self._finish(request_id, op_name, started, self._fmt_ack(fut))
+                return self._finish(
+                    request_id, op_name, started, self._fmt_ack(shard_id, fut)
+                )
 
             if opcode == protocol.BATCH_GET:
                 keys = protocol.decode_keys(body)
@@ -377,6 +453,52 @@ class KVServer:
                     request_id, op_name, started, protocol.OK, b""
                 )
 
+            if opcode == protocol.REPL_APPLY:
+                return self._dispatch_repl_apply(request_id, op_name, started, body)
+
+            if opcode == protocol.WATERMARK:
+                marks = list(zip(self._repl_dispatched, self._repl_applied))
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.OK, protocol.encode_watermarks(marks),
+                )
+
+            if opcode == protocol.GET_AT:
+                key, min_seq = protocol.decode_get_at(body)
+                shard_id = shard_of(key, self.n_shards)
+                if (
+                    self.role != "primary"
+                    and self._repl_applied[shard_id] < min_seq
+                ):
+                    # The replication stream has not caught up to the
+                    # client's causal token yet; the client falls back
+                    # to the primary (or retries) instead of reading a
+                    # stale snapshot.  A primary always serves: it only
+                    # hands out tokens for writes it already applied.
+                    return self._immediate(
+                        request_id, op_name, started,
+                        protocol.LAGGING,
+                        b"follower applied %d < %d" %
+                        (self._repl_applied[shard_id], min_seq),
+                    )
+                fut = self._submit(self.shards[shard_id], "get", [key])
+                return self._finish(request_id, op_name, started, self._fmt_get(fut))
+
+            if opcode == protocol.PROMOTE:
+                if self.role == "primary":
+                    return self._immediate(
+                        request_id, op_name, started, protocol.OK, b""
+                    )
+                # Sync barrier: the per-shard queues are FIFO, so once
+                # these complete every REPL_APPLY accepted before the
+                # promotion is durably applied — the new primary starts
+                # from its full watermark, and late frames from the old
+                # primary get BAD_REQUEST instead of silently diverging.
+                futs = [self._submit(s, "sync", None) for s in self.shards]
+                return self._finish(
+                    request_id, op_name, started, self._fmt_promote(futs)
+                )
+
             raise protocol.ProtocolError(f"unknown opcode {opcode}")
         except _Overloaded:
             self.stats.record_overload()
@@ -391,11 +513,113 @@ class KVServer:
             return self._immediate(
                 request_id, op_name, started, protocol.ERROR, str(exc).encode()
             )
-        except (protocol.ProtocolError, KeyError, IndexError, struct_error) as exc:
+        except (
+            protocol.ProtocolError, FrameError, KeyError, IndexError, struct_error,
+        ) as exc:
+            # FrameError covers the storage codecs the bodies reuse: a
+            # garbage body must cost the peer one BAD_REQUEST, not the
+            # whole connection.
             return self._immediate(
                 request_id, op_name, started,
                 protocol.BAD_REQUEST, str(exc).encode(),
             )
+
+    def _dispatch_repl_apply(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        """Ingest one batch of primary WAL frames for one shard.
+
+        Runs on the event loop thread, so per-connection arrival order
+        is exactly dedup/gap-check order: the primary's single sender
+        connection can never race its own stream.
+        """
+        if self.role != "follower":
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"not a follower",
+            )
+        shard_id, frames = protocol.decode_repl_apply(body)
+        if not 0 <= shard_id < self.n_shards:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"bad shard id",
+            )
+        if self._repl_failed[shard_id] is not None:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.ERROR, self._repl_failed[shard_id].encode(),
+            )
+        try:
+            records = list(
+                wal_iter_records(
+                    frames, source=f"repl shard {shard_id}", strict=True
+                )
+            )
+        except FrameError as exc:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, str(exc).encode(),
+            )
+        dispatched = self._repl_dispatched[shard_id]
+        fresh = [(seq, key, value) for seq, key, value in records if seq > dispatched]
+        if not fresh:
+            # Pure resend (the primary reconnected and replayed from an
+            # older watermark): confirm the durable position.
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.OK,
+                protocol.encode_u64_body(self._repl_applied[shard_id]),
+            )
+        expect = dispatched
+        for seq, _, _ in fresh:
+            expect += 1
+            if seq != expect:
+                # A hole in the stream would silently fork this shard
+                # from the primary; poison it instead.
+                self._repl_failed[shard_id] = (
+                    f"replication gap: expected seq {expect}, got {seq}"
+                )
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.ERROR, self._repl_failed[shard_id].encode(),
+                )
+        self._repl_dispatched[shard_id] = expect
+        fut = self._submit(
+            self.shards[shard_id],
+            "write", [(key, value) for _, key, value in fresh],
+        )
+        return self._finish(
+            request_id, op_name, started,
+            self._fmt_repl_ack(shard_id, expect, fut),
+        )
+
+    async def _fmt_repl_ack(
+        self, shard_id: int, expect: int, fut: asyncio.Future
+    ) -> tuple[int, bytes]:
+        try:
+            seq = await fut
+            # The shard worker may coalesce several REPL_APPLY batches
+            # into one group commit and complete each with the *run's*
+            # final sequence, so >= expect is normal; < expect means the
+            # follower's own sequence counter diverged from the stream.
+            if isinstance(seq, int) and seq < expect:
+                raise RuntimeError(
+                    f"follower shard {shard_id} applied through seq {seq}, "
+                    f"primary stream says {expect}"
+                )
+        except Exception as exc:
+            self._repl_failed[shard_id] = f"apply failed: {exc!r}"
+            raise
+        # write_batch returned, so the batch rode a WAL group commit:
+        # "applied" is a *durable* watermark, which is what lets the
+        # primary ack its clients off our confirmations.
+        self._repl_applied[shard_id] = max(self._repl_applied[shard_id], expect)
+        return protocol.OK, protocol.encode_u64_body(expect)
+
+    async def _fmt_promote(self, futs: list[asyncio.Future]) -> tuple[int, bytes]:
+        await asyncio.gather(*futs)
+        self.role = "primary"
+        return protocol.OK, b""
 
     def _immediate(
         self, request_id: int, op_name: str, started: float,
@@ -431,10 +655,20 @@ class KVServer:
             return protocol.NOT_FOUND, b""
         return protocol.OK, protocol.encode_value_body(values[0])
 
-    @staticmethod
-    async def _fmt_ack(fut: asyncio.Future) -> tuple[int, bytes]:
-        await fut
-        return protocol.OK, b""
+    async def _fmt_ack(self, shard_id: int, fut: asyncio.Future) -> tuple[int, bytes]:
+        seq = await fut
+        if not isinstance(seq, int):
+            return protocol.OK, b""  # non-durable engine: no token
+        repl = self._replication
+        if repl is not None:
+            # Synchronous replication gate: the local group commit made
+            # the write durable *here*; the ack waits until every
+            # configured follower confirms it durable *there*, so a
+            # client-visible OK survives the loss of this whole node.
+            await asyncio.wait_for(
+                repl.wait_durable(shard_id, seq), self._repl_ack_timeout
+            )
+        return protocol.OK, protocol.encode_u64_body(seq)
 
     @staticmethod
     async def _fmt_batch_get(n_keys, futs) -> tuple[int, bytes]:

@@ -231,13 +231,17 @@ class ShardWorker(threading.Thread):
         try:
             # One write_batch == one WAL group commit: a single fsync
             # acknowledges every write in the run.
-            self.engine.write_batch(entries)
+            ret = self.engine.write_batch(entries)
         except Exception as exc:
             for item in run:
                 self._fail(item, exc)
             return
         self.stats.record_write_batch(len(entries))
-        self._complete_many([(item, None) for item in run])
+        # Every request in the run is acknowledged at the run's final
+        # sequence number — the batch committed atomically, so that seq
+        # is a valid (if conservative) causal token for each of them.
+        last_seq = ret if isinstance(ret, int) else getattr(self.engine, "last_seq", 0)
+        self._complete_many([(item, last_seq) for item in run])
 
     def _do_single(self, item: ShardRequest) -> None:
         try:

@@ -745,6 +745,127 @@ class ServerAdapter(Adapter):
         raise ValueError(f"unknown op {op.op!r}")
 
 
+class ClusterAdapter(Adapter):
+    """A full replication group (primary + follower) behind the
+    cluster client, checked differentially against the oracle.
+
+    Every write crosses the primary's serving stack *and* the WAL
+    shipping path (the ack waits for the follower's durable apply);
+    every point read goes to the follower as a ``GET_AT`` gated on the
+    session's causal token, so read-your-writes is checked on every
+    single ``get`` the fuzzer issues.  ``serialize`` is a cluster-wide
+    graceful drain: stop both nodes (the primary drains its
+    replication link first), then bring the same group back up over
+    the surviving ``MemFS`` bytes — follower recovery, the watermark
+    handshake, and the resume-from-floor path all run mid-sequence.
+    """
+
+    def __init__(self, name: str = "cluster", n_shards: int = 2) -> None:
+        self._n_shards = n_shards
+        self._cluster = None
+        self._client = None
+        super().__init__(name)
+
+    def _teardown(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+        if self._cluster is not None:
+            self._cluster.stop()
+            self._cluster = None
+
+    close = _teardown
+
+    def _start(self) -> None:
+        from ..cluster import ClusterClient, build_local_cluster
+
+        fss = self._fss
+        self._cluster = build_local_cluster(
+            "cluster-fuzz",
+            n_groups=1,
+            followers_per_group=1,
+            n_shards=self._n_shards,
+            fs_for=lambda node, shard: fss[(node, shard)],
+            engine_config=self._config,
+        ).start()
+        self._client = ClusterClient(self._cluster.topology())
+
+    def reset(self) -> None:
+        from .faultfs import MemFS
+
+        self._teardown()
+        self._fss = {
+            (f"g0-n{n}", s): MemFS()
+            for n in range(2)
+            for s in range(self._n_shards)
+        }
+        self._config = dict(
+            memtable_entries=16,
+            sstable_entries=64,
+            block_entries=8,
+            level0_limit=2,
+            block_cache_blocks=32,
+            wal_sync_every=4,
+        )
+        self._start()
+        self._present: set[bytes] = set()
+
+    def apply(self, op: Op) -> Any:
+        client = self._client
+        if op.op == "insert":
+            if op.key in self._present:
+                return False
+            client.put(op.key, op.value)
+            self._present.add(op.key)
+            return True
+        if op.op == "update":
+            if op.key not in self._present:
+                return False
+            client.put(op.key, op.value)
+            return True
+        if op.op == "delete":
+            if op.key not in self._present:
+                return False
+            client.delete(op.key)
+            self._present.discard(op.key)
+            return True
+        if op.op == "put_many":
+            for k, v in zip(op.keys, op.values):
+                client.put(k, v)
+            self._present.update(op.keys)
+            return None
+        if op.op == "get":
+            return client.get(op.key)
+        if op.op == "get_many":
+            return client.get_many(op.keys)
+        if op.op == "contains":
+            return client.get(op.key) is not None
+        if op.op in ("lower_bound", "scan"):
+            return client.scan(op.key, op.count)
+        if op.op == "range":
+            hits = client.scan(op.key, 1)
+            return bool(hits) and hits[0][0] < op.high
+        if op.op == "count":
+            hits = client.scan(op.key, COUNT_CLAMP)
+            return sum(1 for k, _ in hits if k < op.high)
+        if op.op == "len":
+            return len(self._present)
+        if op.op == "items":
+            return client.scan(b"", len(self._present) + 1)
+        if op.op == "merge":
+            client.sync()
+            return None
+        if op.op == "serialize":
+            # Drain the whole group, then recover it from the MemFSes.
+            self._teardown()
+            self._start()
+            return None
+        raise ValueError(f"unknown op {op.op!r}")
+
+
 # -- registry ----------------------------------------------------------------
 
 
@@ -832,6 +953,8 @@ def all_structures() -> dict[str, Callable[[], Adapter]]:
         "server_proc": lambda: ServerAdapter(
             "server_proc", shard_mode="process"
         ),
+        # a replication group (primary + follower, follower reads)
+        "cluster": lambda: ClusterAdapter("cluster"),
     }
 
 

@@ -1,0 +1,447 @@
+"""The replication cluster: routing, WAL shipping, read-your-writes,
+explicit failover, and the cluster-wide kill matrix.
+
+The kill matrix is the cluster analogue of the server-level one in
+``test_server.py``: the *primary's* shards sit on a ``FaultFS`` that
+loses power at every durability point in turn, the follower's disk is
+snapshotted at the moment of the crash under all four torn-write
+models, and the follower recovered from each snapshot must hold an
+exact prefix of the primary's history covering every client-acked
+write — because a write is only acked after the follower durably
+applied it, promotion can never lose one.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    HashRing,
+    build_local_cluster,
+    route_key,
+)
+from repro.lsm import LSMTree
+from repro.server import (
+    FollowerLaggingError,
+    KVClient,
+    NotPrimaryError,
+    ServerError,
+    shard_of,
+)
+from repro.testing.faultfs import CRASH_MODES, FaultFS, MemFS, PowerFailure
+from repro.workloads.keys import encode_u64
+
+TINY_CONFIG = dict(
+    memtable_entries=16,
+    sstable_entries=64,
+    block_entries=8,
+    level0_limit=2,
+    block_cache_blocks=32,
+    wal_sync_every=4,
+)
+
+
+def _mem_cluster(followers=2, n_shards=2, n_groups=1, **kw):
+    """Assemble+start an all-MemFS cluster; returns (cluster, fss)."""
+    fss = {}
+
+    def fs_for(node, shard):
+        return fss.setdefault((node, shard), MemFS())
+
+    cluster = build_local_cluster(
+        "cl",
+        n_groups=n_groups,
+        followers_per_group=followers,
+        n_shards=n_shards,
+        fs_for=fs_for,
+        engine_config=kw.pop("engine_config", TINY_CONFIG),
+        **kw,
+    ).start()
+    return cluster, fss
+
+
+# -- route_key: the one shard mapping ----------------------------------------
+
+
+class TestRouteKey:
+    def test_golden_values_pin_the_mapping(self):
+        """Changing these orphans every existing shard-NN directory."""
+        assert route_key(b"", 4) == 0
+        assert route_key(b"a", 2) == 1
+        assert route_key(b"a", 4) == 3
+        assert route_key(b"user1000", 4) == 2
+        assert route_key(b"user1000", 8) == 6
+        assert route_key(b"smoke-000042", 4) == 2
+        assert route_key(b"\x00\x01\x02", 8) == 7
+
+    def test_server_uses_the_shared_mapping(self):
+        # shard_of is the same function object, not a reimplementation.
+        assert shard_of is route_key
+
+    def test_full_shard_coverage(self):
+        keys = [encode_u64(i) for i in range(512)]
+        for n in (1, 2, 4, 8):
+            hit = {route_key(k, n) for k in keys}
+            assert hit == set(range(n))
+
+
+# -- the consistent-hash ring ------------------------------------------------
+
+
+class TestHashRing:
+    KEYS = [b"key-%04d" % i for i in range(2000)]
+
+    def test_deterministic_across_instances_and_order(self):
+        a = HashRing(["n1", "n2", "n3"])
+        b = HashRing(["n3", "n1", "n2"])
+        for key in self.KEYS[:200]:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_every_node_owns_a_fair_share(self):
+        ring = HashRing(["n1", "n2", "n3"])
+        owned = {n: 0 for n in ring.nodes}
+        for key in self.KEYS:
+            owned[ring.node_for(key)] += 1
+        for node, n in owned.items():
+            assert n > len(self.KEYS) * 0.10, f"{node} owns only {n}"
+
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        ring = HashRing(["n1", "n2", "n3", "n4"])
+        smaller = ring.without("n3")
+        moved = 0
+        for key in self.KEYS:
+            before = ring.node_for(key)
+            after = smaller.node_for(key)
+            if before == "n3":
+                assert after != "n3"
+                moved += 1
+            else:
+                assert after == before, "a surviving node's key moved"
+        assert 0 < moved < len(self.KEYS) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+
+# -- replication: WAL shipping + watermarks ----------------------------------
+
+
+class TestReplication:
+    def test_followers_catch_up_and_serve_reads(self):
+        cluster, _ = _mem_cluster(followers=2, n_shards=2)
+        try:
+            topo = cluster.topology()
+            n = 40
+            with ClusterClient(topo) as client:
+                seqs = {}
+                for i in range(n):
+                    key = b"k%04d" % i
+                    seqs[key] = client.put(key, i)
+                assert all(isinstance(s, int) and s > 0 for s in seqs.values())
+
+            # Every ack waited for both followers' durable applies, so
+            # their watermarks already cover the primary's history.
+            group = cluster.groups[0]
+            primary_marks = None
+            with KVClient(*_addr(group.primary)) as c:
+                primary_marks = c.watermark()
+            for follower in group.followers:
+                with KVClient(*_addr(follower)) as c:
+                    marks = c.watermark()
+                    for shard, (_, applied) in enumerate(marks):
+                        assert applied >= primary_marks[shard][1]
+                    # Follower reads gated on each write's own token.
+                    for key, seq in seqs.items():
+                        value = c.get_at(key, seq)
+                        assert value == int(key[1:])
+        finally:
+            cluster.stop()
+
+    def test_follower_rejects_writes(self):
+        cluster, _ = _mem_cluster(followers=1)
+        try:
+            follower = cluster.groups[0].followers[0]
+            with KVClient(*_addr(follower)) as c:
+                with pytest.raises(NotPrimaryError):
+                    c.put(b"nope", 1)
+                with pytest.raises(NotPrimaryError):
+                    c.delete(b"nope")
+        finally:
+            cluster.stop()
+
+    def test_lagging_follower_answers_lagging(self):
+        cluster, _ = _mem_cluster(followers=1)
+        try:
+            group = cluster.groups[0]
+            with KVClient(*_addr(group.primary)) as c:
+                c.put(b"k", 1)
+            follower = group.followers[0]
+            with KVClient(*_addr(follower)) as c:
+                # A token from the future: the follower must refuse
+                # rather than serve a stale read.
+                with pytest.raises(FollowerLaggingError):
+                    c.get_at(b"k", 10_000)
+                # Token 0 = unconditional read.
+                assert c.get_at(b"k", 0) == 1
+        finally:
+            cluster.stop()
+
+    def test_cluster_client_falls_back_to_primary_when_lagging(self):
+        cluster, _ = _mem_cluster(followers=1)
+        try:
+            with ClusterClient(cluster.topology()) as client:
+                client.put(b"k", 7)
+                group = client.group_for(b"k")
+                # Poison the session token so the follower must refuse.
+                client._tokens[(group.name, route_key(b"k", 2))] = 10_000
+                assert client.get(b"k") == 7
+                assert client.lagging_reads == 1
+        finally:
+            cluster.stop()
+
+    def test_restart_resumes_from_watermark(self):
+        """Graceful stop + restart over the same bytes: the follower
+        re-attaches at its own watermark (no re-ship, no gap)."""
+        cluster, fss = _mem_cluster(followers=1, n_shards=2)
+        try:
+            with ClusterClient(cluster.topology()) as client:
+                for i in range(20):
+                    client.put(b"a%03d" % i, i)
+        finally:
+            cluster.stop()
+
+        cluster2 = build_local_cluster(
+            "cl",
+            n_groups=1,
+            followers_per_group=1,
+            n_shards=2,
+            fs_for=lambda node, shard: fss[(node, shard)],
+            engine_config=TINY_CONFIG,
+        ).start()
+        try:
+            with ClusterClient(cluster2.topology()) as client:
+                for i in range(20, 40):
+                    client.put(b"a%03d" % i, i)
+                for i in range(40):
+                    assert client.get(b"a%03d" % i) == i
+        finally:
+            cluster2.stop()
+
+
+# -- explicit failover -------------------------------------------------------
+
+
+class TestFailover:
+    def test_promote_and_repoint_keeps_every_ack(self):
+        cluster, _ = _mem_cluster(followers=2, n_shards=2)
+        try:
+            group = cluster.groups[0]
+            client = ClusterClient(cluster.topology())
+            try:
+                for i in range(60):
+                    client.put(b"f%04d" % i, i)
+
+                topo = group.promote(group.followers[0])
+                client.repoint(group.name, topo.primary, topo.followers)
+
+                # The new primary (with one surviving follower) accepts
+                # writes; every pre-failover ack is still readable.
+                for i in range(60, 100):
+                    client.put(b"f%04d" % i, i)
+                for i in range(100):
+                    assert client.get(b"f%04d" % i) == i
+                assert client.count(b"f", b"g") == 100
+                scanned = client.scan(b"f", 200)
+                assert [k for k, _ in scanned] == [b"f%04d" % i for i in range(100)]
+            finally:
+                client.close()
+            assert group.primary.role == "primary"
+        finally:
+            cluster.stop()
+
+
+def _addr(node):
+    a = node.address
+    return a.host, a.port
+
+
+# -- the cluster-wide kill matrix --------------------------------------------
+
+
+CRASH_CONFIG = dict(
+    memtable_entries=8,
+    sstable_entries=32,
+    block_entries=4,
+    level0_limit=2,
+    block_cache_blocks=16,
+    wal_sync_every=3,
+)
+
+
+def _crash_workload(n_ops=24, seed=21, key_space=8):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for i in range(n_ops):
+        key = encode_u64(rng.randrange(key_space))
+        if rng.random() < 0.3:
+            ops.append(("delete", key, None))
+        else:
+            ops.append(("put", key, i))
+    return ops
+
+
+def _model_after(ops, k):
+    model = {}
+    for op, key, value in ops[:k]:
+        if op == "put":
+            model[key] = value
+        else:
+            model.pop(key, None)
+    return model
+
+
+class TestClusterKillMatrix:
+    """Power-fail the primary at every durability point; the follower
+    must hold every client-acked write under all four torn-write
+    models of its own simultaneous crash."""
+
+    FOLLOWER_SHARD = "killdb/g0-n1/shard-00"
+
+    def _cluster_run(self, ops, fail_at):
+        """1 primary + 1 follower, one shard each; the primary's disk
+        power-fails at ``fail_at``.  Returns ``(primary_fs, views,
+        acked, max_ack)`` where ``views`` maps each torn-write mode to
+        the follower's disk as snapshotted at the moment the client
+        gave up on the primary."""
+        pfs = FaultFS(fail_at=fail_at)
+        ffs = FaultFS(fail_at=None)  # never fails; gives us crashed_view
+        cluster = build_local_cluster(
+            "killdb",
+            n_groups=1,
+            followers_per_group=1,
+            n_shards=1,
+            fs_for=lambda node, shard: pfs if node == "g0-n0" else ffs,
+            engine_config=CRASH_CONFIG,
+            repl_ack_timeout=10.0,
+        )
+        acked = 0
+        max_ack = 0
+        try:
+            try:
+                cluster.start()
+            except PowerFailure:
+                views = {m: ffs.crashed_view(m) for m in CRASH_MODES}
+                return pfs, views, 0, 0
+            addr = cluster.groups[0].primary.address
+            client = KVClient(addr.host, addr.port, timeout=30.0)
+            try:
+                for op, key, value in ops:
+                    try:
+                        if op == "put":
+                            seq = client.put(key, value)
+                        else:
+                            seq = client.delete(key)
+                    except (ServerError, ConnectionError, OSError):
+                        break
+                    acked += 1
+                    max_ack = max(max_ack, seq or 0)
+            finally:
+                client.close()
+            # Snapshot the follower's disk "at the same instant" the
+            # primary died — before any graceful drain can fsync more.
+            views = {m: ffs.crashed_view(m) for m in CRASH_MODES}
+        finally:
+            cluster.stop(timeout=60.0)
+        return pfs, views, acked, max_ack
+
+    def _count_sync_points(self, ops):
+        pfs, _, acked, max_ack = self._cluster_run(ops, fail_at=None)
+        assert acked == len(ops)
+        assert max_ack == len(ops)  # one record per op, acked in order
+        return pfs.sync_points
+
+    def test_primary_killed_at_every_sync_point(self):
+        ops = _crash_workload()
+        total = self._count_sync_points(ops)
+        assert total > 12  # the workload must cross flushes and commits
+        for point in range(1, total + 1):
+            pfs, views, acked, max_ack = self._cluster_run(ops, fail_at=point)
+            if not pfs.crashed:
+                assert acked == len(ops)
+            for mode, view in views.items():
+                recovered = LSMTree.open(
+                    self.FOLLOWER_SHARD, fs=view, **CRASH_CONFIG
+                )
+                k = recovered.last_seq
+                # No acked write lost: the ack waited for the
+                # follower's durable apply, so even "drop" (every
+                # unsynced byte gone) keeps sequence max_ack.
+                assert max_ack <= k <= len(ops), (
+                    f"point {point} mode {mode} ({pfs.crash_label}): "
+                    f"follower recovered seq {k}, client saw ack {max_ack}"
+                )
+                # Exact prefix: the follower applies the primary's
+                # records in sequence order, so its state at seq k must
+                # equal the primary's history replayed through op k.
+                expected = _model_after(ops, k)
+                for key in {key for _, key, _ in ops}:
+                    assert recovered.get(key) == expected.get(key), (
+                        f"point {point} mode {mode}: key {key!r} diverged"
+                    )
+                recovered.close()
+
+    def test_promoted_follower_serves_every_ack(self):
+        """Full failover at a mid-run crash point: restart the
+        follower from its torn disk, promote it, read every ack."""
+        ops = _crash_workload()
+        total = self._count_sync_points(ops)
+        point = total // 2
+        pfs, views, acked, max_ack = self._cluster_run(ops, fail_at=point)
+        assert pfs.crashed
+        for mode in CRASH_MODES:
+            from repro.server import KVServer, ServerThread
+
+            server = KVServer(
+                "killdb/g0-n1",
+                n_shards=1,
+                fs=views[mode],
+                engine_config=CRASH_CONFIG,
+                role="follower",
+            )
+            runner = ServerThread(server).start()
+            try:
+                with KVClient(server.host, server.port) as c:
+                    c.promote()
+                    (_, applied), = c.watermark()
+                    assert applied >= max_ack
+                    expected = _model_after(ops, applied)
+                    for key in {key for _, key, _ in ops}:
+                        assert c.get(key) == expected.get(key)
+                    # A promoted node is a primary: it takes writes.
+                    assert c.put(b"post-failover", 1) == applied + 1
+            finally:
+                runner.stop()
+
+
+# -- differential fuzz through the whole cluster -----------------------------
+
+
+class TestClusterFuzz:
+    def test_differential_fuzz_clean(self):
+        from repro.testing.adapters import make_adapter
+        from repro.testing.differential import run_sequence
+        from repro.testing.ops import generate_ops
+
+        adapter = make_adapter("cluster")
+        try:
+            failure, stats = run_sequence(adapter, generate_ops(5, 250))
+            assert failure is None, failure
+            assert stats["applied"] == 250
+        finally:
+            adapter._teardown()

@@ -153,6 +153,54 @@ class TestBackpressure:
         db.close()
 
 
+class TestWaitIdle:
+    def test_tight_timeout_raises_without_overshoot(self):
+        """Regression: wait_idle used to poll at a fixed 50 ms slice,
+        so a 1 ms deadline slept 50× too long — and when notifications
+        kept arriving it never checked the deadline at all."""
+        db = LSMTree.open("db", fs=MemFS(), max_immutables=4, **BG)
+        gate = _gate_flusher(db)
+        try:
+            _fill(db, CONFIG["memtable_entries"] + 1)  # frozen, undrained
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                db.wait_idle(timeout=0.001)
+            assert time.monotonic() - started < 0.04
+        finally:
+            gate.set()
+        db.wait_idle()  # backlog drains once the gate opens
+        assert db.info()["immutables"] == 0
+        db.close()
+
+    def test_notification_storm_still_times_out(self):
+        """A condvar that keeps waking faster than the old 50 ms slice
+        must not postpone the deadline forever."""
+        db = LSMTree.open("db", fs=MemFS(), max_immutables=4, **BG)
+        gate = _gate_flusher(db)
+        stop = threading.Event()
+
+        def storm():
+            while not stop.is_set():
+                with db._cond:
+                    db._cond.notify_all()
+                time.sleep(0.001)
+
+        noisy = threading.Thread(target=storm, daemon=True)
+        try:
+            _fill(db, CONFIG["memtable_entries"] + 1)
+            noisy.start()
+            started = time.monotonic()
+            with pytest.raises(TimeoutError):
+                db.wait_idle(timeout=0.2)
+            assert time.monotonic() - started < 2.0
+        finally:
+            stop.set()
+            noisy.join(timeout=5.0)
+            gate.set()
+        db.wait_idle()
+        db.close()
+
+
 class TestSnapshots:
     def test_snapshot_reads_pinned_state_while_writes_continue(self):
         db = LSMTree.open("db", fs=MemFS(), **BG)

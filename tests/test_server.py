@@ -343,14 +343,108 @@ class TestCoalescing:
             monkeypatch.setattr(server.shards[0], "submit", lambda req: False)
             from repro.server import ServerOverloadedError
 
-            with KVClient(server.host, server.port) as c:
+            # max_retries=0 opts out of the client's backoff so the raw
+            # backpressure mapping (one refusal -> one OVERLOADED) shows.
+            with KVClient(server.host, server.port, max_retries=0) as c:
                 with pytest.raises(ServerOverloadedError):
                     c.get(b"k")
                 st = c.stats()
                 assert st["overloads"] == 1
+                assert c.retries == 0
         finally:
             monkeypatch.undo()
             runner.stop()
+
+
+# -- client backoff on OVERLOADED --------------------------------------------
+
+
+class TestClientRetry:
+    def test_retry_delay_is_bounded_full_jitter(self):
+        from repro.server.client import (
+            RETRY_BASE_DELAY, RETRY_MAX_DELAY, _retry_delay,
+        )
+
+        for attempt in range(20):
+            cap = min(RETRY_MAX_DELAY, RETRY_BASE_DELAY * (2 ** attempt))
+            for _ in range(50):
+                d = _retry_delay(attempt)
+                assert 0.0 <= d <= cap
+
+    def test_transient_overload_is_absorbed(self, monkeypatch):
+        """Three refusals then service: the client's backoff must turn
+        that into one successful call, counted in ``retries``."""
+        server, runner, _ = start_server(n_shards=1)
+        try:
+            shard = server.shards[0]
+            real_submit = shard.submit
+            refusals = iter([False, False, False])
+
+            def flaky(req):
+                if next(refusals, None) is False:
+                    return False
+                return real_submit(req)
+
+            monkeypatch.setattr(shard, "submit", flaky)
+            with KVClient(server.host, server.port) as c:
+                c.put(b"k", 1)
+                assert c.retries == 3
+                assert c.get(b"k") == 1  # no further refusals queued
+                assert c.retries == 3
+        finally:
+            monkeypatch.undo()
+            runner.stop()
+
+    def test_retry_budget_is_bounded(self, monkeypatch):
+        from repro.server import ServerOverloadedError
+
+        server, runner, _ = start_server(n_shards=1)
+        try:
+            monkeypatch.setattr(server.shards[0], "submit", lambda req: False)
+            with KVClient(server.host, server.port, max_retries=2) as c:
+                with pytest.raises(ServerOverloadedError):
+                    c.get(b"k")
+                assert c.retries == 2  # budget spent, then the raise
+        finally:
+            monkeypatch.undo()
+            runner.stop()
+
+    def test_async_client_absorbs_transient_overload(self, monkeypatch):
+        server, runner, _ = start_server(n_shards=1)
+        try:
+            shard = server.shards[0]
+            real_submit = shard.submit
+            refusals = iter([False, False])
+
+            def flaky(req):
+                if next(refusals, None) is False:
+                    return False
+                return real_submit(req)
+
+            monkeypatch.setattr(shard, "submit", flaky)
+
+            async def drive():
+                client = await AsyncKVClient.connect(server.host, server.port)
+                try:
+                    await client.put(b"k", 2)
+                    return client.retries, await client.get(b"k")
+                finally:
+                    await client.close()
+
+            retries, value = asyncio.run(drive())
+            assert retries == 2 and value == 2
+        finally:
+            monkeypatch.undo()
+            runner.stop()
+
+    def test_loadgen_reports_retries(self):
+        from repro.server.loadgen import LoadResult
+
+        result = LoadResult(
+            workload="C", mode="sync", n_connections=1, pipeline_depth=1,
+            ops_done=10, elapsed=1.0, overloads=0, retries=3,
+        )
+        assert result.to_dict()["retries"] == 3
 
 
 # -- shutdown ----------------------------------------------------------------

@@ -1,0 +1,213 @@
+"""Malformed-frame fuzzing of the wire protocol.
+
+The server's contract under garbage input: for every byte stream a
+peer can send, each decodable frame is answered (``BAD_REQUEST`` for a
+malformed body, never a crash), an unframeable stream drops the
+connection — and in all cases the server stays serviceable for the
+next well-behaved client.  Nothing here may hang: every check runs
+under a socket timeout.
+"""
+
+import random
+import socket
+import struct
+
+import pytest
+
+from repro.server import KVClient, KVServer, ServerThread
+from repro.server import protocol
+from repro.testing.faultfs import MemFS
+
+TINY_CONFIG = dict(
+    memtable_entries=16,
+    sstable_entries=64,
+    block_entries=8,
+    level0_limit=2,
+    block_cache_blocks=32,
+    wal_sync_every=4,
+)
+
+#: Every opcode the server knows, plus a few it never will.
+ALL_OPCODES = sorted(protocol.OP_NAMES) + [0, 14, 77, 255]
+
+
+@pytest.fixture(scope="module")
+def server():
+    fss = [MemFS(), MemFS()]
+    srv = KVServer(
+        "fuzz", n_shards=2, fs=lambda i: fss[i], engine_config=TINY_CONFIG
+    )
+    runner = ServerThread(srv).start()
+    yield srv
+    runner.stop()
+
+
+def _connect(server, timeout=10.0):
+    sock = socket.create_connection((server.host, server.port), timeout=timeout)
+    sock.settimeout(timeout)
+    return sock
+
+
+def _recv_response(sock):
+    """One framed response, or None if the server closed on us."""
+    try:
+        prefix = _recv_exact(sock, 4)
+    except ConnectionError:
+        return None
+    if prefix is None:
+        return None
+    (length,) = struct.unpack("<I", prefix)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return protocol.parse_payload(payload)
+
+
+def _recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+def _still_serviceable(server):
+    """The real acceptance criterion: a fresh client works afterwards."""
+    with KVClient(server.host, server.port) as client:
+        client.put(b"alive", 1)
+        assert client.get(b"alive") == 1
+
+
+class TestMalformedFrames:
+    def test_truncated_length_prefix_then_close(self, server):
+        sock = _connect(server)
+        try:
+            sock.sendall(b"\x07\x00")  # half a length prefix, then EOF
+            sock.shutdown(socket.SHUT_WR)
+            assert _recv_response(sock) is None  # no response, no hang
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_truncated_payload_then_close(self, server):
+        sock = _connect(server)
+        try:
+            # Announce 100 bytes, send 3, hang up.
+            sock.sendall(struct.pack("<I", 100) + b"abc")
+            sock.shutdown(socket.SHUT_WR)
+            assert _recv_response(sock) is None
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_oversized_declared_length_drops_connection(self, server):
+        sock = _connect(server)
+        try:
+            # Claims a frame bigger than MAX_FRAME_BYTES; the server
+            # must refuse to buffer it and drop the connection.
+            sock.sendall(struct.pack("<I", protocol.MAX_FRAME_BYTES + 1))
+            assert _recv_response(sock) is None
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_undersized_declared_length_drops_connection(self, server):
+        sock = _connect(server)
+        try:
+            sock.sendall(struct.pack("<I", 2) + b"xx")  # < header size
+            assert _recv_response(sock) is None
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_unknown_opcode_answers_bad_request(self, server):
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(7, 99, b""))
+            request_id, status, _ = _recv_response(sock)
+            assert request_id == 7
+            assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    @pytest.mark.parametrize("opcode", ALL_OPCODES)
+    def test_garbage_body_every_opcode(self, server, opcode):
+        """Unparseable bodies for every opcode (known and unknown) get
+        an answer — BAD_REQUEST, or a legitimate status for ops whose
+        body happens to decode — and the connection stays usable."""
+        bodies = [
+            b"", b"\x00", b"\xff" * 8,
+            struct.pack("<I", 2**31) + b"tail",  # huge inner length
+            b"\xde\xad\xbe\xef" * 4,
+        ]
+        sock = _connect(server)
+        try:
+            for i, body in enumerate(bodies):
+                if opcode == protocol.SHUTDOWN:
+                    continue  # would legitimately stop the server
+                sock.sendall(protocol.frame(i, opcode, body))
+                got = _recv_response(sock)
+                assert got is not None, (
+                    f"opcode {opcode} body {body!r}: connection dropped "
+                    "on a well-framed request"
+                )
+                request_id, status, _ = got
+                assert request_id == i
+                assert status in (
+                    protocol.OK,
+                    protocol.NOT_FOUND,
+                    protocol.BAD_REQUEST,
+                    protocol.ERROR,
+                    protocol.NOT_PRIMARY,
+                    protocol.LAGGING,
+                )
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_repl_apply_garbage_frames_rejected(self, server):
+        """REPL_APPLY is decoded strictly: a CRC-corrupt WAL frame must
+        be BAD_REQUEST (a primary is never wrong twice), and on a
+        primary the opcode itself is refused."""
+        body = protocol.encode_repl_apply(0, b"not-wal-frames-at-all")
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(1, protocol.REPL_APPLY, body))
+            _, status, _ = _recv_response(sock)
+            assert status == protocol.BAD_REQUEST  # this node is a primary
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+
+class TestRandomFuzz:
+    def test_random_byte_streams_never_hang_the_server(self, server):
+        """Seeded random garbage, interleaved with random valid frames;
+        the server must answer or close every time, within timeout."""
+        rng = random.Random(0xC1A0)
+        for round_no in range(30):
+            sock = _connect(server, timeout=10.0)
+            try:
+                if rng.random() < 0.5:
+                    # Pure noise (may or may not frame-align).
+                    blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 200)))
+                    sock.sendall(blob)
+                else:
+                    # A well-framed request with a random opcode/body.
+                    opcode = rng.choice([op for op in ALL_OPCODES if op != protocol.SHUTDOWN])
+                    body = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64)))
+                    sock.sendall(protocol.frame(round_no, opcode, body))
+                sock.shutdown(socket.SHUT_WR)
+                # Drain whatever comes back until EOF; only a hang fails.
+                while True:
+                    try:
+                        if not sock.recv(4096):
+                            break
+                    except ConnectionError:
+                        break
+            finally:
+                sock.close()
+        _still_serviceable(server)
