@@ -21,6 +21,12 @@ __all__ = [
     "NodeAddress",
     "PrimaryReplication",
     "ReplicationError",
+    "FollowerBehindError",
+    "ReplicationFencedError",
+    "LeaseManager",
+    "build_snapshot",
+    "install_snapshot",
+    "default_placement",
     "Cluster",
     "ClusterGroup",
     "ClusterNode",
@@ -34,6 +40,12 @@ _LAZY = {
     "NodeAddress": "client",
     "PrimaryReplication": "replicator",
     "ReplicationError": "replicator",
+    "FollowerBehindError": "replicator",
+    "ReplicationFencedError": "replicator",
+    "LeaseManager": "membership",
+    "build_snapshot": "membership",
+    "install_snapshot": "membership",
+    "default_placement": "routing",
     "Cluster": "failover",
     "ClusterGroup": "failover",
     "ClusterNode": "failover",

@@ -1,4 +1,4 @@
-"""In-process cluster harness: nodes, groups, explicit failover.
+"""In-process cluster harness: nodes, groups, failover, migration.
 
 This is the cluster analogue of
 :class:`~repro.server.server.ServerThread`: every node is a full
@@ -10,32 +10,43 @@ OS process.
 
 Every node carries a :class:`~repro.cluster.replicator.PrimaryReplication`
 from birth, even as a follower: its WAL observers buffer committed
-frames from the first sequence onward, which is exactly what lets a
-*promoted* follower feed the remaining followers without a snapshot
-resync.  Promotion is explicit and client-driven:
+frames from the first sequence onward, so a *promoted* follower can
+feed the remaining followers directly — and when a survivor is too far
+behind (or restarted empty), the link bootstraps it with a snapshot
+resync instead of refusing.
 
-1. ``PROMOTE`` to the chosen follower — it drains its apply queues
-   (sync barrier per shard) and flips to primary, so its state is the
-   full watermark it ever confirmed;
-2. the surviving followers attach to the new primary, resuming from
-   their own dispatched watermarks;
-3. routers :meth:`~repro.cluster.client.ClusterClient.repoint` to the
-   new primary.
+Failover comes in two flavours:
 
-No automatic failure detection lives here — election/lease machinery
-is out of scope (ROADMAP); the contract this layer *does* enforce is
-that whoever you promote holds every client-acked write.
+* **explicit** — :meth:`ClusterGroup.promote`: the operator picks the
+  survivor; the PROMOTE sync barrier guarantees it holds every acked
+  write before it takes the primary role.
+* **automatic** (PR 10) — :meth:`Cluster.enable_election` starts one
+  :class:`~repro.cluster.membership.LeaseManager` per node: the
+  primary heartbeats leases; a follower whose lease expires runs the
+  most-caught-up-wins election and promotes itself through the same
+  barrier, with term fencing keeping a deposed primary from ever
+  acking again.
+
+Shard ownership is a mutable *placement map* (global shard id → group
+name), seeded from the consistent-hash ring.
+:meth:`Cluster.migrate_shard` drives a live migration: the source
+primary ships snapshot + delta to every target node (``MIGRATE``),
+then the coordinator detaches the source group and commits the target
+group — the only write-unavailability is the seal→commit pause, which
+clients ride out via NOT_OWNER retries.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..lsm.fs import FileSystem
 from ..server.client import KVClient
 from ..server.server import KVServer, ServerThread
 from .client import ClusterTopology, GroupTopology, NodeAddress
-from .replicator import PrimaryReplication
+from .membership import LeaseManager
+from .replicator import DEFAULT_LOG_CAP_BYTES, PrimaryReplication
+from .routing import default_placement
 
 
 class ClusterNode:
@@ -52,9 +63,14 @@ class ClusterNode:
         queue_limit: int = 1024,
         repl_ack_timeout: float = 30.0,
         host: str = "127.0.0.1",
+        shard_ids: Sequence[int] | None = None,
+        allow_resync: bool = True,
+        log_cap_bytes: int = DEFAULT_LOG_CAP_BYTES,
     ) -> None:
         self.name = name
-        self.replication = PrimaryReplication()
+        self.replication = PrimaryReplication(
+            allow_resync=allow_resync, log_cap_bytes=log_cap_bytes
+        )
         self.server = KVServer(
             path,
             n_shards=n_shards,
@@ -66,8 +82,10 @@ class ClusterNode:
             role=role,
             replication=self.replication,
             repl_ack_timeout=repl_ack_timeout,
+            shard_ids=shard_ids,
         )
         self.thread = ServerThread(self.server)
+        self.lease: LeaseManager | None = None
         self._started = False
 
     def start(self) -> "ClusterNode":
@@ -76,6 +94,9 @@ class ClusterNode:
         return self
 
     def stop(self, timeout: float = 60.0) -> None:
+        if self.lease is not None:
+            self.lease.stop()
+            self.lease = None
         if self._started:
             self.thread.stop(timeout=timeout)
             self._started = False
@@ -114,7 +135,12 @@ class ClusterGroup:
         return self
 
     def stop(self, timeout: float = 60.0) -> None:
-        # Primary first so its drain can still reach live followers.
+        # Lease managers first (a mid-shutdown election helps nobody),
+        # then the primary so its drain can still reach live followers.
+        for node in [self.primary, *self.followers, *self.retired]:
+            if node.lease is not None:
+                node.lease.stop()
+                node.lease = None
         self.primary.stop(timeout=timeout)
         for node in self.followers:
             node.stop(timeout=timeout)
@@ -130,6 +156,48 @@ class ClusterGroup:
             self.primary.address,
             [f.address for f in self.followers],
         )
+
+    def enable_election(
+        self, lease_interval: float = 0.2, lease_ttl: float = 1.0
+    ) -> None:
+        """Start one lease manager per live node (idempotent)."""
+        for node in self.nodes():
+            if node.lease is not None:
+                continue
+            peers = [
+                (peer.name, peer.server.host, peer.server.port)
+                for peer in self.nodes()
+                if peer is not node
+            ]
+            node.lease = LeaseManager(
+                node.name,
+                node.server,
+                node.replication,
+                peers,
+                lease_interval=lease_interval,
+                lease_ttl=lease_ttl,
+            )
+            node.lease.start()
+
+    def refresh_roles(self) -> GroupTopology:
+        """Re-derive primary/followers from the nodes' actual roles
+        (after a lease-based auto-promotion chose the new primary)."""
+        live = [n for n in [*self.nodes(), *self.retired] if n._started]
+        primaries = [n for n in live if n.server.role == "primary"]
+        if primaries:
+            new_primary = max(primaries, key=lambda n: n.server.term)
+            if new_primary is not self.primary:
+                if self.primary._started:
+                    self.retired.append(self.primary)
+                elif self.primary in self.retired:
+                    pass
+                self.retired = [n for n in self.retired if n is not new_primary]
+                self.followers = [
+                    n for n in live
+                    if n is not new_primary and n.server.role == "follower"
+                ]
+                self.primary = new_primary
+        return self.topology()
 
     def promote(self, follower: ClusterNode) -> GroupTopology:
         """Fail over to ``follower`` (the old primary is presumed dead
@@ -151,12 +219,16 @@ class ClusterGroup:
 
 
 class Cluster:
-    """A set of groups plus the derived routing topology."""
+    """A set of groups plus the derived (and mutable) shard placement."""
 
     def __init__(self, groups: list[ClusterGroup], n_shards: int, vnodes: int = 64):
         self.groups = list(groups)
         self.n_shards = n_shards
         self.vnodes = vnodes
+        #: Live shard ownership; migrations mutate it.
+        self.placement: dict[int, str] = default_placement(
+            [g.name for g in self.groups], n_shards, vnodes
+        )
 
     def start(self) -> "Cluster":
         for group in self.groups:
@@ -166,6 +238,12 @@ class Cluster:
     def stop(self, timeout: float = 60.0) -> None:
         for group in self.groups:
             group.stop(timeout=timeout)
+
+    def enable_election(
+        self, lease_interval: float = 0.2, lease_ttl: float = 1.0
+    ) -> None:
+        for group in self.groups:
+            group.enable_election(lease_interval, lease_ttl)
 
     def group(self, name: str) -> ClusterGroup:
         for group in self.groups:
@@ -181,7 +259,44 @@ class Cluster:
             [group.topology() for group in self.groups],
             n_shards=self.n_shards,
             vnodes=self.vnodes,
+            placement=dict(self.placement),
         )
+
+    def migrate_shard(self, shard_id: int, dst_name: str) -> int | None:
+        """Move one shard to ``dst_name`` under live traffic.
+
+        Sequence: ``MIGRATE`` on the source primary (snapshot + delta +
+        seal + final delta → handoff sequence), then ``SHARD_DETACH``
+        across the source group (primary first — it waits for its own
+        links to hold the tail), then ``MIGRATE_COMMIT`` across the
+        target group (primary first, so writes resume immediately).
+        Between seal and the target's commit, writes to the shard get
+        NOT_OWNER; :class:`~repro.cluster.client.ClusterClient` retries
+        through the pause.  A coordinator crash mid-sequence loses no
+        data: the shard's full history is durable on the sealed source
+        until the detach, and on every target from the handoff on.
+        """
+        src_name = self.placement[shard_id]
+        if src_name == dst_name:
+            return None
+        src = self.group(src_name)
+        dst = self.group(dst_name)
+        targets = [
+            (node.server.host, node.server.port) for node in dst.nodes()
+        ]
+        src_addr = src.primary.address
+        with KVClient(src_addr.host, src_addr.port) as client:
+            handoff_seq = client.migrate(shard_id, dst_name, targets)
+        for node in src.nodes():
+            addr = node.address
+            with KVClient(addr.host, addr.port) as client:
+                client.shard_detach(shard_id, dst_name)
+        for node in dst.nodes():
+            addr = node.address
+            with KVClient(addr.host, addr.port) as client:
+                client.migrate_commit(shard_id, handoff_seq)
+        self.placement[shard_id] = dst_name
+        return handoff_seq
 
 
 def build_local_cluster(
@@ -193,17 +308,23 @@ def build_local_cluster(
     engine_config: dict | None = None,
     queue_limit: int = 1024,
     repl_ack_timeout: float = 30.0,
+    allow_resync: bool = True,
+    log_cap_bytes: int = DEFAULT_LOG_CAP_BYTES,
 ) -> Cluster:
     """Assemble (not start) a local cluster under ``root``.
 
-    ``fs_for(node_name, shard_id)`` supplies each shard's filesystem —
-    the hook the kill matrix uses to put a :class:`FaultFS` under
-    exactly one node.  With the default None, nodes use the real
-    filesystem under ``<root>/<node>/``.
+    ``n_shards`` sizes the *global* shard space; each group hosts the
+    shards the default placement assigns it (all of them for a single
+    group).  ``fs_for(node_name, shard_id)`` supplies each shard's
+    filesystem — the hook the kill matrix uses to put a
+    :class:`FaultFS` under exactly one node.  With the default None,
+    nodes use the real filesystem under ``<root>/<node>/``.
     """
+    group_names = [f"g{g}" for g in range(n_groups)]
+    placement = default_placement(group_names, n_shards)
     groups = []
-    for g in range(n_groups):
-        gname = f"g{g}"
+    for gname in group_names:
+        shard_ids = sorted(s for s, g in placement.items() if g == gname)
 
         def make_node(role: str, node_name: str) -> ClusterNode:
             fs = None
@@ -218,6 +339,9 @@ def build_local_cluster(
                 engine_config=dict(engine_config or {}),
                 queue_limit=queue_limit,
                 repl_ack_timeout=repl_ack_timeout,
+                shard_ids=shard_ids,
+                allow_resync=allow_resync,
+                log_cap_bytes=log_cap_bytes,
             )
 
         primary = make_node("primary", f"{gname}-n0")

@@ -18,7 +18,12 @@ never drift between layers:
   makes shard rebalancing incremental instead of a full reshuffle.
 
 Within a node, :func:`route_key` then picks the shard — the cluster
-layer composes the two: ring → node, modulo → shard.
+layer composes the two: modulo → *global* shard id, placement map →
+group.  :func:`default_placement` derives the initial shard→group map
+from the ring (``shard-N`` tokens), and live migration
+(:mod:`repro.cluster.membership`) edits the map one shard at a time —
+the ring bounds how much data a group add/remove moves, the map makes
+the current ownership explicit and mutable.
 """
 
 from __future__ import annotations
@@ -82,3 +87,16 @@ class HashRing:
         a whole node group, or future rebalancing)."""
         rest = [n for n in self._nodes if n != node]
         return HashRing(rest, vnodes=self.vnodes)
+
+
+def default_placement(
+    groups: Sequence[str], n_shards: int, vnodes: int = 64
+) -> dict[int, str]:
+    """The derived shard→group ownership map: each global shard id
+    lands on the ring via its ``shard-N`` token.  Deterministic from
+    the topology, so every client starts with the same map; migrations
+    then mutate a *copy* per cluster, never this function's output.
+    A golden test pins the default map — changing it strands existing
+    multi-group data directories."""
+    ring = HashRing(list(groups), vnodes)
+    return {s: ring.node_for(b"shard-%d" % s) for s in range(n_shards)}

@@ -391,6 +391,28 @@ class Snapshot:
     def count(self, low: bytes, high: bytes) -> int:
         return self._engine._count_in(self._check(), low, high)
 
+    # -- snapshot shipping (cluster resync / migration) --------------------
+
+    def table_layout(self) -> list[list[tuple[int, str]]]:
+        """The pinned version's level layout as ``(table_id, path)``
+        pairs (level 0 newest-first).  Because this snapshot holds a
+        reference on the version, every named file stays on disk —
+        un-unlinked even across compactions — until :meth:`release`,
+        which is exactly the window a resync sender needs to read the
+        bytes it announced."""
+        view = self._check()
+        return [
+            [(table.table_id, table.path) for table in level]
+            for level in view.levels
+        ]
+
+    def mem_items(self) -> list[tuple[bytes, Any]]:
+        """The merged memtable content at the pin, sorted by key, with
+        tombstones preserved — ready to be written out as one synthetic
+        newest-first L0 SSTable so a shipped snapshot is nothing but
+        SSTables plus a manifest."""
+        return sorted(self._check().merged().items())
+
 
 class LSMTree:
     """Log-structured merge tree with pluggable per-table filters."""
@@ -516,6 +538,12 @@ class LSMTree:
     @property
     def durable(self) -> bool:
         return self.path is not None
+
+    @property
+    def fs(self) -> FileSystem | None:
+        """The backing filesystem (None for pure in-memory engines).
+        Snapshot shipping reads pinned table bytes through this."""
+        return self._fs
 
     @property
     def background(self) -> bool:

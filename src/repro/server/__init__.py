@@ -18,12 +18,15 @@ See :mod:`repro.server.protocol` for the wire format and
 
 from .client import (
     AsyncKVClient,
+    FencedError,
     FollowerLaggingError,
     KVClient,
+    NotOwnerError,
     NotPrimaryError,
     ServerError,
     ServerOverloadedError,
     ServerShuttingDownError,
+    WatermarkReply,
 )
 from .procshard import ProcessShard
 from .server import KVServer, ServerThread, shard_of
@@ -32,8 +35,11 @@ from .stats import LatencyHistogram, ServerStats
 
 __all__ = [
     "AsyncKVClient",
+    "FencedError",
     "FollowerLaggingError",
     "KVClient",
+    "NotOwnerError",
+    "WatermarkReply",
     "KVServer",
     "LatencyHistogram",
     "NotPrimaryError",

@@ -30,6 +30,7 @@ import json
 import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from . import protocol
@@ -75,6 +76,37 @@ class NotPrimaryError(ServerError):
     """A write was sent to a follower; re-route to the primary."""
 
 
+class NotOwnerError(ServerError):
+    """The node does not serve this shard (it migrated away, is still
+    migrating in, or never lived here).  ``owner`` names the owning
+    group when the node knows it — the router updates its placement
+    map and retries."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(status, message)
+        self.owner = message or None
+
+
+class FencedError(ServerError):
+    """A replication/lease message carried a stale term: a higher-term
+    primary exists.  The sender must stop acting as primary."""
+
+
+@dataclass
+class WatermarkReply:
+    """WATERMARK response: role, election term, and per-hosted-shard
+    ``(dispatched, applied)`` replication watermarks."""
+
+    is_primary: bool
+    term: int
+    marks: dict[int, tuple[int, int]]
+
+    def applied_total(self) -> int:
+        """Sum of durably applied sequences — the election's
+        caught-up-ness score."""
+        return sum(applied for _, applied in self.marks.values())
+
+
 def _raise_for(status: int, body: bytes) -> None:
     message = body.decode("utf-8", "replace")
     if status == protocol.OVERLOADED:
@@ -85,6 +117,10 @@ def _raise_for(status: int, body: bytes) -> None:
         raise FollowerLaggingError(status, message)
     if status == protocol.NOT_PRIMARY:
         raise NotPrimaryError(status, message)
+    if status == protocol.NOT_OWNER:
+        raise NotOwnerError(status, message)
+    if status == protocol.FENCED:
+        raise FencedError(status, message)
     raise ServerError(status, message)
 
 
@@ -232,28 +268,97 @@ class KVClient:
             _raise_for(status, body)
         return protocol.decode_value_body(body)
 
-    def watermark(self) -> list[tuple[int, int]]:
-        """Per-shard (dispatched, applied) replication watermarks."""
+    def watermark(self) -> WatermarkReply:
+        """The node's role, term, and per-shard (dispatched, applied)
+        replication watermarks."""
         status, body = self._call(protocol.WATERMARK)
         if status != protocol.OK:
             _raise_for(status, body)
-        return protocol.decode_watermarks(body)
+        return WatermarkReply(*protocol.decode_watermarks(body))
 
-    def promote(self) -> None:
-        """Flip a follower to primary (drains queued applies first)."""
-        status, body = self._call(protocol.PROMOTE)
+    def promote(self, new_term: int | None = None) -> int:
+        """Flip a follower to primary (drains queued applies first).
+        Returns the node's term after the flip."""
+        status, body = self._call(protocol.PROMOTE, protocol.encode_promote(new_term))
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else 0
 
-    def repl_apply(self, shard: int, frames: bytes) -> int:
+    def repl_apply(self, term: int, shard: int, frames: bytes) -> int:
         """Ship verbatim WAL frames to a follower shard; returns its
         durable applied watermark.  Used by the replication sender."""
         status, body = self._call(
-            protocol.REPL_APPLY, protocol.encode_repl_apply(shard, frames)
+            protocol.REPL_APPLY, protocol.encode_repl_apply(term, shard, frames)
         )
         if status != protocol.OK:
             _raise_for(status, body)
         return protocol.decode_u64_body(body)
+
+    # -- membership operations (PR 10) --------------------------------------
+
+    def snap_begin(self, term: int, shard: int, doc: bytes) -> None:
+        status, body = self._call(
+            protocol.SNAP_BEGIN, protocol.encode_snap_begin(term, shard, doc)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def snap_chunk(
+        self, term: int, shard: int, name: str, offset: int, data: bytes
+    ) -> None:
+        status, body = self._call(
+            protocol.SNAP_CHUNK,
+            protocol.encode_snap_chunk(term, shard, name, offset, data),
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def snap_commit(self, term: int, shard: int, snap_seq: int) -> int:
+        """Install the staged snapshot; returns the installed sequence."""
+        status, body = self._call(
+            protocol.SNAP_COMMIT,
+            protocol.encode_snap_commit(term, shard, snap_seq),
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_u64_body(body)
+
+    def migrate(
+        self, shard: int, dst_group: str, targets: Sequence[tuple[str, int]]
+    ) -> int:
+        """Drive the source side of a live shard migration; returns the
+        handoff sequence once every target holds the shard through it."""
+        status, body = self._call(
+            protocol.MIGRATE, protocol.encode_migrate(shard, dst_group, targets)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+        return protocol.decode_u64_body(body)
+
+    def migrate_commit(self, shard: int, handoff_seq: int) -> None:
+        status, body = self._call(
+            protocol.MIGRATE_COMMIT,
+            protocol.encode_migrate_commit(shard, handoff_seq),
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def shard_detach(self, shard: int, forward_group: str = "") -> None:
+        status, body = self._call(
+            protocol.SHARD_DETACH,
+            protocol.encode_shard_detach(shard, forward_group),
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
+
+    def lease(self, term: int, ttl_ms: int) -> None:
+        """Primary heartbeat: grant a lease for ``ttl_ms``.  Raises
+        :class:`FencedError` when the receiver knows a higher term."""
+        status, body = self._call(
+            protocol.LEASE, protocol.encode_lease(term, ttl_ms)
+        )
+        if status != protocol.OK:
+            _raise_for(status, body)
 
 
 class AsyncKVClient:
@@ -452,16 +557,19 @@ class AsyncKVClient:
             _raise_for(status, body)
         return protocol.decode_value_body(body)
 
-    async def watermark(self) -> list[tuple[int, int]]:
+    async def watermark(self) -> WatermarkReply:
         status, body = await self._call(protocol.WATERMARK)
         if status != protocol.OK:
             _raise_for(status, body)
-        return protocol.decode_watermarks(body)
+        return WatermarkReply(*protocol.decode_watermarks(body))
 
-    async def promote(self) -> None:
-        status, body = await self._call(protocol.PROMOTE)
+    async def promote(self, new_term: int | None = None) -> int:
+        status, body = await self._call(
+            protocol.PROMOTE, protocol.encode_promote(new_term)
+        )
         if status != protocol.OK:
             _raise_for(status, body)
+        return protocol.decode_u64_body(body) if len(body) == 8 else 0
 
     async def stats(self) -> dict:
         status, body = await self._call(protocol.STATS)

@@ -28,10 +28,22 @@ BATCH_GET  u32(n) n*key                   u32(n) n*(u8 present [value])
 SYNC       —                              —
 STATS      —                              UTF-8 JSON blob
 SHUTDOWN   —                              — (server drains and exits)
-REPL_APPLY u32(shard) wal_frames          u64(durable_seq of that shard)
-WATERMARK  —                              u32(n) n*(u64 disp, u64 appl)
+REPL_APPLY u64(term) u32(shard) frames    u64(durable_seq of that shard)
+WATERMARK  —                              u8(primary) u64(term)
+                                          u32(n) n*(u32 shard,
+                                          u64 disp, u64 appl)
 GET_AT     key u64(min_seq)               value (LAGGING if behind)
-PROMOTE    —                              —
+PROMOTE    — | u64(new_term)              u64(term)
+SNAP_BEGIN u64(term) u32(shard) json_doc  —
+SNAP_CHUNK u64(term) u32(shard) name      —
+           u64(offset) data
+SNAP_COMMIT u64(term) u32(shard)          u64(snap_seq)
+           u64(snap_seq)
+MIGRATE    u32(shard) dst_group u32(n)    u64(handoff_seq)
+           n*(host u32(port))
+MIGRATE_COMMIT u32(shard) u64(seq)        —
+SHARD_DETACH u32(shard) fwd_group         —
+LEASE      u64(term) u32(ttl_ms)          —
 ========== ============================== ===============================
 
 Non-OK statuses carry a UTF-8 message body.  ``OVERLOADED`` is the
@@ -47,6 +59,21 @@ requested sequence, and ``NOT_PRIMARY`` rejects writes sent to a
 follower.  Older clients that never send the new opcodes are
 unaffected except for the now non-empty write-ack body, which they
 ignored anyway.
+
+Membership extensions (PR 10): shards live in a *global* shard space
+(``route_key(key, n_shards)`` names the same shard on every node) and
+a node may host only a subset.  ``NOT_OWNER`` answers an operation on
+a shard this node does not serve; its body names the owning group when
+known, and :class:`~repro.cluster.client.ClusterClient` re-routes and
+retries.  Replication messages carry the group's election *term*;
+``FENCED`` rejects a message from a stale term, which is what makes a
+deposed primary's stream die loudly instead of silently forking a
+follower.  ``SNAP_BEGIN``/``SNAP_CHUNK``/``SNAP_COMMIT`` ship a pinned
+engine snapshot (manifest layout + SSTable bytes, CRC-checked per
+file) to bootstrap a lagging, empty, or migrating-in shard;
+``MIGRATE`` drives the source side of a live shard migration,
+``MIGRATE_COMMIT``/``SHARD_DETACH`` flip ownership, and ``LEASE`` is
+the primary's heartbeat that lease-based election watches.
 """
 
 from __future__ import annotations
@@ -71,6 +98,13 @@ REPL_APPLY = 10
 WATERMARK = 11
 GET_AT = 12
 PROMOTE = 13
+SNAP_BEGIN = 14
+SNAP_CHUNK = 15
+SNAP_COMMIT = 16
+MIGRATE = 17
+MIGRATE_COMMIT = 18
+SHARD_DETACH = 19
+LEASE = 20
 
 OP_NAMES = {
     GET: "get",
@@ -86,6 +120,13 @@ OP_NAMES = {
     WATERMARK: "watermark",
     GET_AT: "get_at",
     PROMOTE: "promote",
+    SNAP_BEGIN: "snap_begin",
+    SNAP_CHUNK: "snap_chunk",
+    SNAP_COMMIT: "snap_commit",
+    MIGRATE: "migrate",
+    MIGRATE_COMMIT: "migrate_commit",
+    SHARD_DETACH: "shard_detach",
+    LEASE: "lease",
 }
 
 # -- response statuses -------------------------------------------------------
@@ -98,6 +139,8 @@ SHUTTING_DOWN = 4
 ERROR = 5
 LAGGING = 6
 NOT_PRIMARY = 7
+NOT_OWNER = 8
+FENCED = 9
 
 STATUS_NAMES = {
     OK: "ok",
@@ -108,6 +151,8 @@ STATUS_NAMES = {
     ERROR: "error",
     LAGGING: "lagging",
     NOT_PRIMARY: "not_primary",
+    NOT_OWNER: "not_owner",
+    FENCED: "fenced",
 }
 
 _U32 = struct.Struct("<I")
@@ -267,18 +312,20 @@ def decode_u64_body(body: bytes) -> int:
     return _U64.unpack(body)[0]
 
 
-def encode_repl_apply(shard: int, frames: bytes) -> bytes:
-    """REPL_APPLY request: the target shard plus verbatim WAL frames
-    (already CRC-framed by :mod:`repro.lsm.disk_format`, so no extra
-    length prefix is needed — the follower decodes them strictly)."""
-    return _U32.pack(shard) + frames
+def encode_repl_apply(term: int, shard: int, frames: bytes) -> bytes:
+    """REPL_APPLY request: the sender's term, the target shard, plus
+    verbatim WAL frames (already CRC-framed by
+    :mod:`repro.lsm.disk_format`, so no extra length prefix is needed —
+    the follower decodes them strictly)."""
+    return _U64.pack(term) + _U32.pack(shard) + frames
 
 
-def decode_repl_apply(body: bytes) -> tuple[int, bytes]:
-    if len(body) < 4:
+def decode_repl_apply(body: bytes) -> tuple[int, int, bytes]:
+    if len(body) < 12:
         raise ProtocolError("truncated repl_apply body")
-    (shard,) = _U32.unpack_from(body, 0)
-    return shard, body[4:]
+    (term,) = _U64.unpack_from(body, 0)
+    (shard,) = _U32.unpack_from(body, 8)
+    return term, shard, body[12:]
 
 
 def encode_get_at(key: bytes, min_seq: int) -> bytes:
@@ -293,32 +340,43 @@ def decode_get_at(body: bytes) -> tuple[bytes, int]:
     return key, min_seq
 
 
-def encode_watermarks(marks: Sequence[tuple[int, int]]) -> bytes:
-    """WATERMARK response: per shard, (dispatched, applied) — the
-    highest sequence this follower has accepted into its apply queue and
-    the highest durably applied one.  The primary resumes shipping from
-    ``dispatched + 1`` (never lower: re-sending an already-queued record
-    would double-apply it)."""
-    out = bytearray(_U32.pack(len(marks)))
-    for dispatched, applied in marks:
+def encode_watermarks(
+    is_primary: bool, term: int, marks: dict[int, tuple[int, int]]
+) -> bytes:
+    """WATERMARK response: the node's role and term, then per *hosted*
+    shard (dispatched, applied) — the highest sequence this follower
+    has accepted into its apply queue and the highest durably applied
+    one.  The primary resumes shipping from ``dispatched + 1`` (never
+    lower: re-sending an already-queued record would double-apply it).
+    Shard ids travel explicitly: a node may host any subset of the
+    global shard space."""
+    out = bytearray()
+    out += b"\x01" if is_primary else b"\x00"
+    out += _U64.pack(term)
+    out += _U32.pack(len(marks))
+    for shard in sorted(marks):
+        dispatched, applied = marks[shard]
+        out += _U32.pack(shard)
         out += _U64.pack(dispatched)
         out += _U64.pack(applied)
     return bytes(out)
 
 
-def decode_watermarks(body: bytes) -> list[tuple[int, int]]:
-    if len(body) < 4:
+def decode_watermarks(body: bytes) -> tuple[bool, int, dict[int, tuple[int, int]]]:
+    if len(body) < 13:
         raise ProtocolError("truncated watermark body")
-    (n,) = _U32.unpack_from(body, 0)
-    if len(body) != 4 + 16 * n:
+    is_primary = body[0] != 0
+    (term,) = _U64.unpack_from(body, 1)
+    (n,) = _U32.unpack_from(body, 9)
+    if len(body) != 13 + 20 * n:
         raise ProtocolError("bad watermark body")
-    off = 4
-    marks = []
+    off = 13
+    marks: dict[int, tuple[int, int]] = {}
     for _ in range(n):
-        dispatched, applied = struct.unpack_from("<QQ", body, off)
-        off += 16
-        marks.append((dispatched, applied))
-    return marks
+        shard, dispatched, applied = struct.unpack_from("<IQQ", body, off)
+        off += 20
+        marks[shard] = (dispatched, applied)
+    return is_primary, term, marks
 
 
 def encode_maybe_values(values: Sequence[Any], missing: object) -> bytes:
@@ -331,6 +389,153 @@ def encode_maybe_values(values: Sequence[Any], missing: object) -> bytes:
             out += b"\x01"
             out += disk_format.pack_bytes(disk_format.encode_value(value))
     return bytes(out)
+
+
+# -- membership bodies (PR 10) -----------------------------------------------
+
+
+def encode_promote(new_term: int | None = None) -> bytes:
+    """PROMOTE request: empty keeps the old "bump my term by one"
+    behaviour; a u64 adopts exactly that term (election uses the
+    highest term observed among live peers, plus one)."""
+    return b"" if new_term is None else _U64.pack(new_term)
+
+
+def decode_promote(body: bytes) -> int | None:
+    if not body:
+        return None
+    if len(body) != 8:
+        raise ProtocolError("bad promote body")
+    return _U64.unpack(body)[0]
+
+
+def encode_snap_begin(term: int, shard: int, doc: bytes) -> bytes:
+    """SNAP_BEGIN request: the snapshot manifest document (UTF-8 JSON,
+    see :mod:`repro.cluster.membership`) announcing every file about to
+    be chunked over, with sizes and CRCs."""
+    return _U64.pack(term) + _U32.pack(shard) + doc
+
+
+def decode_snap_begin(body: bytes) -> tuple[int, int, bytes]:
+    if len(body) < 12:
+        raise ProtocolError("truncated snap_begin body")
+    (term,) = _U64.unpack_from(body, 0)
+    (shard,) = _U32.unpack_from(body, 8)
+    return term, shard, body[12:]
+
+
+def encode_snap_chunk(
+    term: int, shard: int, name: str, offset: int, data: bytes
+) -> bytes:
+    return (
+        _U64.pack(term)
+        + _U32.pack(shard)
+        + disk_format.pack_bytes(name.encode("utf-8"))
+        + _U64.pack(offset)
+        + data
+    )
+
+
+def decode_snap_chunk(body: bytes) -> tuple[int, int, str, int, bytes]:
+    if len(body) < 12:
+        raise ProtocolError("truncated snap_chunk body")
+    (term,) = _U64.unpack_from(body, 0)
+    (shard,) = _U32.unpack_from(body, 8)
+    raw, off = disk_format.unpack_bytes(body, 12)
+    if off + 8 > len(body):
+        raise ProtocolError("truncated snap_chunk body")
+    (offset,) = _U64.unpack_from(body, off)
+    return term, shard, raw.decode("utf-8"), offset, body[off + 8 :]
+
+
+def encode_snap_commit(term: int, shard: int, snap_seq: int) -> bytes:
+    return _U64.pack(term) + _U32.pack(shard) + _U64.pack(snap_seq)
+
+
+def decode_snap_commit(body: bytes) -> tuple[int, int, int]:
+    if len(body) != 20:
+        raise ProtocolError("bad snap_commit body")
+    (term,) = _U64.unpack_from(body, 0)
+    (shard,) = _U32.unpack_from(body, 8)
+    (snap_seq,) = _U64.unpack_from(body, 12)
+    return term, shard, snap_seq
+
+
+def encode_migrate(
+    shard: int, dst_group: str, targets: Sequence[tuple[str, int]]
+) -> bytes:
+    """MIGRATE request (to the source primary): move ``shard`` to
+    ``dst_group``, shipping snapshot + delta to every target node."""
+    out = bytearray(_U32.pack(shard))
+    out += disk_format.pack_bytes(dst_group.encode("utf-8"))
+    out += _U32.pack(len(targets))
+    for host, port in targets:
+        out += disk_format.pack_bytes(host.encode("utf-8"))
+        out += _U32.pack(port)
+    return bytes(out)
+
+
+def decode_migrate(body: bytes) -> tuple[int, str, list[tuple[str, int]]]:
+    if len(body) < 4:
+        raise ProtocolError("truncated migrate body")
+    (shard,) = _U32.unpack_from(body, 0)
+    raw, off = disk_format.unpack_bytes(body, 4)
+    dst_group = raw.decode("utf-8")
+    if off + 4 > len(body):
+        raise ProtocolError("truncated migrate body")
+    (n,) = _U32.unpack_from(body, off)
+    off += 4
+    targets = []
+    for _ in range(n):
+        raw, off = disk_format.unpack_bytes(body, off)
+        if off + 4 > len(body):
+            raise ProtocolError("truncated migrate body")
+        (port,) = _U32.unpack_from(body, off)
+        off += 4
+        targets.append((raw.decode("utf-8"), port))
+    if off != len(body):
+        raise ProtocolError("trailing bytes after migrate body")
+    return shard, dst_group, targets
+
+
+def encode_migrate_commit(shard: int, handoff_seq: int) -> bytes:
+    return _U32.pack(shard) + _U64.pack(handoff_seq)
+
+
+def decode_migrate_commit(body: bytes) -> tuple[int, int]:
+    if len(body) != 12:
+        raise ProtocolError("bad migrate_commit body")
+    (shard,) = _U32.unpack_from(body, 0)
+    (handoff_seq,) = _U64.unpack_from(body, 4)
+    return shard, handoff_seq
+
+
+def encode_shard_detach(shard: int, forward_group: str) -> bytes:
+    """SHARD_DETACH request: drop ``shard``; remember ``forward_group``
+    so late clients get a NOT_OWNER redirect instead of a dead end."""
+    return _U32.pack(shard) + disk_format.pack_bytes(forward_group.encode("utf-8"))
+
+
+def decode_shard_detach(body: bytes) -> tuple[int, str]:
+    if len(body) < 4:
+        raise ProtocolError("truncated shard_detach body")
+    (shard,) = _U32.unpack_from(body, 0)
+    raw, off = disk_format.unpack_bytes(body, 4)
+    if off != len(body):
+        raise ProtocolError("trailing bytes after shard_detach body")
+    return shard, raw.decode("utf-8")
+
+
+def encode_lease(term: int, ttl_ms: int) -> bytes:
+    return _U64.pack(term) + _U32.pack(ttl_ms)
+
+
+def decode_lease(body: bytes) -> tuple[int, int]:
+    if len(body) != 12:
+        raise ProtocolError("bad lease body")
+    (term,) = _U64.unpack_from(body, 0)
+    (ttl_ms,) = _U32.unpack_from(body, 8)
+    return term, ttl_ms
 
 
 def decode_maybe_values(body: bytes, missing: Any = None) -> list[Any]:

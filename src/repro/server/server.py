@@ -21,15 +21,35 @@ and close each engine.  A client-acknowledged write therefore always
 survives, even through ``python -m repro.server serve`` receiving
 SIGTERM mid-load.
 
-Cluster roles (PR 9): a server is a ``primary`` (the default — accepts
-writes, optionally streams committed WAL frames to followers via an
-attached :class:`~repro.cluster.replicator.PrimaryReplication`) or a
+Cluster roles (PR 9): a server is a ``primary`` (accepts writes,
+optionally streams committed WAL frames to followers via an attached
+:class:`~repro.cluster.replicator.PrimaryReplication`) or a
 ``follower`` (rejects client writes with ``NOT_PRIMARY``, ingests
 ``REPL_APPLY`` frames, answers ``GET_AT`` reads gated on its per-shard
 replication watermark, and flips to primary on ``PROMOTE``).  With
-replication attached, a write is only acknowledged once every
-configured follower has durably applied it — the gate that makes "no
-acked write lost" hold across node failover, not just node restart.
+replication attached, a write is only acknowledged once every voting
+follower has durably applied it — the gate that makes "no acked write
+lost" hold across node failover, not just node restart.
+
+Membership (PR 10): shard ids live in a *global* space — a node hosts
+any subset (``shard_ids``), and ``self.shards`` maps shard id →
+worker.  Each hosted shard carries a serving state:
+
+* ``serving`` — normal; reads and (on a primary) writes.
+* ``sealed``  — mid-migration handoff: reads still served, writes get
+  ``NOT_OWNER`` with a forward hint to the receiving group.
+* ``ingest``  — arriving via migration: invisible to clients until
+  ``MIGRATE_COMMIT``; ``REPL_APPLY`` bypasses role/term checks here so
+  the source group can stream the catch-up delta.
+* ``installing`` — a snapshot resync is swapping the engine.
+
+Requests for a shard this node does not serve answer ``NOT_OWNER``
+(body = forward-group hint when one is known); clients re-route and
+retry.  An election *term* (in-memory, monotonic) fences deposed
+primaries: ``REPL_APPLY``/``LEASE`` carrying an older term get
+``FENCED``.  Terms need no persistence — a restarted node starts at 0
+and adopts the group's term from the first message it sees, and can
+never outrank a live primary.
 """
 
 from __future__ import annotations
@@ -40,12 +60,13 @@ import json
 import threading
 import time
 from struct import error as struct_error
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from ..cluster import membership
 from ..cluster.routing import route_key
 from ..lsm import LSMTree
 from ..lsm.disk_format import FrameError
-from ..lsm.fs import FileSystem, join
+from ..lsm.fs import FileSystem, OsFileSystem, join
 from ..lsm.wal import iter_records as wal_iter_records
 from . import protocol
 from .procshard import ProcessShard
@@ -60,6 +81,15 @@ class _Overloaded(Exception):
     """Internal: a bounded shard queue refused the request."""
 
 
+class _NotOwner(Exception):
+    """Internal: the request targets a shard this node does not serve;
+    ``hint`` names the owning group when known."""
+
+    def __init__(self, hint: str = "") -> None:
+        super().__init__(hint)
+        self.hint = hint
+
+
 #: Backwards-compatible alias: the shard mapping now lives in
 #: :mod:`repro.cluster.routing` so the server, the shard-RPC children,
 #: the load generator, and the cluster router can never drift apart.
@@ -67,7 +97,7 @@ shard_of = route_key
 
 
 class KVServer:
-    """The serving subsystem: N shards, one event loop, one port."""
+    """The serving subsystem: hosted shards, one event loop, one port."""
 
     def __init__(
         self,
@@ -83,6 +113,7 @@ class KVServer:
         role: str = "primary",
         replication: Any = None,
         repl_ack_timeout: float = 30.0,
+        shard_ids: Sequence[int] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -96,7 +127,18 @@ class KVServer:
             # per node) are the cluster's process isolation instead.
             raise ValueError("replication requires shard_mode='thread'")
         self.path = path
+        #: Size of the *global* shard space (cluster-wide routing).
         self.n_shards = n_shards
+        #: The subset of the global space this node hosts.
+        if shard_ids is None:
+            self.shard_ids = list(range(n_shards))
+        else:
+            self.shard_ids = sorted(set(shard_ids))
+            for shard_id in self.shard_ids:
+                if not 0 <= shard_id < n_shards:
+                    raise ValueError(
+                        f"shard id {shard_id} outside global space [0, {n_shards})"
+                    )
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.shard_mode = shard_mode
@@ -112,7 +154,7 @@ class KVServer:
         self._engine_config = dict(engine_config or {})
         self._engine_config.setdefault("background", True)
         self.stats = ServerStats()
-        self.shards: list[ShardWorker] = []
+        self.shards: dict[int, Any] = {}
         self._server: asyncio.AbstractServer | None = None
         self._closing = False
         self._shutdown_requested: asyncio.Event | None = None
@@ -120,62 +162,91 @@ class KVServer:
 
         #: Cluster role; flipped follower -> primary by PROMOTE.
         self.role = role
+        #: Election term (in-memory; see the module docstring).
+        self.term = 0
+        #: monotonic deadline of the last granted lease (follower side).
+        self.lease_deadline: float | None = None
         self._replication = replication
         self._repl_ack_timeout = repl_ack_timeout
-        #: Follower ingest watermarks, per shard.  ``dispatched`` is the
-        #: highest primary sequence accepted into the shard's queue
-        #: (advanced on the event loop thread, so REPL_APPLY frames on
-        #: one connection dedup/gap-check in arrival order);
+        #: Per hosted shard: "serving" | "sealed" | "ingest" |
+        #: "installing" | "detached" | "failed".
+        self._shard_state: dict[int, str] = {s: "serving" for s in self.shard_ids}
+        #: Forward hints for shards that moved away: shard -> group.
+        self._shard_forward: dict[int, str] = {}
+        #: In-flight snapshot staging, one per shard (see SNAP_*).
+        self._snap_staging: dict[int, dict[str, Any]] = {}
+        #: Shards with an outbound migration in flight.
+        self._migrating: set[int] = set()
+        #: Follower ingest watermarks, per hosted shard.  ``dispatched``
+        #: is the highest primary sequence accepted into the shard's
+        #: queue (advanced on the event loop thread, so REPL_APPLY
+        #: frames on one connection dedup/gap-check in arrival order);
         #: ``applied`` is the highest durably applied one (advanced by
         #: the ack formatter once the shard's group commit returns).
         #: ``dispatched`` is deliberately never rewound — resending a
         #: queued-but-unconfirmed record would double-apply it.
-        self._repl_dispatched = [0] * n_shards
-        self._repl_applied = [0] * n_shards
+        self._repl_dispatched: dict[int, int] = {s: 0 for s in self.shard_ids}
+        self._repl_applied: dict[int, int] = {s: 0 for s in self.shard_ids}
         #: A failed apply poisons the shard (sequence alignment with the
-        #: primary is lost); only a resync could recover it.
-        self._repl_failed: list[str | None] = [None] * n_shards
+        #: primary is lost); only a snapshot resync recovers it.
+        self._repl_failed: dict[int, str | None] = {s: None for s in self.shard_ids}
 
     def _fs_for(self, shard_id: int) -> FileSystem | None:
         if callable(self._fs) and not isinstance(self._fs, FileSystem):
             return self._fs(shard_id)
         return self._fs
 
+    def _shard_root(self, shard_id: int) -> str:
+        return join(self.path, f"shard-{shard_id:02d}")
+
+    # -- cluster helpers (used by the lease manager / replication) ----------
+
+    def demote(self) -> None:
+        """Stand down as primary (a peer fenced our term)."""
+        self.role = "follower"
+
+    def extend_lease(self, ttl: float) -> None:
+        self.lease_deadline = time.monotonic() + ttl
+
+    def applied_total(self) -> int:
+        """Sum of durably applied sequences across hosted shards — the
+        election's catch-up metric."""
+        return sum(self._repl_applied.get(s, 0) for s in self.shards)
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "KVServer":
-        """Open (recovering) every shard engine, start the workers, bind."""
+        """Open (recovering) every hosted shard engine, start the
+        workers, bind."""
         self._loop = asyncio.get_running_loop()
         self._shutdown_requested = asyncio.Event()
         try:
             if self.shard_mode == "process":
                 # Launch every child first (spawn + engine recovery run
                 # concurrently across shards), then wait for each.
-                for i in range(self.n_shards):
-                    self.shards.append(
-                        ProcessShard(
-                            i,
-                            join(self.path, f"shard-{i:02d}"),
-                            self.stats,
-                            queue_limit=self._queue_limit,
-                            engine_config=self._engine_config,
-                            fs=self._fs_for(i),
-                            filter_factory=self._filter_factory,
-                        )
+                for i in self.shard_ids:
+                    self.shards[i] = ProcessShard(
+                        i,
+                        self._shard_root(i),
+                        self.stats,
+                        queue_limit=self._queue_limit,
+                        engine_config=self._engine_config,
+                        fs=self._fs_for(i),
+                        filter_factory=self._filter_factory,
                     )
-                for worker in self.shards:
+                for worker in self.shards.values():
                     worker.wait_ready()
-                for worker in self.shards:
+                for worker in self.shards.values():
                     worker.start()
             else:
-                for i in range(self.n_shards):
+                for i in self.shard_ids:
                     observer = (
                         self._replication.observer_for(i)
                         if self._replication is not None
                         else None
                     )
                     engine = LSMTree.open(
-                        join(self.path, f"shard-{i:02d}"),
+                        self._shard_root(i),
                         fs=self._fs_for(i),
                         filter_factory=self._filter_factory,
                         wal_observer=observer,
@@ -185,12 +256,12 @@ class KVServer:
                         i, engine, self.stats, queue_limit=self._queue_limit
                     )
                     worker.start()
-                    self.shards.append(worker)
+                    self.shards[i] = worker
                 if self.role == "follower":
                     # A restarted follower resumes where its recovered
                     # engines stand: every sequence <= last_seq was
                     # durably applied before the restart.
-                    for i, worker in enumerate(self.shards):
+                    for i, worker in self.shards.items():
                         seq = worker.engine.last_seq
                         self._repl_dispatched[i] = seq
                         self._repl_applied[i] = seq
@@ -238,7 +309,7 @@ class KVServer:
             )
 
     async def _stop_workers(self) -> None:
-        workers, self.shards = self.shards, []
+        workers, self.shards = list(self.shards.values()), {}
         for worker in workers:
             worker.stop()
 
@@ -332,6 +403,27 @@ class KVServer:
             if responses.empty():
                 await writer.drain()
 
+    # -- shard routing ------------------------------------------------------
+
+    def _route(self, shard_id: int, write: bool):
+        """The worker serving ``shard_id`` here, or :class:`_NotOwner`
+        (with a forward hint when the shard is known to have moved)."""
+        state = self._shard_state.get(shard_id)
+        if state == "serving" or (state == "sealed" and not write):
+            worker = self.shards.get(shard_id)
+            if worker is not None:
+                return worker
+        raise _NotOwner(self._shard_forward.get(shard_id, ""))
+
+    def _readable_workers(self) -> list[Any]:
+        """Workers backing client-visible data (serving + sealed);
+        ingest/installing shards are invisible until committed."""
+        return [
+            self.shards[s]
+            for s in sorted(self.shards)
+            if self._shard_state.get(s) in ("serving", "sealed")
+        ]
+
     # -- request dispatch --------------------------------------------------
     #
     # The reader thread of control decodes each request and performs
@@ -352,9 +444,8 @@ class KVServer:
 
             if opcode == protocol.GET:
                 key = protocol.decode_key(body)
-                fut = self._submit(
-                    self.shards[shard_of(key, self.n_shards)], "get", [key]
-                )
+                worker = self._route(shard_of(key, self.n_shards), write=False)
+                fut = self._submit(worker, "get", [key])
                 return self._finish(request_id, op_name, started, self._fmt_get(fut))
 
             if opcode == protocol.PUT:
@@ -367,7 +458,8 @@ class KVServer:
                         protocol.NOT_PRIMARY, b"writes go to the primary",
                     )
                 shard_id = shard_of(key, self.n_shards)
-                fut = self._submit(self.shards[shard_id], "write", [(key, value)])
+                worker = self._route(shard_id, write=True)
+                fut = self._submit(worker, "write", [(key, value)])
                 return self._finish(
                     request_id, op_name, started, self._fmt_ack(shard_id, fut)
                 )
@@ -380,9 +472,8 @@ class KVServer:
                         protocol.NOT_PRIMARY, b"writes go to the primary",
                     )
                 shard_id = shard_of(key, self.n_shards)
-                fut = self._submit(
-                    self.shards[shard_id], "write", [(key, TOMBSTONE)]
-                )
+                worker = self._route(shard_id, write=True)
+                fut = self._submit(worker, "write", [(key, TOMBSTONE)])
                 return self._finish(
                     request_id, op_name, started, self._fmt_ack(shard_id, fut)
                 )
@@ -392,11 +483,12 @@ class KVServer:
                 by_shard: dict[int, list[int]] = {}
                 for i, key in enumerate(keys):
                     by_shard.setdefault(shard_of(key, self.n_shards), []).append(i)
-                futs = [
-                    (idxs, self._submit(self.shards[sid], "get",
-                                        [keys[i] for i in idxs]))
-                    for sid, idxs in by_shard.items()
-                ]
+                futs = []
+                for sid, idxs in by_shard.items():
+                    worker = self._route(sid, write=False)
+                    futs.append(
+                        (idxs, self._submit(worker, "get", [keys[i] for i in idxs]))
+                    )
                 return self._finish(
                     request_id, op_name, started,
                     self._fmt_batch_get(len(keys), futs),
@@ -405,20 +497,29 @@ class KVServer:
             if opcode == protocol.SCAN:
                 low, count = protocol.decode_scan(body)
                 count = min(count, MAX_SCAN_COUNT)
-                futs = [self._submit(s, "scan", (low, count)) for s in self.shards]
+                futs = [
+                    self._submit(s, "scan", (low, count))
+                    for s in self._readable_workers()
+                ]
                 return self._finish(
                     request_id, op_name, started, self._fmt_scan(count, futs)
                 )
 
             if opcode == protocol.COUNT:
                 low, high = protocol.decode_range(body)
-                futs = [self._submit(s, "count", (low, high)) for s in self.shards]
+                futs = [
+                    self._submit(s, "count", (low, high))
+                    for s in self._readable_workers()
+                ]
                 return self._finish(
                     request_id, op_name, started, self._fmt_count(futs)
                 )
 
             if opcode == protocol.SYNC:
-                futs = [self._submit(s, "sync", None) for s in self.shards]
+                futs = [
+                    self._submit(self.shards[s], "sync", None)
+                    for s in sorted(self.shards)
+                ]
                 return self._finish(
                     request_id, op_name, started, self._fmt_sync(futs)
                 )
@@ -426,7 +527,7 @@ class KVServer:
             if opcode == protocol.STATS:
                 if not self.shards:
                     snapshot = self.stats.snapshot(None)
-                    snapshot["n_shards"] = self.n_shards
+                    self._extend_stats(snapshot)
                     return self._immediate(
                         request_id, op_name, started,
                         protocol.OK, json.dumps(snapshot).encode(),
@@ -435,7 +536,8 @@ class KVServer:
                 # op (on the worker thread / over the shard-RPC pipe);
                 # dead or draining shards answer with liveness only.
                 futs = []
-                for shard in self.shards:
+                for sid in sorted(self.shards):
+                    shard = self.shards[sid]
                     fut = None
                     if not (shard.dead or shard.stopping or shard.closed.is_set()):
                         try:
@@ -457,18 +559,32 @@ class KVServer:
                 return self._dispatch_repl_apply(request_id, op_name, started, body)
 
             if opcode == protocol.WATERMARK:
-                marks = list(zip(self._repl_dispatched, self._repl_applied))
                 return self._immediate(
                     request_id, op_name, started,
-                    protocol.OK, protocol.encode_watermarks(marks),
+                    protocol.OK,
+                    protocol.encode_watermarks(
+                        self.role == "primary", self.term, self._watermarks()
+                    ),
                 )
 
             if opcode == protocol.GET_AT:
                 key, min_seq = protocol.decode_get_at(body)
                 shard_id = shard_of(key, self.n_shards)
+                try:
+                    worker = self._route(shard_id, write=False)
+                except _NotOwner:
+                    if self.role != "primary":
+                        # A follower mid-resync/migration answers like a
+                        # lagging one: the client falls back to the
+                        # primary instead of failing the read.
+                        return self._immediate(
+                            request_id, op_name, started,
+                            protocol.LAGGING, b"shard not readable here",
+                        )
+                    raise
                 if (
                     self.role != "primary"
-                    and self._repl_applied[shard_id] < min_seq
+                    and self._repl_applied.get(shard_id, 0) < min_seq
                 ):
                     # The replication stream has not caught up to the
                     # client's causal token yet; the client falls back
@@ -479,27 +595,64 @@ class KVServer:
                         request_id, op_name, started,
                         protocol.LAGGING,
                         b"follower applied %d < %d" %
-                        (self._repl_applied[shard_id], min_seq),
+                        (self._repl_applied.get(shard_id, 0), min_seq),
                     )
-                fut = self._submit(self.shards[shard_id], "get", [key])
+                fut = self._submit(worker, "get", [key])
                 return self._finish(request_id, op_name, started, self._fmt_get(fut))
 
             if opcode == protocol.PROMOTE:
+                new_term = protocol.decode_promote(body)
                 if self.role == "primary":
+                    if new_term is not None and new_term > self.term:
+                        self.term = new_term
                     return self._immediate(
-                        request_id, op_name, started, protocol.OK, b""
+                        request_id, op_name, started,
+                        protocol.OK, protocol.encode_u64_body(self.term),
                     )
                 # Sync barrier: the per-shard queues are FIFO, so once
                 # these complete every REPL_APPLY accepted before the
                 # promotion is durably applied — the new primary starts
                 # from its full watermark, and late frames from the old
                 # primary get BAD_REQUEST instead of silently diverging.
-                futs = [self._submit(s, "sync", None) for s in self.shards]
+                futs = [
+                    self._submit(self.shards[s], "sync", None)
+                    for s in sorted(self.shards)
+                ]
                 return self._finish(
-                    request_id, op_name, started, self._fmt_promote(futs)
+                    request_id, op_name, started, self._fmt_promote(futs, new_term)
+                )
+
+            if opcode == protocol.LEASE:
+                return self._dispatch_lease(request_id, op_name, started, body)
+
+            if opcode == protocol.SNAP_BEGIN:
+                return self._dispatch_snap_begin(request_id, op_name, started, body)
+
+            if opcode == protocol.SNAP_CHUNK:
+                return self._dispatch_snap_chunk(request_id, op_name, started, body)
+
+            if opcode == protocol.SNAP_COMMIT:
+                return self._dispatch_snap_commit(request_id, op_name, started, body)
+
+            if opcode == protocol.MIGRATE:
+                return self._dispatch_migrate(request_id, op_name, started, body)
+
+            if opcode == protocol.MIGRATE_COMMIT:
+                return self._dispatch_migrate_commit(
+                    request_id, op_name, started, body
+                )
+
+            if opcode == protocol.SHARD_DETACH:
+                return self._dispatch_shard_detach(
+                    request_id, op_name, started, body
                 )
 
             raise protocol.ProtocolError(f"unknown opcode {opcode}")
+        except _NotOwner as exc:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.NOT_OWNER, exc.hint.encode("utf-8"),
+            )
         except _Overloaded:
             self.stats.record_overload()
             return self._immediate(
@@ -514,15 +667,37 @@ class KVServer:
                 request_id, op_name, started, protocol.ERROR, str(exc).encode()
             )
         except (
-            protocol.ProtocolError, FrameError, KeyError, IndexError, struct_error,
+            protocol.ProtocolError, FrameError, KeyError, IndexError,
+            struct_error, UnicodeDecodeError,
         ) as exc:
-            # FrameError covers the storage codecs the bodies reuse: a
-            # garbage body must cost the peer one BAD_REQUEST, not the
-            # whole connection.
+            # FrameError covers the storage codecs the bodies reuse
+            # (and UnicodeDecodeError the embedded names): a garbage
+            # body must cost the peer one BAD_REQUEST, not the whole
+            # connection.
             return self._immediate(
                 request_id, op_name, started,
                 protocol.BAD_REQUEST, str(exc).encode(),
             )
+
+    def _watermarks(self) -> dict[int, tuple[int, int]]:
+        """Per hosted shard (dispatched, applied).  A primary reports
+        its engines' own last sequences (it *is* the stream's source);
+        followers and ingest shards report the replication marks."""
+        marks: dict[int, tuple[int, int]] = {}
+        for shard_id, worker in self.shards.items():
+            dispatched = self._repl_dispatched.get(shard_id, 0)
+            applied = self._repl_applied.get(shard_id, 0)
+            if (
+                self.role == "primary"
+                and self._shard_state.get(shard_id) != "ingest"
+            ):
+                engine = getattr(worker, "engine", None)
+                if engine is not None:
+                    seq = engine.last_seq
+                    dispatched = max(dispatched, seq)
+                    applied = max(applied, seq)
+            marks[shard_id] = (dispatched, applied)
+        return marks
 
     def _dispatch_repl_apply(
         self, request_id: int, op_name: str, started: float, body: bytes
@@ -533,18 +708,36 @@ class KVServer:
         is exactly dedup/gap-check order: the primary's single sender
         connection can never race its own stream.
         """
-        if self.role != "follower":
-            return self._immediate(
-                request_id, op_name, started,
-                protocol.BAD_REQUEST, b"not a follower",
-            )
-        shard_id, frames = protocol.decode_repl_apply(body)
+        term, shard_id, frames = protocol.decode_repl_apply(body)
         if not 0 <= shard_id < self.n_shards:
             return self._immediate(
                 request_id, op_name, started,
                 protocol.BAD_REQUEST, b"bad shard id",
             )
-        if self._repl_failed[shard_id] is not None:
+        state = self._shard_state.get(shard_id)
+        if state != "ingest":
+            # The normal follower stream is role- and term-fenced; the
+            # migration ingest stream is not (the source group's term
+            # is unrelated to this group's).
+            if self.role != "follower":
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.BAD_REQUEST, b"not a follower",
+                )
+            if term < self.term:
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.FENCED,
+                    b"stale term %d < %d" % (term, self.term),
+                )
+            if term > self.term:
+                self.term = term
+        if shard_id not in self.shards or state not in ("serving", "ingest"):
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"shard not hosted",
+            )
+        if self._repl_failed.get(shard_id) is not None:
             return self._immediate(
                 request_id, op_name, started,
                 protocol.ERROR, self._repl_failed[shard_id].encode(),
@@ -560,7 +753,7 @@ class KVServer:
                 request_id, op_name, started,
                 protocol.BAD_REQUEST, str(exc).encode(),
             )
-        dispatched = self._repl_dispatched[shard_id]
+        dispatched = self._repl_dispatched.get(shard_id, 0)
         fresh = [(seq, key, value) for seq, key, value in records if seq > dispatched]
         if not fresh:
             # Pure resend (the primary reconnected and replayed from an
@@ -568,14 +761,15 @@ class KVServer:
             return self._immediate(
                 request_id, op_name, started,
                 protocol.OK,
-                protocol.encode_u64_body(self._repl_applied[shard_id]),
+                protocol.encode_u64_body(self._repl_applied.get(shard_id, 0)),
             )
         expect = dispatched
         for seq, _, _ in fresh:
             expect += 1
             if seq != expect:
                 # A hole in the stream would silently fork this shard
-                # from the primary; poison it instead.
+                # from the primary; poison it instead.  The link
+                # surfaces it, and the next handshake resyncs.
                 self._repl_failed[shard_id] = (
                     f"replication gap: expected seq {expect}, got {seq}"
                 )
@@ -613,13 +807,427 @@ class KVServer:
         # write_batch returned, so the batch rode a WAL group commit:
         # "applied" is a *durable* watermark, which is what lets the
         # primary ack its clients off our confirmations.
-        self._repl_applied[shard_id] = max(self._repl_applied[shard_id], expect)
+        self._repl_applied[shard_id] = max(
+            self._repl_applied.get(shard_id, 0), expect
+        )
         return protocol.OK, protocol.encode_u64_body(expect)
 
-    async def _fmt_promote(self, futs: list[asyncio.Future]) -> tuple[int, bytes]:
+    async def _fmt_promote(
+        self, futs: list[asyncio.Future], new_term: int | None
+    ) -> tuple[int, bytes]:
         await asyncio.gather(*futs)
         self.role = "primary"
+        self.term = max(self.term + 1, new_term or 0)
+        self.lease_deadline = None
+        return protocol.OK, protocol.encode_u64_body(self.term)
+
+    # -- membership dispatch (PR 10) ----------------------------------------
+
+    def _dispatch_lease(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        term, ttl_ms = protocol.decode_lease(body)
+        if term < self.term:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.FENCED, b"stale term %d < %d" % (term, self.term),
+            )
+        if term > self.term:
+            self.term = term
+            if self.role == "primary":
+                # A newer-term primary exists; stand down.
+                self.role = "follower"
+        elif self.role == "primary":
+            # Equal-term split claim: refuse — exactly one of the two
+            # backs off (the other's grant reaches us as a follower).
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.FENCED, b"primary at the same term",
+            )
+        self.lease_deadline = time.monotonic() + ttl_ms / 1000.0
+        return self._immediate(request_id, op_name, started, protocol.OK, b"")
+
+    def _dispatch_snap_begin(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        term, shard_id, doc_bytes = protocol.decode_snap_begin(body)
+        if not 0 <= shard_id < self.n_shards:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"bad shard id",
+            )
+        if self.shard_mode == "process":
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"snapshots need shard_mode=thread",
+            )
+        try:
+            doc = json.loads(doc_bytes.decode("utf-8"))
+            membership.validate_snapshot_doc(doc)
+        except (ValueError, TypeError) as exc:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, str(exc).encode(),
+            )
+        purpose = doc["purpose"]
+        state = self._shard_state.get(shard_id)
+        if purpose == "resync":
+            if self.role != "follower":
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.BAD_REQUEST, b"resync targets a follower",
+                )
+            if term < self.term:
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.FENCED,
+                    b"stale term %d < %d" % (term, self.term),
+                )
+            if term > self.term:
+                self.term = term
+        else:  # migrate: the source group's term is not ours to fence
+            if state in ("serving", "sealed") and shard_id in self.shards:
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.BAD_REQUEST, b"shard already served here",
+                )
+            # Invisible to clients until MIGRATE_COMMIT.
+            self._shard_state[shard_id] = "ingest"
+        self._snap_staging[shard_id] = {
+            "term": term,
+            "purpose": purpose,
+            "doc": doc,
+            "files": {entry["name"]: bytearray() for entry in doc["files"]},
+            "sizes": {entry["name"]: entry["size"] for entry in doc["files"]},
+            "crcs": {entry["name"]: entry["crc"] for entry in doc["files"]},
+        }
+        return self._immediate(request_id, op_name, started, protocol.OK, b"")
+
+    def _dispatch_snap_chunk(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        term, shard_id, name, offset, data = protocol.decode_snap_chunk(body)
+        staging = self._snap_staging.get(shard_id)
+        if staging is None or staging["term"] != term:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"no snapshot staged",
+            )
+        buf = staging["files"].get(name)
+        if buf is None:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"unannounced file",
+            )
+        if offset != len(buf):
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST,
+                b"chunk offset %d != %d" % (offset, len(buf)),
+            )
+        if len(buf) + len(data) > staging["sizes"][name]:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"file exceeds announced size",
+            )
+        buf += data
+        return self._immediate(request_id, op_name, started, protocol.OK, b"")
+
+    def _dispatch_snap_commit(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        import zlib
+
+        term, shard_id, snap_seq = protocol.decode_snap_commit(body)
+        staging = self._snap_staging.get(shard_id)
+        if staging is None or staging["term"] != term:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"no snapshot staged",
+            )
+        if snap_seq != staging["doc"]["snap_seq"]:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"snap_seq mismatch",
+            )
+        for name, buf in staging["files"].items():
+            if len(buf) != staging["sizes"][name]:
+                self._snap_staging.pop(shard_id, None)
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.BAD_REQUEST,
+                    b"file %s incomplete" % name.encode(),
+                )
+            if zlib.crc32(bytes(buf)) != staging["crcs"][name]:
+                self._snap_staging.pop(shard_id, None)
+                return self._immediate(
+                    request_id, op_name, started,
+                    protocol.BAD_REQUEST,
+                    b"file %s CRC mismatch" % name.encode(),
+                )
+        self._snap_staging.pop(shard_id, None)
+        return self._finish(
+            request_id, op_name, started,
+            self._fmt_snap_commit(shard_id, staging),
+        )
+
+    async def _fmt_snap_commit(
+        self, shard_id: int, staging: dict[str, Any]
+    ) -> tuple[int, bytes]:
+        old_worker = self.shards.pop(shard_id, None)
+        self._shard_state[shard_id] = "installing"
+        try:
+            worker = await self._loop.run_in_executor(
+                None, self._install_snapshot_sync, shard_id, old_worker, staging
+            )
+        except Exception:
+            # The old engine is gone and the new one failed to open:
+            # the shard is unusable here until another resync succeeds.
+            self._shard_state[shard_id] = "failed"
+            raise
+        self.shards[shard_id] = worker
+        snap_seq = staging["doc"]["snap_seq"]
+        self._repl_dispatched[shard_id] = snap_seq
+        self._repl_applied[shard_id] = snap_seq
+        self._repl_failed[shard_id] = None
+        if self._replication is not None:
+            self._replication.reset_shard(shard_id, snap_seq)
+            if staging["purpose"] == "migrate":
+                self._replication.set_ingest(shard_id, True)
+        self._shard_state[shard_id] = (
+            "ingest" if staging["purpose"] == "migrate" else "serving"
+        )
+        return protocol.OK, protocol.encode_u64_body(snap_seq)
+
+    def _install_snapshot_sync(
+        self, shard_id: int, old_worker: Any, staging: dict[str, Any]
+    ):
+        """Executor side of SNAP_COMMIT: retire the old engine, install
+        the shipped files + manifest, recover, restart the worker."""
+        if old_worker is not None:
+            old_worker.stop()
+            old_worker.join(timeout=60)
+        fs = self._fs_for(shard_id) or OsFileSystem()
+        root = self._shard_root(shard_id)
+        membership.install_snapshot(
+            fs,
+            root,
+            staging["doc"],
+            {name: bytes(buf) for name, buf in staging["files"].items()},
+        )
+        observer = (
+            self._replication.observer_for(shard_id)
+            if self._replication is not None
+            else None
+        )
+        engine = LSMTree.open(
+            root,
+            fs=fs,
+            filter_factory=self._filter_factory,
+            wal_observer=observer,
+            **self._engine_config,
+        )
+        if engine.last_seq != staging["doc"]["snap_seq"]:
+            raise RuntimeError(
+                f"installed snapshot recovered at seq {engine.last_seq}, "
+                f"expected {staging['doc']['snap_seq']}"
+            )
+        worker = ShardWorker(
+            shard_id, engine, self.stats, queue_limit=self._queue_limit
+        )
+        worker.start()
+        return worker
+
+    def _dispatch_migrate(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        shard_id, dst_group, targets = protocol.decode_migrate(body)
+        if self.role != "primary":
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.NOT_PRIMARY, b"migration starts at the primary",
+            )
+        if self._replication is None:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"replication not attached",
+            )
+        if not 0 <= shard_id < self.n_shards:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"bad shard id",
+            )
+        if not targets:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"no target nodes",
+            )
+        if (
+            shard_id not in self.shards
+            or self._shard_state.get(shard_id) != "serving"
+        ):
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"shard not serving here",
+            )
+        if shard_id in self._migrating:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"migration already in progress",
+            )
+        self._migrating.add(shard_id)
+        return self._finish(
+            request_id, op_name, started,
+            self._fmt_migrate(shard_id, dst_group, targets),
+        )
+
+    async def _fmt_migrate(
+        self, shard_id: int, dst_group: str, targets: list[tuple[str, int]]
+    ) -> tuple[int, bytes]:
+        try:
+            handoff_seq = await self._loop.run_in_executor(
+                None,
+                self._replication.migrate_out, shard_id, dst_group, targets,
+            )
+        finally:
+            self._migrating.discard(shard_id)
+        return protocol.OK, protocol.encode_u64_body(handoff_seq)
+
+    async def seal_shard(self, shard_id: int, dst_group: str) -> int:
+        """Stop taking writes for a migrating shard and return the
+        handoff sequence.  Runs on the event loop (scheduled by the
+        migration driver): the state flip and the barrier submit happen
+        atomically w.r.t. request dispatch, so every write accepted
+        before the flip is in the queue the sync drains — and in the
+        replication log once it completes — while every later write
+        answers NOT_OWNER with the receiving group as the hint."""
+        self._shard_state[shard_id] = "sealed"
+        self._shard_forward[shard_id] = dst_group
+        worker = self.shards[shard_id]
+        await self._submit(worker, "sync", None)
+        engine = getattr(worker, "engine", None)
+        return engine.last_seq if engine is not None else 0
+
+    def _dispatch_migrate_commit(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        shard_id, handoff_seq = protocol.decode_migrate_commit(body)
+        state = self._shard_state.get(shard_id)
+        if (
+            state == "serving"
+            and self._repl_applied.get(shard_id, 0) >= handoff_seq
+        ):
+            # Idempotent retry: already committed.
+            return self._immediate(request_id, op_name, started, protocol.OK, b"")
+        if state != "ingest" or shard_id not in self.shards:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"shard not ingesting",
+            )
+        if self._repl_applied.get(shard_id, 0) < handoff_seq:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST,
+                b"applied %d behind handoff %d"
+                % (self._repl_applied.get(shard_id, 0), handoff_seq),
+            )
+        self._shard_state[shard_id] = "serving"
+        self._shard_forward.pop(shard_id, None)
+        if self._replication is not None:
+            self._replication.set_ingest(shard_id, False)
+            self._replication.reset_shard(shard_id, handoff_seq)
+        return self._immediate(request_id, op_name, started, protocol.OK, b"")
+
+    def _dispatch_shard_detach(
+        self, request_id: int, op_name: str, started: float, body: bytes
+    ):
+        shard_id, forward_group = protocol.decode_shard_detach(body)
+        if not 0 <= shard_id < self.n_shards:
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"bad shard id",
+            )
+        if self.shard_mode == "process":
+            return self._immediate(
+                request_id, op_name, started,
+                protocol.BAD_REQUEST, b"detach needs shard_mode=thread",
+            )
+        worker = self.shards.get(shard_id)
+        if worker is None:
+            if forward_group:
+                self._shard_forward[shard_id] = forward_group
+            return self._immediate(request_id, op_name, started, protocol.OK, b"")
+        return self._finish(
+            request_id, op_name, started,
+            self._fmt_shard_detach(shard_id, forward_group, worker),
+        )
+
+    async def _fmt_shard_detach(
+        self, shard_id: int, forward_group: str, worker: Any
+    ) -> tuple[int, bytes]:
+        repl = self._replication
+        if repl is not None and self.role == "primary":
+            # The group's own followers must hold the sealed shard's
+            # full tail before this primary forgets its log: a link
+            # mid-ship would otherwise see the log vanish and bounce.
+            engine = getattr(worker, "engine", None)
+            end_seq = engine.last_seq if engine is not None else 0
+            await self._loop.run_in_executor(
+                None, repl.wait_links_durable, shard_id, end_seq
+            )
+        self._shard_state[shard_id] = "detached"
+        self.shards.pop(shard_id, None)
+        if forward_group:
+            self._shard_forward[shard_id] = forward_group
+        await self._loop.run_in_executor(
+            None, self._retire_worker_sync, shard_id, worker
+        )
+        if repl is not None:
+            repl.detach_shard(shard_id)
+        self._repl_dispatched.pop(shard_id, None)
+        self._repl_applied.pop(shard_id, None)
+        self._repl_failed.pop(shard_id, None)
         return protocol.OK, b""
+
+    def _retire_worker_sync(self, shard_id: int, worker: Any) -> None:
+        """Executor side of SHARD_DETACH: drain the worker, then delete
+        the shard directory (CURRENT first, so a crash mid-delete
+        leaves a directory that recovers as empty)."""
+        worker.stop()
+        worker.join(timeout=60)
+        fs = self._fs_for(shard_id) or OsFileSystem()
+        root = self._shard_root(shard_id)
+        try:
+            names = list(fs.listdir(root))
+        except (FileNotFoundError, OSError):
+            return
+        for name in sorted(names, key=lambda n: n != "CURRENT"):
+            try:
+                fs.remove(join(root, name))
+            except (FileNotFoundError, OSError):
+                pass
+
+    def _extend_stats(self, snapshot: dict[str, Any]) -> None:
+        snapshot["n_shards"] = self.n_shards
+        cluster: dict[str, Any] = {
+            "role": self.role,
+            "term": self.term,
+            "hosted_shards": sorted(self.shards),
+            "shards": {
+                str(shard_id): {
+                    "state": self._shard_state.get(shard_id),
+                    "repl_dispatched": self._repl_dispatched.get(shard_id, 0),
+                    "repl_applied": self._repl_applied.get(shard_id, 0),
+                    "repl_failed": self._repl_failed.get(shard_id),
+                }
+                for shard_id in sorted(self.shards)
+            },
+            "forward": {str(s): g for s, g in sorted(self._shard_forward.items())},
+            "migrating": sorted(self._migrating),
+        }
+        if self._replication is not None:
+            cluster["replication"] = self._replication.stats()
+        snapshot["cluster"] = cluster
 
     def _immediate(
         self, request_id: int, op_name: str, started: float,
@@ -663,7 +1271,7 @@ class KVServer:
         if repl is not None:
             # Synchronous replication gate: the local group commit made
             # the write durable *here*; the ack waits until every
-            # configured follower confirms it durable *there*, so a
+            # voting follower confirms it durable *there*, so a
             # client-visible OK survives the loss of this whole node.
             await asyncio.wait_for(
                 repl.wait_durable(shard_id, seq), self._repl_ack_timeout
@@ -713,7 +1321,7 @@ class KVServer:
                     info = None  # worker died/drained mid-request
             per_shard.append(info if info is not None else shard.snapshot_info())
         snapshot = self.stats.snapshot(per_shard)
-        snapshot["n_shards"] = self.n_shards
+        self._extend_stats(snapshot)
         return protocol.OK, json.dumps(snapshot).encode()
 
 

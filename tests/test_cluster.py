@@ -152,8 +152,9 @@ class TestReplication:
             for follower in group.followers:
                 with KVClient(*_addr(follower)) as c:
                     marks = c.watermark()
-                    for shard, (_, applied) in enumerate(marks):
-                        assert applied >= primary_marks[shard][1]
+                    assert not marks.is_primary
+                    for shard, (_, applied) in marks.marks.items():
+                        assert applied >= primary_marks.marks[shard][1]
                     # Follower reads gated on each write's own token.
                     for key, seq in seqs.items():
                         value = c.get_at(key, seq)
@@ -197,7 +198,7 @@ class TestReplication:
                 client.put(b"k", 7)
                 group = client.group_for(b"k")
                 # Poison the session token so the follower must refuse.
-                client._tokens[(group.name, route_key(b"k", 2))] = 10_000
+                client._tokens[route_key(b"k", 2)] = 10_000
                 assert client.get(b"k") == 7
                 assert client.lagging_reads == 1
         finally:
@@ -418,7 +419,7 @@ class TestClusterKillMatrix:
             try:
                 with KVClient(server.host, server.port) as c:
                     c.promote()
-                    (_, applied), = c.watermark()
+                    applied = c.watermark().marks[0][1]
                     assert applied >= max_ack
                     expected = _model_after(ops, applied)
                     for key in {key for _, key, _ in ops}:
@@ -427,6 +428,619 @@ class TestClusterKillMatrix:
                     assert c.put(b"post-failover", 1) == applied + 1
             finally:
                 runner.stop()
+
+
+# -- membership: snapshot resync ---------------------------------------------
+
+
+def _restart_follower(cluster, fss, name, shard_ids):
+    """Bring a stopped follower back on its surviving MemFS disks."""
+    from repro.cluster.failover import ClusterNode
+
+    return ClusterNode(
+        name,
+        f"cl/{name}",
+        n_shards=cluster.n_shards,
+        fs=lambda shard, _n=name: fss.setdefault((_n, shard), MemFS()),
+        role="follower",
+        engine_config=TINY_CONFIG,
+        shard_ids=shard_ids,
+    ).start()
+
+
+def _wait_link(replication, port, deadline=30.0, want_state="streaming",
+               min_resyncs=1):
+    import time
+
+    end = time.monotonic() + deadline
+    link = None
+    while time.monotonic() < end:
+        links = [l for l in replication.stats()["links"] if l["port"] == port]
+        link = links[0] if links else None
+        if (
+            link is not None
+            and link["state"] == want_state
+            and link["resyncs"] >= min_resyncs
+        ):
+            return link
+        time.sleep(0.05)
+    raise AssertionError(f"link never reached {want_state}: {link}")
+
+
+class TestSnapshotResync:
+    def test_trimmed_below_floor_rejoins_under_live_writes(self):
+        """A follower that was down while the capped log trimmed past
+        its watermark rejoins via snapshot resync — with client writes
+        continuing the whole time."""
+        cluster, fss = _mem_cluster(
+            followers=1, n_shards=2, log_cap_bytes=8 * 1024
+        )
+        try:
+            group = cluster.groups[0]
+            primary, follower = group.primary, group.followers[0]
+            seqs = {}
+            with KVClient(*_addr(primary)) as c:
+                for i in range(50):
+                    key = b"r%05d" % i
+                    seqs[key] = c.put(key, b"v" * 40)
+                faddr = follower.address
+                follower.stop()
+                primary.replication.remove_follower(faddr.host, faddr.port)
+                # Far past the 8 KiB cap: the log floor must outrun the
+                # dead follower's watermark.
+                for i in range(50, 1200):
+                    key = b"r%05d" % i
+                    seqs[key] = c.put(key, b"v" * 40)
+                floors = {
+                    int(s): v["floor"]
+                    for s, v in c.stats()["cluster"]["replication"]["shards"].items()
+                }
+                assert all(f > 50 for f in floors.values()), floors
+
+                restarted = _restart_follower(
+                    cluster, fss, follower.name, [0, 1]
+                )
+                group.followers = [restarted]
+                primary.replication.add_follower(
+                    restarted.server.host, restarted.server.port
+                )
+                # Live writes while the resync ships.
+                for i in range(1200, 1400):
+                    key = b"r%05d" % i
+                    seqs[key] = c.put(key, b"v" * 40)
+                link = _wait_link(primary.replication, restarted.server.port)
+                assert link["voting"]
+                c.sync()
+            # Read-your-writes on the resynced follower at each ack's
+            # own token — first write, pre-outage tail, post-resync.
+            with KVClient(restarted.server.host, restarted.server.port) as c:
+                for key in (b"r00000", b"r00049", b"r01199", b"r01399"):
+                    assert c.get_at(key, seqs[key]) == b"v" * 40
+        finally:
+            cluster.stop()
+
+    def test_empty_disk_follower_bootstraps(self):
+        """A brand-new node (nothing on disk) attaches after the log
+        trimmed its prefix away: it gets the state as a snapshot, then
+        streams.  (With an untrimmed log it would just stream from 0 —
+        the small cap forces the snapshot path.)"""
+        cluster, fss = _mem_cluster(
+            followers=0, n_shards=2, log_cap_bytes=4 * 1024
+        )
+        try:
+            primary = cluster.groups[0].primary
+            seqs = {}
+            with KVClient(*_addr(primary)) as c:
+                for i in range(600):
+                    key = b"b%04d" % i
+                    seqs[key] = c.put(key, i)
+                floors = {
+                    int(s): v["floor"]
+                    for s, v in c.stats()["cluster"]["replication"]["shards"].items()
+                }
+                assert all(f > 0 for f in floors.values()), floors
+            fresh = _restart_follower(cluster, fss, "fresh", [0, 1])
+            try:
+                primary.replication.add_follower(
+                    fresh.server.host, fresh.server.port
+                )
+                link = _wait_link(primary.replication, fresh.server.port,
+                                  min_resyncs=2)  # one per shard
+                assert link["state"] == "streaming"
+                with KVClient(*_addr(primary)) as c:
+                    c.sync()
+                with KVClient(fresh.server.host, fresh.server.port) as c:
+                    for key, seq in seqs.items():
+                        assert c.get_at(key, seq) == int(key[1:])
+            finally:
+                fresh.stop()
+        finally:
+            cluster.stop()
+
+    def test_allow_resync_false_surfaces_typed_error(self):
+        """Regression: a behind follower used to kill the sender thread
+        silently (writes then hung against a zombie link).  With
+        resync disabled the link must park in ``needs_resync`` and
+        writes must fail fast with the typed error."""
+        cluster, fss = _mem_cluster(
+            followers=0, n_shards=2, allow_resync=False,
+            log_cap_bytes=2 * 1024,
+        )
+        try:
+            primary = cluster.groups[0].primary
+            with KVClient(*_addr(primary)) as c:
+                for i in range(500):
+                    c.put(b"n%04d" % i, i)
+            fresh = _restart_follower(cluster, fss, "late", [0, 1])
+            try:
+                primary.replication.add_follower(
+                    fresh.server.host, fresh.server.port
+                )
+                import time
+
+                end = time.monotonic() + 30
+                while time.monotonic() < end:
+                    links = primary.replication.stats()["links"]
+                    if links and links[0]["state"] == "needs_resync":
+                        break
+                    time.sleep(0.05)
+                link = primary.replication.stats()["links"][0]
+                assert link["state"] == "needs_resync"
+                assert "resync" in (link["last_error"] or "")
+                with KVClient(*_addr(primary)) as c:
+                    with pytest.raises(ServerError, match="resync"):
+                        c.put(b"blocked", 1)
+            finally:
+                fresh.stop()
+        finally:
+            cluster.stop()
+
+
+# -- observability: replication fields in STATS ------------------------------
+
+
+class TestReplicationStats:
+    def test_stats_expose_per_follower_replication_state(self):
+        cluster, _ = _mem_cluster(followers=1, n_shards=2)
+        try:
+            primary = cluster.groups[0].primary
+            follower = cluster.groups[0].followers[0]
+            with KVClient(*_addr(primary)) as c:
+                for i in range(30):
+                    c.put(b"s%04d" % i, i)
+                stats = c.stats()
+            section = stats["cluster"]
+            assert section["role"] == "primary"
+            assert section["term"] == 0
+            assert sorted(section["hosted_shards"]) == [0, 1]
+            for shard in ("0", "1"):
+                st = section["shards"][shard]
+                assert st["state"] == "serving"
+            repl = section["replication"]
+            assert repl["allow_resync"] is True
+            assert repl["log_cap_bytes"] > 0
+            for shard in ("0", "1"):
+                log = repl["shards"][shard]
+                assert log["end_seq"] >= 1
+                assert log["floor"] >= 0
+                assert log["buffered_bytes"] >= 0
+                assert log["migration"] is None
+                assert log["ingest"] is False
+            (link,) = repl["links"]
+            assert link["port"] == follower.server.port
+            assert link["state"] == "streaming"
+            assert link["voting"] is True
+            assert link["resyncs"] == 0
+            # Every ack waited on the follower, so its durable marks
+            # cover the log end.
+            for shard in ("0", "1"):
+                assert link["durable"][shard] >= repl["shards"][shard]["end_seq"]
+            # The follower's own stats carry its side of the story.
+            with KVClient(*_addr(follower)) as c:
+                fstats = c.stats()["cluster"]
+            assert fstats["role"] == "follower"
+            for shard in ("0", "1"):
+                assert fstats["shards"][shard]["repl_applied"] >= 1
+        finally:
+            cluster.stop()
+
+
+# -- placement: golden pins + incremental ownership --------------------------
+
+
+class TestPlacement:
+    def test_golden_default_placements(self):
+        """Pins the derived shard→group map: changing the ring or the
+        token scheme strands every existing multi-group deployment."""
+        from repro.cluster import default_placement
+
+        assert default_placement(["g0"], 4) == {i: "g0" for i in range(4)}
+        assert default_placement(["g0", "g1"], 8) == {
+            0: "g0", 1: "g0", 2: "g0", 3: "g0",
+            4: "g1", 5: "g0", 6: "g1", 7: "g1",
+        }
+        assert default_placement(["g0", "g1", "g2"], 8) == {
+            0: "g0", 1: "g0", 2: "g0", 3: "g0",
+            4: "g2", 5: "g2", 6: "g1", 7: "g2",
+        }
+
+    def test_adding_a_group_only_pulls_shards_to_it(self):
+        """Incremental ownership: growing the cluster never shuffles
+        shards between surviving groups."""
+        from repro.cluster import default_placement
+
+        for n_shards in (8, 64, 256):
+            before = default_placement(["g0", "g1"], n_shards)
+            after = default_placement(["g0", "g1", "g2"], n_shards)
+            moved = 0
+            for shard in range(n_shards):
+                if after[shard] != before[shard]:
+                    assert after[shard] == "g2", (
+                        f"shard {shard} moved {before[shard]}→{after[shard]}"
+                    )
+                    moved += 1
+            assert 0 < moved < n_shards
+
+    def test_removing_a_group_only_scatters_its_shards(self):
+        from repro.cluster import default_placement
+
+        n_shards = 128
+        before = default_placement(["g0", "g1", "g2"], n_shards)
+        after = default_placement(["g0", "g1"], n_shards)
+        for shard in range(n_shards):
+            if before[shard] != "g2":
+                assert after[shard] == before[shard]
+            else:
+                assert after[shard] in ("g0", "g1")
+
+    def test_property_incremental_ownership_is_bounded(self):
+        """Arbitrary group names: a newcomer only ever *pulls* shards
+        (never shuffles survivors), and takes a bounded fraction — 3x
+        the 1/(k+1) expectation flags a broken token scheme."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.cluster import default_placement
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            groups=st.lists(
+                st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+                min_size=1, max_size=8, unique=True,
+            ),
+            newcomer=st.text(alphabet="xyz", min_size=1, max_size=8),
+            n_shards=st.sampled_from([16, 64, 256]),
+        )
+        def check(groups, newcomer, n_shards):
+            before = default_placement(groups, n_shards)
+            after = default_placement(groups + [newcomer], n_shards)
+            moved = [s for s in range(n_shards) if after[s] != before[s]]
+            for s in moved:
+                assert after[s] == newcomer, (
+                    f"shard {s} shuffled {before[s]}->{after[s]} when "
+                    f"only {newcomer} joined"
+                )
+            k = len(groups)
+            bound = max(4, 3 * n_shards // (k + 1))
+            assert len(moved) <= bound, (
+                f"{len(moved)}/{n_shards} shards moved to the newcomer "
+                f"of {k + 1} groups (bound {bound})"
+            )
+
+        check()
+
+
+# -- live shard migration ----------------------------------------------------
+
+
+class TestLiveMigration:
+    def test_migrate_under_load_zero_failed_ops(self):
+        """Move a shard between groups while a client hammers it: no
+        operation may fail (NOT_OWNER retries absorb the handoff), and
+        at least one op must have ridden a redirect."""
+        import threading
+        import time
+
+        cluster, _ = _mem_cluster(followers=1, n_shards=4, n_groups=2)
+        try:
+            assert cluster.placement[0] == "g0"
+            acked = {}
+            errors = []
+            counters = {}
+            stop = threading.Event()
+
+            def writer():
+                try:
+                    with ClusterClient(cluster.topology()) as c:
+                        i = 0
+                        while not stop.is_set():
+                            key = b"mig-%05d" % i
+                            acked[key] = c.put(key, i)
+                            i += 1
+                        counters["moved_ops"] = c.moved_ops
+                except Exception as exc:  # any non-retried failure
+                    errors.append(exc)
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            time.sleep(0.3)
+            handoff = cluster.migrate_shard(0, "g1")
+            assert handoff is not None and handoff >= 1
+            # Keep writing after the flip so the stale-placement writer
+            # provably crosses a redirect.
+            time.sleep(0.5)
+            stop.set()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            assert not errors, errors
+            assert counters["moved_ops"] >= 1
+            assert cluster.placement[0] == "g1"
+            assert any(route_key(k, 4) == 0 for k in acked)
+
+            # Every acked write is readable through the new placement.
+            with ClusterClient(cluster.topology()) as c:
+                for key, seq in acked.items():
+                    assert seq is not None
+                    assert c.get(key) == int(key[4:])
+                assert c.count(b"mig-", b"mig.\xff") == len(acked)
+        finally:
+            cluster.stop()
+
+    def test_coordinator_crash_mid_handoff_is_recoverable(self):
+        """Coordinator dies between MIGRATE and the detach/commit: the
+        shard sits sealed on the source and ingesting on the target.
+        Nothing is lost — a recovery pass reads the handoff back off
+        the target's watermark and re-drives the remaining steps."""
+        cluster, _ = _mem_cluster(followers=1, n_shards=2, n_groups=2)
+        try:
+            src, dst = cluster.group("g0"), cluster.group("g1")
+            seqs = {}
+            with KVClient(*_addr(src.primary)) as c:
+                for i in range(40):
+                    key = b"c%04d" % i
+                    seqs[key] = c.put(key, i)
+            targets = [
+                (n.server.host, n.server.port) for n in dst.nodes()
+            ]
+            with KVClient(*_addr(src.primary)) as c:
+                handoff = c.migrate(0, "g1", targets)
+            # -- coordinator crashes here --
+            # The handoff sequence is recoverable from the target
+            # primary's own watermark (it applied the full delta).
+            with KVClient(*_addr(dst.primary)) as c:
+                recovered = c.watermark().marks[0][1]
+            assert recovered == handoff
+            for node in src.nodes():
+                with KVClient(*_addr(node)) as c:
+                    c.shard_detach(0, "g1")
+            for node in dst.nodes():
+                with KVClient(*_addr(node)) as c:
+                    c.migrate_commit(0, recovered)
+            cluster.placement[0] = "g1"
+            with ClusterClient(cluster.topology()) as c:
+                for key, _ in seqs.items():
+                    assert c.get(key) == int(key[1:])
+        finally:
+            cluster.stop()
+
+    def test_migrate_commit_is_idempotent(self):
+        """A retried commit (coordinator crashed after the first one
+        landed) answers OK instead of failing the recovery pass."""
+        cluster, _ = _mem_cluster(followers=0, n_shards=2, n_groups=2)
+        try:
+            handoff = cluster.migrate_shard(0, "g1")
+            dst = cluster.group("g1")
+            with KVClient(*_addr(dst.primary)) as c:
+                c.migrate_commit(0, handoff)  # replay: must not raise
+        finally:
+            cluster.stop()
+
+
+# -- lease-based election ----------------------------------------------------
+
+
+class TestLeaseElection:
+    def test_auto_promotion_after_primary_death(self):
+        import time
+
+        cluster, _ = _mem_cluster(followers=2, n_shards=2)
+        try:
+            group = cluster.groups[0]
+            seqs = {}
+            with KVClient(*_addr(group.primary)) as c:
+                for i in range(50):
+                    key = b"e%04d" % i
+                    seqs[key] = c.put(key, i)
+            cluster.enable_election(lease_interval=0.05, lease_ttl=0.4)
+            time.sleep(0.5)  # leases flowing
+            group.primary.stop()
+            end = time.monotonic() + 30
+            while time.monotonic() < end:
+                if any(n.server.role == "primary" for n in group.followers):
+                    break
+                time.sleep(0.05)
+            promoted = [
+                n for n in group.followers if n.server.role == "primary"
+            ]
+            assert promoted, "no follower auto-promoted"
+            assert promoted[0].server.term >= 1
+            assert ("promoted", promoted[0].server.term) in promoted[0].lease.events
+            topo = group.refresh_roles()
+            assert topo.primary.name == promoted[0].name
+            # Every pre-crash ack survives, and the new primary writes.
+            with ClusterClient(cluster.topology()) as c:
+                for key, _ in seqs.items():
+                    assert c.get(key) == int(key[1:])
+                assert c.put(b"post-election", 1) is not None
+        finally:
+            cluster.stop()
+
+    def test_deposed_primary_is_fenced_on_rejoin(self):
+        """The old primary comes back after an election: its stale term
+        must be fenced, never acked — split brain is structurally
+        impossible, not just unlikely."""
+        import time
+
+        cluster, _ = _mem_cluster(followers=2, n_shards=2)
+        try:
+            group = cluster.groups[0]
+            with KVClient(*_addr(group.primary)) as c:
+                for i in range(10):
+                    c.put(b"d%04d" % i, i)
+            old_primary = group.primary
+            # Promote a follower out-of-band (term 1); the old primary
+            # keeps thinking it leads at term 0.
+            with KVClient(*_addr(group.followers[0])) as c:
+                c.promote()
+            new_primary = group.followers[0]
+            assert new_primary.server.term == 1
+            # The new primary's lease grant reaches the stale one and
+            # demotes it (newer term wins).
+            with KVClient(*_addr(old_primary)) as c:
+                c.lease(new_primary.server.term, 1000)
+            assert old_primary.server.role == "follower"
+            assert old_primary.server.term == 1
+        finally:
+            cluster.stop()
+
+    def test_double_failure_elects_twice(self):
+        import time
+
+        cluster, _ = _mem_cluster(followers=2, n_shards=2)
+        try:
+            group = cluster.groups[0]
+            with KVClient(*_addr(group.primary)) as c:
+                for i in range(30):
+                    c.put(b"t%04d" % i, i)
+            cluster.enable_election(lease_interval=0.05, lease_ttl=0.4)
+            time.sleep(0.5)
+
+            def wait_new_primary(excluding):
+                end = time.monotonic() + 30
+                while time.monotonic() < end:
+                    live = [
+                        n for n in group.nodes()
+                        if n._started and n not in excluding
+                        and n.server.role == "primary"
+                    ]
+                    if live:
+                        return live[0]
+                    time.sleep(0.05)
+                raise AssertionError("no promotion")
+
+            first = group.primary
+            first.stop()
+            second = wait_new_primary({first})
+            # Let the second primary's lease grants reach the survivor
+            # before killing it too: term monotonicity across elections
+            # is only promised to nodes that *observed* the old term.
+            survivor = next(
+                n for n in group.nodes()
+                if n._started and n not in (first, second)
+            )
+            end = time.monotonic() + 10
+            while (
+                survivor.server.term < second.server.term
+                and time.monotonic() < end
+            ):
+                time.sleep(0.05)
+            assert survivor.server.term >= second.server.term
+            second_term = second.server.term
+            second.stop()
+            third = wait_new_primary({first, second})
+            assert third is survivor
+            assert third.server.term > second_term >= 1
+            group.refresh_roles()
+            with KVClient(*_addr(third)) as c:
+                for i in range(30):
+                    assert c.get(b"t%04d" % i) == i
+        finally:
+            cluster.stop()
+
+
+# -- kill matrix: crash during snapshot install ------------------------------
+
+
+class TestResyncInstallCrash:
+    """The follower's disk power-fails mid snapshot-install.  The
+    install must be atomic at the manifest flip: the torn disk reopens
+    either empty (resync restarts from zero) or fully at the snapshot
+    — never a half-state — and the primary keeps serving throughout."""
+
+    def _run(self, fail_at):
+        import time
+
+        from repro.cluster import PrimaryReplication
+        from repro.server import KVServer, ServerThread
+
+        pfs = [MemFS(), MemFS()]
+        # Tiny cap: the 60 seed writes must overflow it, so the empty
+        # follower is below the floor and has to take the snapshot
+        # path (a 4 MiB default cap would let it stream from seq 0 and
+        # never exercise the install).
+        replication = PrimaryReplication(log_cap_bytes=1024)
+        primary = KVServer(
+            "rsdb/p", n_shards=1, fs=lambda i: pfs[i],
+            engine_config=TINY_CONFIG, role="primary",
+            replication=replication,
+        )
+        prunner = ServerThread(primary).start()
+        ffs = FaultFS()
+        follower = KVServer(
+            "rsdb/f", n_shards=1, fs=lambda i: ffs,
+            engine_config=TINY_CONFIG, role="follower",
+        )
+        frunner = ServerThread(follower).start()
+        # The follower's own boot (fresh WAL, manifest) costs sync
+        # points; fail points are counted from *after* boot so they
+        # land inside the snapshot install, not server startup.
+        boot = ffs.sync_points
+        if fail_at is not None:
+            ffs.fail_at = boot + fail_at
+        try:
+            with KVClient(primary.host, primary.port) as c:
+                for i in range(60):
+                    c.put(b"i%04d" % i, i)
+            replication.add_follower(follower.host, follower.port)
+            if fail_at is None:
+                _wait_link(replication, follower.port)
+                with KVClient(primary.host, primary.port) as c:
+                    c.sync()
+                return ffs.sync_points - boot, None
+            # Wait for the install attempt to hit the dead disk, then
+            # prove the primary still acks writes (learner is
+            # non-voting while broken).
+            end = time.monotonic() + 30
+            while not ffs.crashed and time.monotonic() < end:
+                time.sleep(0.05)
+            assert ffs.crashed, "install never reached the fail point"
+            with KVClient(primary.host, primary.port) as c:
+                assert c.put(b"after-crash", 1) is not None
+            views = {m: ffs.crashed_view(m) for m in CRASH_MODES}
+            return None, views
+        finally:
+            frunner.stop()
+            prunner.stop()
+
+    def test_install_is_atomic_under_disk_failure(self):
+        total, _ = self._run(fail_at=None)
+        assert total >= 3  # table bytes + manifest + CURRENT at least
+        for point in (1, max(2, total // 2), total):
+            _, views = self._run(fail_at=point)
+            for mode, view in views.items():
+                recovered = LSMTree.open(
+                    "rsdb/f/shard-00", fs=view, **TINY_CONFIG
+                )
+                try:
+                    assert recovered.last_seq in (0, 60), (
+                        f"point {point} mode {mode}: half-installed "
+                        f"snapshot at seq {recovered.last_seq}"
+                    )
+                    if recovered.last_seq == 60:
+                        for i in range(60):
+                            assert recovered.get(b"i%04d" % i) == i
+                finally:
+                    recovered.close()
 
 
 # -- differential fuzz through the whole cluster -----------------------------

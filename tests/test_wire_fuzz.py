@@ -14,7 +14,7 @@ import struct
 
 import pytest
 
-from repro.server import KVClient, KVServer, ServerThread
+from repro.server import FencedError, KVClient, KVServer, ServerThread
 from repro.server import protocol
 from repro.testing.faultfs import MemFS
 
@@ -28,7 +28,7 @@ TINY_CONFIG = dict(
 )
 
 #: Every opcode the server knows, plus a few it never will.
-ALL_OPCODES = sorted(protocol.OP_NAMES) + [0, 14, 77, 255]
+ALL_OPCODES = sorted(protocol.OP_NAMES) + [0, 42, 77, 255]
 
 
 @pytest.fixture(scope="module")
@@ -163,6 +163,8 @@ class TestMalformedFrames:
                     protocol.ERROR,
                     protocol.NOT_PRIMARY,
                     protocol.LAGGING,
+                    protocol.NOT_OWNER,
+                    protocol.FENCED,
                 )
         finally:
             sock.close()
@@ -172,7 +174,7 @@ class TestMalformedFrames:
         """REPL_APPLY is decoded strictly: a CRC-corrupt WAL frame must
         be BAD_REQUEST (a primary is never wrong twice), and on a
         primary the opcode itself is refused."""
-        body = protocol.encode_repl_apply(0, b"not-wal-frames-at-all")
+        body = protocol.encode_repl_apply(0, 0, b"not-wal-frames-at-all")
         sock = _connect(server)
         try:
             sock.sendall(protocol.frame(1, protocol.REPL_APPLY, body))
@@ -181,6 +183,118 @@ class TestMalformedFrames:
         finally:
             sock.close()
         _still_serviceable(server)
+
+
+class TestMembershipOpcodes:
+    """The PR-10 opcodes (SNAP_*, MIGRATE*, SHARD_DETACH, LEASE) are
+    stateful; abuse of their state machines must be answered (never a
+    crash, never a hang) and leave the server serviceable."""
+
+    def test_snap_chunk_without_begin(self, server):
+        body = protocol.encode_snap_chunk(0, 0, "sst-00000001.sst", 0, b"data")
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(1, protocol.SNAP_CHUNK, body))
+            _, status, _ = _recv_response(sock)
+            assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_snap_commit_without_begin(self, server):
+        body = protocol.encode_snap_commit(0, 0, 10)
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(1, protocol.SNAP_COMMIT, body))
+            _, status, _ = _recv_response(sock)
+            assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_snap_begin_oversized_declared_snapshot(self, server):
+        import json as _json
+
+        from repro.cluster.membership import MAX_SNAPSHOT_BYTES
+
+        doc = {
+            "purpose": "migrate",
+            "snap_seq": 1,
+            "next_table_id": 2,
+            "levels": [["sst-00000001.sst"]],
+            "files": [{"name": "sst-00000001.sst",
+                       "size": MAX_SNAPSHOT_BYTES + 1, "crc": 0}],
+        }
+        body = protocol.encode_snap_begin(0, 0, _json.dumps(doc).encode())
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(1, protocol.SNAP_BEGIN, body))
+            _, status, _ = _recv_response(sock)
+            assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_snap_begin_path_traversal_name_rejected(self, server):
+        import json as _json
+
+        doc = {
+            "purpose": "migrate",
+            "snap_seq": 1,
+            "next_table_id": 2,
+            "levels": [[]],
+            "files": [{"name": "../../etc/passwd", "size": 4, "crc": 0}],
+        }
+        body = protocol.encode_snap_begin(0, 0, _json.dumps(doc).encode())
+        sock = _connect(server)
+        try:
+            sock.sendall(protocol.frame(1, protocol.SNAP_BEGIN, body))
+            _, status, _ = _recv_response(sock)
+            assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_migrate_refused_off_primary_shapes(self, server):
+        # Bad shard id, no targets, garbage target strings: all are
+        # answered without the server attempting any connection.
+        cases = [
+            protocol.encode_migrate(99, "g1", [("h", 1)]),
+            protocol.encode_migrate(0, "g1", []),
+        ]
+        sock = _connect(server)
+        try:
+            for i, body in enumerate(cases):
+                sock.sendall(protocol.frame(i, protocol.MIGRATE, body))
+                _, status, _ = _recv_response(sock)
+                assert status == protocol.BAD_REQUEST
+        finally:
+            sock.close()
+        _still_serviceable(server)
+
+    def test_lease_fencing_state_machine(self):
+        """Deliberate LEASE abuse on a throwaway server (a decoded
+        lease legitimately mutates term state, so the shared fixture
+        must not see one): stale terms are FENCED, an equal-term claim
+        against a primary is FENCED, a newer term demotes it."""
+        fss = [MemFS(), MemFS()]
+        srv = KVServer(
+            "fuzz-lease", n_shards=2, fs=lambda i: fss[i],
+            engine_config=TINY_CONFIG,
+        )
+        runner = ServerThread(srv).start()
+        try:
+            with KVClient(srv.host, srv.port) as c:
+                c.promote(5)  # primary at term 5
+                with pytest.raises(FencedError):
+                    c.lease(4, 1000)  # stale term
+                with pytest.raises(FencedError):
+                    c.lease(5, 1000)  # equal-term split claim
+                c.lease(6, 1000)  # newer term: adopt and stand down
+                assert not c.watermark().is_primary
+                assert c.watermark().term == 6
+        finally:
+            runner.stop()
 
 
 class TestRandomFuzz:
@@ -197,7 +311,17 @@ class TestRandomFuzz:
                     sock.sendall(blob)
                 else:
                     # A well-framed request with a random opcode/body.
-                    opcode = rng.choice([op for op in ALL_OPCODES if op != protocol.SHUTDOWN])
+                    # SHUTDOWN would legitimately stop the server; a
+                    # random LEASE body that happens to decode would
+                    # legitimately adopt its term and demote the shared
+                    # fuzz primary.  Both are state changes a valid
+                    # frame is *supposed* to make, so neither belongs
+                    # in blind fuzzing (LEASE gets garbage bodies in
+                    # test_garbage_body_every_opcode instead).
+                    opcode = rng.choice([
+                        op for op in ALL_OPCODES
+                        if op not in (protocol.SHUTDOWN, protocol.LEASE)
+                    ])
                     body = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 64)))
                     sock.sendall(protocol.frame(round_no, opcode, body))
                 sock.shutdown(socket.SHUT_WR)
